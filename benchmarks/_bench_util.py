@@ -1,0 +1,8 @@
+"""Helpers for the benchmark harness."""
+
+
+def show(title: str, body: str) -> None:
+    """Print a rendered experiment table (visible with pytest -s and in
+    the captured output of the benchmark log)."""
+    print(f"\n=== {title} ===")
+    print(body)

@@ -1,0 +1,16 @@
+"""Shared fixtures for the benchmark harness.
+
+One :class:`~repro.experiments.runner.ExperimentRunner` is shared across
+all benchmark modules so (workload, prefetcher) simulations are reused —
+fig08's speedup runs are the same simulations fig09 reads traffic from,
+exactly like a real evaluation campaign.
+"""
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return ExperimentRunner()

@@ -1,0 +1,33 @@
+"""Ablation bench: the design choices DESIGN.md calls out, each knocked
+out or perturbed individually (see repro.experiments.ablations)."""
+
+from _bench_util import show
+
+from repro.experiments import ablations
+
+
+def test_ablations(benchmark, runner):
+    rows = benchmark.pedantic(
+        lambda: ablations.run(runner), rounds=1, iterations=1
+    )
+    show("Ablations — TPC design choices", ablations.render(rows))
+
+    by_variant = {r.variant: r for r in rows}
+    full = by_variant["tpc"]
+
+    # The full design is competitive with every ablation (no knob should
+    # dominate it by a wide margin; small wins are tolerated since the
+    # knobs trade accuracy against scope).
+    for variant, row in by_variant.items():
+        assert row.speedup > full.speedup * 0.85, (variant, row)
+
+    # Miss-activation is a capacity filter: without it the SIT tracks
+    # everything, so the variant must not issue *fewer* prefetches.
+    assert by_variant["no-miss-activation"].issued >= full.issued * 0.5
+
+    # The paper claims insensitivity to the strided threshold (relative
+    # tolerance: speedups on this suite sit near 2x).
+    assert abs(by_variant["strided-8"].speedup - full.speedup) \
+        < 0.15 * full.speedup
+    assert abs(by_variant["strided-32"].speedup - full.speedup) \
+        < 0.15 * full.speedup

@@ -1,0 +1,28 @@
+"""Sec. V-C1 — memory-controller prefetch drop policy (4-core mixes).
+
+Paper: dropping low-probability (C1) prefetches instead of random ones
+when the queue fills is worth ~6% on average in a multicore environment.
+"""
+
+from _bench_util import show
+
+from repro.analysis.metrics import geometric_mean
+from repro.experiments import drop_policy
+
+
+def test_drop_policy(benchmark):
+    results = benchmark.pedantic(
+        lambda: drop_policy.run(mix_count=3), rounds=1, iterations=1
+    )
+    show("Sec. V-C1 — drop policy (random vs C1-first)",
+         drop_policy.render(results))
+
+    gains = [r.gain for r in results]
+    average_gain = geometric_mean(gains)
+    # The C1-first policy should be at worst neutral vs random dropping.
+    # (The paper reports +6%; our scaled workloads give C1 a much smaller
+    # share of speculative DRAM traffic, so the measurable headroom is
+    # ~0-1% — see EXPERIMENTS.md.)
+    assert average_gain > 0.97, gains
+    # The experiment actually exercised the drop path.
+    assert any(r.random_drops > 0 for r in results)

@@ -1,0 +1,31 @@
+"""Fig. 1 — accuracy vs scope for AMPM, BOP, SMS (the motivating
+tradeoff).
+
+Paper: scope rises 67% -> 76% -> 87% from AMPM to BOP to SMS while
+accuracy falls 58% -> 49% -> 48%.  The reproduction checks the *tradeoff
+direction*: the widest-scope prefetcher is not the most accurate.
+"""
+
+from _bench_util import show
+
+from repro.experiments import fig01
+
+
+def test_fig01_scope_vs_accuracy(benchmark, runner):
+    series = benchmark.pedantic(
+        lambda: fig01.run(runner), rounds=1, iterations=1
+    )
+    show("Fig. 1 — accuracy vs scope (AMPM/BOP/SMS)", fig01.render(series))
+    by_name = {s.prefetcher: s for s in series}
+    scopes = {name: s.average_scope for name, s in by_name.items()}
+    accuracies = {name: s.average_accuracy for name, s in by_name.items()}
+
+    widest = max(scopes, key=scopes.get)
+    most_accurate = max(accuracies, key=accuracies.get)
+    assert widest != most_accurate, (
+        "scope/accuracy tradeoff should separate the extremes: "
+        f"scopes={scopes}, accuracies={accuracies}"
+    )
+    # All three prefetchers attempt a nontrivial share of the footprint.
+    for name, value in scopes.items():
+        assert value > 0.2, (name, value)

@@ -1,0 +1,31 @@
+"""Fig. 8 — per-application speedups of all prefetchers (SPEC-like
+suite).
+
+Paper: TPC geomean 1.41 vs 1.21-1.33 for the seven monolithic designs;
+best in 11/21 apps, within 5% of the best elsewhere.
+"""
+
+from _bench_util import show
+
+from repro.experiments import fig08
+from repro.prefetcher_registry import PAPER_MONOLITHIC
+
+
+def test_fig08_speedups(benchmark, runner):
+    grid = benchmark.pedantic(
+        lambda: fig08.run(runner), rounds=1, iterations=1
+    )
+    show("Fig. 8 — per-application speedups", fig08.render(grid))
+
+    tpc = grid.geomean("tpc")
+    monolithic = {name: grid.geomean(name) for name in PAPER_MONOLITHIC}
+    best_monolithic = max(monolithic.values())
+
+    # Headline: TPC outperforms every monolithic design on average.
+    assert tpc > best_monolithic, (tpc, monolithic)
+    # All prefetchers help on average (speedups in a plausible band).
+    for name, value in monolithic.items():
+        assert 0.9 < value < tpc + 1.0, (name, value)
+    # TPC is the single best performer in a plurality of benchmarks.
+    best_counts = {p: grid.best_count(p) for p in grid.prefetchers}
+    assert best_counts["tpc"] == max(best_counts.values()), best_counts

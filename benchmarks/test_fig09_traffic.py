@@ -1,0 +1,25 @@
+"""Fig. 9 — memory traffic normalized to no prefetching.
+
+Paper: TPC adds the least traffic (~6% overhead); the next best (BOP)
+adds 12%.
+"""
+
+from _bench_util import show
+
+from repro.experiments import fig09
+
+
+def test_fig09_traffic(benchmark, runner):
+    rows = benchmark.pedantic(
+        lambda: fig09.run(runner), rounds=1, iterations=1
+    )
+    show("Fig. 9 — normalized memory traffic", fig09.render(rows))
+    overhead = {r.prefetcher: r.geomean for r in rows}
+
+    # TPC has the smallest average traffic overhead of all prefetchers.
+    assert overhead["tpc"] == min(overhead.values()), overhead
+    # And it is small in absolute terms (paper: 1.06).
+    assert overhead["tpc"] < 1.10
+    # Every prefetcher's overhead stays within a sane band.
+    for name, value in overhead.items():
+        assert 0.9 < value < 2.0, (name, value)

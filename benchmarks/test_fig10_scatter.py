@@ -1,0 +1,31 @@
+"""Fig. 10 — effective accuracy vs scope, all prefetchers, dots weighted
+by prefetches issued.
+
+Paper: monolithic averages span 45-69% accuracy; TPC averages 82% with a
+much tighter per-application range — high accuracy over a narrower
+scope.
+"""
+
+from _bench_util import show
+
+from repro.experiments import fig10
+from repro.prefetcher_registry import PAPER_MONOLITHIC
+
+
+def test_fig10_accuracy_scope(benchmark, runner):
+    series = benchmark.pedantic(
+        lambda: fig10.run(runner), rounds=1, iterations=1
+    )
+    show("Fig. 10 — accuracy vs scope summary", fig10.render(series))
+    by_name = {s.prefetcher: s for s in series}
+
+    tpc_accuracy = by_name["tpc"].average_accuracy
+    monolithic_accuracy = {
+        name: by_name[name].average_accuracy for name in PAPER_MONOLITHIC
+    }
+    # TPC's weighted-average effective accuracy tops every monolithic.
+    assert tpc_accuracy > max(monolithic_accuracy.values()), (
+        tpc_accuracy, monolithic_accuracy
+    )
+    # And is high in absolute terms (paper: 0.82).
+    assert tpc_accuracy > 0.6

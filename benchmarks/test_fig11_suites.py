@@ -1,0 +1,31 @@
+"""Fig. 11 — speedups across all benchmark suites, including 4-core
+mixes.
+
+Paper: the SPEC conclusion generalizes — over all 68 workloads TPC
+reaches 1.39 geomean vs 1.22-1.31 for the others.
+"""
+
+from _bench_util import show
+
+from repro.analysis.metrics import geometric_mean
+from repro.experiments import fig11
+from repro.prefetcher_registry import PAPER_MONOLITHIC
+
+
+def test_fig11_all_suites(benchmark, runner):
+    results = benchmark.pedantic(
+        lambda: fig11.run(runner, mix_count=3), rounds=1, iterations=1
+    )
+    show("Fig. 11 — speedups per suite", fig11.render(results))
+
+    # Overall geomean across suites: TPC on top.
+    def overall(prefetcher):
+        return geometric_mean([r.geomeans[prefetcher] for r in results])
+
+    tpc = overall("tpc")
+    monolithic = {name: overall(name) for name in PAPER_MONOLITHIC}
+    assert tpc > max(monolithic.values()), (tpc, monolithic)
+
+    # TPC never falls below 1.0 in any suite (broadly effective).
+    for suite_result in results:
+        assert suite_result.geomeans["tpc"] > 0.99, suite_result

@@ -1,0 +1,40 @@
+"""Fig. 12 — effective accuracy/coverage vs scope at L1 and L2, with TPC
+built up incrementally (T2 -> T2+P1 -> TPC).
+
+Paper: each added component extends TPC's scope; TPC's L1 effective
+coverage beats the monolithic designs despite fewer prefetches, because
+of better accuracy.
+"""
+
+from _bench_util import show
+
+from repro.experiments import fig12
+
+
+def test_fig12_incremental(benchmark, runner):
+    rows = benchmark.pedantic(
+        lambda: fig12.run(runner), rounds=1, iterations=1
+    )
+    show("Fig. 12 — accuracy/coverage vs scope at L1 and L2",
+         fig12.render(rows))
+
+    l1 = {r.label: r for r in rows if r.level == 1}
+
+    # Scope grows as components are added.
+    assert l1["T2"].scope <= l1["T2+P1"].scope + 0.02
+    assert l1["T2+P1"].scope <= l1["TPC"].scope + 0.02
+
+    # TPC's L1 accuracy tops every monolithic entry.
+    monolithic_accuracy = [
+        r.accuracy for label, r in l1.items()
+        if label not in ("T2", "T2+P1", "TPC")
+    ]
+    assert l1["TPC"].accuracy > max(monolithic_accuracy)
+
+    # TPC achieves its coverage with fewer issued prefetches than the
+    # highest-volume monolithic prefetcher.
+    monolithic_issued = [
+        r.issued for label, r in l1.items()
+        if label not in ("T2", "T2+P1", "TPC")
+    ]
+    assert l1["TPC"].issued < max(monolithic_issued)

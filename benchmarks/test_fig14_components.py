@@ -1,0 +1,36 @@
+"""Fig. 14 — existing prefetchers alone vs as TPC components, inside the
+region TPC does not cover.
+
+Paper: effective accuracy in the uncovered region improves for every
+prefetcher when composited (SMS: 27% alone -> 43% as component); scope
+change is negligible.
+"""
+
+from _bench_util import show
+
+from repro.experiments import fig14
+
+
+def test_fig14_existing_as_components(benchmark, runner):
+    rows = benchmark.pedantic(
+        lambda: fig14.run(runner), rounds=1, iterations=1
+    )
+    show("Fig. 14 — alone vs as TPC component (uncovered region)",
+         fig14.render(rows))
+
+    by_key = {(r.prefetcher, r.mode): r for r in rows}
+    improvements = 0
+    comparisons = 0
+    for extra in {r.prefetcher for r in rows}:
+        alone = by_key[(extra, "alone")]
+        component = by_key[(extra, "component")]
+        if alone.issued == 0 and component.issued == 0:
+            continue
+        comparisons += 1
+        if component.accuracy >= alone.accuracy - 0.02:
+            improvements += 1
+    # Division of labor helps (or at worst is neutral) in the uncovered
+    # region for the majority of the extras.
+    assert comparisons > 0
+    assert improvements >= (comparisons + 1) // 2, (improvements,
+                                                    comparisons)

@@ -1,0 +1,28 @@
+"""Fig. 15 — compositing vs shunting an existing prefetcher with TPC.
+
+Paper: composited extras never hurt and average 3-8% over TPC alone;
+shunting is almost always worse than TPC alone (1-6% on average).
+"""
+
+from _bench_util import show
+
+from repro.experiments import fig15
+
+
+def test_fig15_composite_vs_shunt(benchmark, runner):
+    rows = benchmark.pedantic(
+        lambda: fig15.run(runner), rounds=1, iterations=1
+    )
+    show("Fig. 15 — compositing vs shunting (vs TPC alone)",
+         fig15.render(rows))
+
+    by_key = {(r.extra, r.mode): r for r in rows}
+    for extra in {r.extra for r in rows}:
+        composite = by_key[(extra, "composite")]
+        shunt = by_key[(extra, "shunt")]
+        # Compositing beats shunting for the same pair of engines.
+        assert composite.average >= shunt.average - 0.01, (extra,
+                                                           composite,
+                                                           shunt)
+        # Compositing never degrades TPC badly.
+        assert composite.average > 0.97, (extra, composite)

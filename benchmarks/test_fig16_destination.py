@@ -1,0 +1,44 @@
+"""Fig. 16 — prefetch destination: L2-only, L1-only, or stratified.
+
+Paper: L1 beats L2 on average for most prefetchers; per-category
+stratification (LHF -> L1, rest -> L2) does best — and TPC gets that
+stratification for free from its components.
+"""
+
+from _bench_util import show
+
+from repro.experiments import fig16
+
+
+def test_fig16_destinations(benchmark, runner):
+    rows = benchmark.pedantic(
+        lambda: fig16.run(runner), rounds=1, iterations=1
+    )
+    show("Fig. 16 — prefetch destination", fig16.render(rows))
+
+    by_key = {(r.prefetcher, r.mode): r for r in rows}
+    prefetchers = sorted({r.prefetcher for r in rows})
+
+    # The paper's ordering — stratified >= L1 >= L2 — should hold for
+    # the clear majority of prefetchers.  (GHB-style miss-triggered
+    # replay pollutes the scaled-down L1 and prefers L2; one such
+    # outlier is tolerated.)
+    l1_beats_l2 = sum(
+        1 for p in prefetchers
+        if by_key[(p, "L1")].average >= by_key[(p, "L2")].average - 0.01
+    )
+    stratified_best = sum(
+        1 for p in prefetchers
+        if by_key[(p, "stratified")].average
+        >= max(by_key[(p, "L1")].average,
+               by_key[(p, "L2")].average) - 0.01
+    )
+    assert l1_beats_l2 >= len(prefetchers) - 2, (l1_beats_l2, prefetchers)
+    assert stratified_best >= len(prefetchers) - 2, stratified_best
+
+    # TPC's native (component-based) stratification is at least as good
+    # as forcing all its prefetches into L2.
+    assert (
+        by_key[("tpc", "stratified")].average
+        >= by_key[("tpc", "L2")].average - 0.02
+    )

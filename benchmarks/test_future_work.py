@@ -1,0 +1,26 @@
+"""Future-work bench: an extra HHF component (Markov) behind TPC's
+coordinator (the paper's recap item 3, implemented)."""
+
+from _bench_util import show
+
+from repro.analysis.metrics import geometric_mean
+from repro.experiments import future_work
+
+
+def test_future_work_markov_component(benchmark, runner):
+    rows = benchmark.pedantic(
+        lambda: future_work.run(runner), rounds=1, iterations=1
+    )
+    show("Future work — TPC + Markov component on HHF-heavy apps",
+         future_work.render(rows))
+
+    for extra in sorted({r.extra for r in rows}):
+        marginal = geometric_mean(
+            [r.marginal for r in rows if r.extra == extra]
+        )
+        # Adding a specialized HHF component behind the coordinator must
+        # not hurt TPC (division of labor keeps it off everyone's turf).
+        assert marginal > 0.97, (extra, marginal)
+    # And TPC(+extra) never loses badly to the extra working alone.
+    for row in rows:
+        assert row.tpc_plus_extra >= row.extra_alone * 0.9, row

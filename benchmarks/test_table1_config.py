@@ -1,0 +1,18 @@
+"""Table I — system configuration (paper parameters vs experiment)."""
+
+from _bench_util import show
+
+from repro.experiments import tables
+
+
+def test_table1_config(benchmark):
+    rows = benchmark.pedantic(tables.run_table1, rounds=1, iterations=1)
+    show("Table I — system configuration", tables.render_table1(rows))
+    values = {name: (paper, scaled) for name, paper, scaled in rows}
+    # Core parameters match Table I exactly.
+    assert values["core width"] == ("4", "4")
+    assert values["ROB entries"] == ("192", "192")
+    assert values["branch miss penalty"] == ("15", "15")
+    # Caches are scaled 8x down, same associativity and latency.
+    assert values["L1D size/ways"] == ("64KB/4w", "8KB/4w")
+    assert values["L3 size/ways"][0] == "2048KB/16w"

@@ -1,0 +1,22 @@
+"""Table II — storage cost of the evaluated prefetchers."""
+
+from _bench_util import show
+
+from repro.experiments import tables
+
+
+def test_table2_storage(benchmark):
+    rows = benchmark.pedantic(tables.run_table2, rounds=1, iterations=1)
+    show("Table II — prefetcher storage", tables.render_table2(rows))
+    by_name = {r.name: r for r in rows}
+    # TPC's budget is the sum of its components (paper: 4.57 KB).
+    assert abs(
+        by_name["tpc"].model_kb
+        - (by_name["t2"].model_kb + by_name["p1"].model_kb
+           + by_name["c1"].model_kb)
+    ) < 0.01
+    # Every model is within 3x of the paper's budget.
+    for row in rows:
+        assert 0.3 < row.ratio < 3.0, row
+    # TPC stays a small-budget design (under SMS's 12 KB).
+    assert by_name["tpc"].model_kb < by_name["sms"].paper_kb

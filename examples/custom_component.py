@@ -1,0 +1,102 @@
+"""Build your own prefetcher component and composite it with TPC.
+
+The paper's thesis is that composite prefetching "lowers the barrier to
+innovation": a new component only needs high accuracy on a *focused*
+pattern, because the coordinator keeps it away from everyone else's
+work.  This example writes a tiny component from scratch — a
+negative-stride specialist — registers it behind TPC, and measures the
+marginal effect, exactly the Fig. 14/15 methodology.
+"""
+
+from repro import make_prefetcher, simulate
+from repro.analysis.report import format_table
+from repro.core.base import AccessEvent, Prefetcher, PrefetchRequest
+from repro.core.composite import make_tpc
+from repro.isa import Assembler, Machine
+
+
+class ReverseSweepPrefetcher(Prefetcher):
+    """A deliberately narrow component: descending line sweeps only.
+
+    It tracks the last two miss lines globally and, on a descending
+    run, prefetches the next few lines downward.  Low scope, high
+    accuracy on its pattern — a model citizen of a composite design.
+    """
+
+    name = "revsweep"
+
+    def __init__(self, degree: int = 4) -> None:
+        self.degree = degree
+        self._last = None
+        self._descending = 0
+
+    def reset(self) -> None:
+        self._last = None
+        self._descending = 0
+
+    def on_access(self, event: AccessEvent):
+        if event.hit:
+            return None
+        line = event.line
+        if self._last is not None and line == self._last - 1:
+            self._descending += 1
+        else:
+            self._descending = 0
+        self._last = line
+        if self._descending < 2:
+            return None
+        return [
+            PrefetchRequest(line - k, 1, self.name)
+            for k in range(1, self.degree + 1)
+            if line - k >= 0
+        ]
+
+
+def reverse_sweep_workload():
+    asm = Assembler(name="reverse_sweep")
+    elements = 20000
+    base = 0x100000
+    asm.movi("r1", base + elements * 8)
+    asm.movi("r2", base)
+    loop = asm.label()
+    asm.addi("r1", "r1", -8)
+    asm.load("r4", "r1", 0)
+    asm.add("r3", "r3", "r4")
+    asm.bge("r1", "r2", loop)
+    asm.halt()
+    return Machine(max_instructions=150_000).run(asm.assemble())
+
+
+def main() -> None:
+    trace = reverse_sweep_workload()
+    baseline = simulate(trace)
+    configurations = {
+        "tpc": make_prefetcher("tpc"),
+        "revsweep alone": ReverseSweepPrefetcher(),
+        "tpc + revsweep": make_tpc(extras=[ReverseSweepPrefetcher()]),
+    }
+    rows = []
+    for label, prefetcher in configurations.items():
+        result = simulate(trace, prefetcher)
+        rows.append(
+            (
+                label,
+                result.speedup_over(baseline),
+                result.l1d.demand_misses,
+                result.prefetch.issued,
+                dict(result.prefetch.by_component),
+            )
+        )
+    print(format_table(
+        ["configuration", "speedup", "L1 misses", "issued", "by component"],
+        rows,
+    ))
+    print()
+    print("T2 handles descending strides too (a stride is a stride), so")
+    print("the marginal gain here shows how the coordinator arbitrates")
+    print("between overlapping experts — swap in a pattern T2 cannot see")
+    print("(e.g. value-correlated) to watch the extra component win scope.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Quickstart: simulate one workload under several prefetchers.
+
+Run with::
+
+    python examples/quickstart.py
+
+Builds a SPEC-like streaming workload, simulates it with no prefetcher,
+with the classic PC-stride prefetcher, and with the paper's TPC
+composite, and prints the comparison.
+"""
+
+from repro import make_prefetcher, simulate
+from repro.analysis.report import format_table
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    trace = get_workload("spec.libquantum").trace()
+    print(f"workload: {trace.name} ({len(trace)} instructions)")
+
+    baseline = simulate(trace)
+    rows = []
+    for name in ["none", "stride", "bop", "tpc"]:
+        result = simulate(trace, make_prefetcher(name))
+        rows.append(
+            (
+                name,
+                result.cycles,
+                result.speedup_over(baseline),
+                result.l1d.demand_misses,
+                result.prefetch.issued,
+                result.l1d.useful_prefetches,
+                result.dram_traffic,
+            )
+        )
+    print(
+        format_table(
+            ["prefetcher", "cycles", "speedup", "L1 misses", "issued",
+             "useful", "traffic"],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

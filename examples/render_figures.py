@@ -1,0 +1,57 @@
+"""Render the paper's figures as SVG files (no plotting libraries
+needed).
+
+Run with::
+
+    python examples/render_figures.py [output_dir]
+
+Uses the dependency-free renderer in ``repro.analysis.svgplot``; the
+full-suite version is ``python -m repro.experiments.figures_svg``.
+This example renders a reduced (fast) variant: Fig. 1 and Fig. 9 over a
+four-application subset.
+"""
+
+import os
+import sys
+
+from repro.analysis import svgplot
+from repro.experiments import fig01, fig09
+from repro.experiments.runner import ExperimentRunner
+
+APPS = ["spec.libquantum", "spec.mcf", "spec.h264ref", "spec.omnetpp"]
+
+
+def main() -> None:
+    output_dir = sys.argv[1] if len(sys.argv) > 1 else "figures"
+    os.makedirs(output_dir, exist_ok=True)
+    runner = ExperimentRunner()
+
+    scatter = [
+        svgplot.ScatterSeries(
+            label=series.prefetcher,
+            points=[(p.scope, p.accuracy, p.weight)
+                    for p in series.points],
+        )
+        for series in fig01.run(runner, apps=APPS)
+    ]
+    path = os.path.join(output_dir, "fig01_small.svg")
+    with open(path, "w") as handle:
+        handle.write(svgplot.scatter_svg(
+            scatter, title="Fig. 1 (subset) — accuracy vs scope"
+        ))
+    print("wrote", path)
+
+    traffic = fig09.run(runner, apps=APPS, prefetchers=["bop", "sms", "tpc"])
+    path = os.path.join(output_dir, "fig09_small.svg")
+    with open(path, "w") as handle:
+        handle.write(svgplot.bars_svg(
+            {r.prefetcher: r.geomean for r in traffic},
+            ranges={r.prefetcher: (r.low, r.high) for r in traffic},
+            title="Fig. 9 (subset) — normalized traffic",
+            y_label="traffic vs no-prefetch",
+        ))
+    print("wrote", path)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment is offline and has no ``wheel`` package, so PEP
+517 editable installs cannot build; this shim enables the legacy
+``setup.py develop`` path used by ``pip install -e . --no-build-isolation``.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""repro — a reproduction of *Division of Labor: A More Effective Approach
+to Prefetching* (Kondguli & Huang, ISCA 2018).
+
+The package implements the paper's composite prefetcher **TPC** (T2 stride
+component, P1 pointer component, C1 region component, plus the coordinator),
+seven monolithic baseline prefetchers, and every substrate needed to
+evaluate them: a micro-ISA workload substrate, a trace-driven simplified
+out-of-order timing model, a three-level cache hierarchy with MSHRs and
+shadow tags, and a DDR3-style DRAM model.
+
+Quickstart::
+
+    from repro import simulate, make_prefetcher
+    from repro.workloads import get_workload
+
+    trace = get_workload("spec.stream_triad").trace()
+    result = simulate(trace, prefetcher=make_prefetcher("tpc"))
+    print(result.ipc, result.l1d.demand_misses)
+"""
+
+__all__ = [
+    "SimulationResult",
+    "SystemConfig",
+    "available_prefetchers",
+    "make_prefetcher",
+    "simulate",
+]
+
+__version__ = "1.0.0"
+
+
+def __getattr__(name):
+    """Lazily resolve the public API to keep import-time light."""
+    if name in ("SimulationResult", "simulate"):
+        from repro.engine import system
+
+        return getattr(system, name)
+    if name == "SystemConfig":
+        from repro.engine.config import SystemConfig
+
+        return SystemConfig
+    if name in ("available_prefetchers", "make_prefetcher"):
+        from repro import prefetcher_registry
+
+        return getattr(prefetcher_registry, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,143 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``simulate``   run one workload under one prefetcher and print the stats
+``compare``    run one workload under several prefetchers side by side
+``workloads``  list the registered workloads
+``prefetchers`` list the registered prefetchers
+``report``     regenerate every table/figure (see experiments.report_all)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.report import format_table
+
+
+def _cmd_simulate(args) -> None:
+    from repro import make_prefetcher, simulate
+    from repro.workloads import get_workload
+
+    trace = get_workload(args.workload).trace()
+    baseline = simulate(trace)
+    result = simulate(trace, make_prefetcher(args.prefetcher))
+    rows = [
+        ("instructions", result.core.instructions),
+        ("cycles", result.cycles),
+        ("IPC", round(result.ipc, 3)),
+        ("speedup vs no-prefetch", round(result.speedup_over(baseline), 3)),
+        ("L1D misses", result.l1d.demand_misses),
+        ("L1 MPKI", round(result.l1_mpki, 2)),
+        ("prefetches issued", result.prefetch.issued),
+        ("useful (L1)", result.l1d.useful_prefetches),
+        ("useful (L2)", result.l2.useful_prefetches),
+        ("DRAM traffic (lines)", result.dram_traffic),
+        ("by component", dict(result.prefetch.by_component)),
+    ]
+    print(format_table(["metric", "value"], rows))
+
+
+def _cmd_compare(args) -> None:
+    from repro import make_prefetcher, simulate
+    from repro.workloads import get_workload
+
+    trace = get_workload(args.workload).trace()
+    baseline = simulate(trace)
+    rows = []
+    for name in args.prefetchers:
+        result = simulate(trace, make_prefetcher(name))
+        rows.append(
+            (
+                name,
+                round(result.speedup_over(baseline), 3),
+                result.l1d.demand_misses,
+                result.prefetch.issued,
+                result.l1d.useful_prefetches,
+                result.dram_traffic,
+            )
+        )
+    print(format_table(
+        ["prefetcher", "speedup", "L1 misses", "issued", "useful",
+         "traffic"],
+        rows,
+    ))
+
+
+def _cmd_workloads(args) -> None:
+    from repro.workloads import all_suites
+
+    for suite, workloads in sorted(all_suites().items()):
+        print(f"{suite}:")
+        for workload in sorted(workloads, key=lambda w: w.name):
+            print(f"  {workload.name:28s} {workload.description}")
+
+
+def _cmd_prefetchers(args) -> None:
+    from repro import available_prefetchers, make_prefetcher
+
+    for name in available_prefetchers():
+        bits = make_prefetcher(name).storage_bits
+        print(f"  {name:10s} {bits / 8 / 1024:7.2f} KB")
+
+
+def _cmd_report(args) -> None:
+    from repro.experiments import report_all
+
+    report_all.main([args.output] if args.output else [])
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Division-of-labor composite prefetching reproduction",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    simulate_parser = commands.add_parser(
+        "simulate", help="run one workload under one prefetcher"
+    )
+    simulate_parser.add_argument("workload")
+    simulate_parser.add_argument("prefetcher", nargs="?", default="tpc")
+    simulate_parser.set_defaults(func=_cmd_simulate)
+
+    compare_parser = commands.add_parser(
+        "compare", help="compare several prefetchers on one workload"
+    )
+    compare_parser.add_argument("workload")
+    compare_parser.add_argument(
+        "prefetchers", nargs="*",
+        default=["none", "bop", "spp", "sms", "tpc"],
+    )
+    compare_parser.set_defaults(func=_cmd_compare)
+
+    workloads_parser = commands.add_parser(
+        "workloads", help="list registered workloads"
+    )
+    workloads_parser.set_defaults(func=_cmd_workloads)
+
+    prefetchers_parser = commands.add_parser(
+        "prefetchers", help="list registered prefetchers"
+    )
+    prefetchers_parser.set_defaults(func=_cmd_prefetchers)
+
+    report_parser = commands.add_parser(
+        "report", help="regenerate every table and figure"
+    )
+    report_parser.add_argument("-o", "--output", default=None)
+    report_parser.set_defaults(func=_cmd_report)
+
+    args = parser.parse_args(argv)
+    try:
+        args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), 1)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,32 @@
+"""Analysis: the paper's evaluation metrics and accounting machinery.
+
+* :mod:`repro.analysis.metrics` — scope, effective accuracy, effective
+  coverage, traffic, speedup (Sec. III definitions).
+* :mod:`repro.analysis.classify` — the offline LHF/MHF/HHF ground-truth
+  classifier (Sec. V-C1, Fig. 13).
+* :mod:`repro.analysis.credit` — per-prefetch credit accounting with
+  shared negative credit for prefetch-induced misses (Sec. V-C1).
+* :mod:`repro.analysis.storage` — Table II storage-cost model.
+* :mod:`repro.analysis.report` — plain-text table/series renderers.
+"""
+
+from repro.analysis.metrics import (
+    effective_accuracy,
+    effective_coverage,
+    geometric_mean,
+    scope,
+    traffic_overhead,
+)
+from repro.analysis.classify import Category, OfflineClassifier
+from repro.analysis.credit import CreditTracker
+
+__all__ = [
+    "Category",
+    "CreditTracker",
+    "OfflineClassifier",
+    "effective_accuracy",
+    "effective_coverage",
+    "geometric_mean",
+    "scope",
+    "traffic_overhead",
+]

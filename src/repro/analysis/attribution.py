@@ -1,0 +1,85 @@
+"""Per-instruction attribution: which static instructions miss, what
+pattern they follow, which component (if any) covers them.
+
+This is the practical face of the paper's "patterns are tied to static
+instructions" conjecture — the report a performance engineer would pull
+up to see where the remaining misses live and which specialist should own
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.classify import OfflineClassifier
+from repro.analysis.report import format_table
+from repro.engine.system import SimulationResult
+from repro.isa.trace import Trace
+
+
+@dataclass
+class AttributionRow:
+    pc: int
+    baseline_misses: int
+    remaining_misses: int
+    stall_cycles: int
+    pattern: str             # "strided" / "other"
+    covered_by: str          # component name or "-"
+
+    @property
+    def coverage(self) -> float:
+        if self.baseline_misses == 0:
+            return 0.0
+        return 1.0 - self.remaining_misses / self.baseline_misses
+
+
+def attribute(trace: Trace, baseline: SimulationResult,
+              result: SimulationResult, prefetcher,
+              classifier: OfflineClassifier | None = None,
+              top: int = 20) -> list[AttributionRow]:
+    """Build the per-PC report for one (baseline, prefetcher) run pair.
+
+    ``prefetcher`` must be the *same instance* used for ``result`` (its
+    learned claims identify the owning component); composite prefetchers
+    are introspected per component.
+    """
+    classifier = classifier or OfflineClassifier(trace)
+    components = getattr(prefetcher, "components", None)
+    extras = getattr(prefetcher, "extras", [])
+
+    def owner_of(pc: int) -> str:
+        if components is None:
+            return prefetcher.name if prefetcher.claims(pc) else "-"
+        for component in list(components) + list(extras):
+            if component.claims(pc):
+                return component.name
+        return "-"
+
+    rows = []
+    hot = baseline.core.miss_pcs.most_common(top)
+    for pc, misses in hot:
+        rows.append(
+            AttributionRow(
+                pc=pc,
+                baseline_misses=misses,
+                remaining_misses=result.core.miss_pcs.get(pc, 0),
+                stall_cycles=result.core.miss_latency_by_pc.get(pc, 0),
+                pattern=(
+                    "strided" if pc in classifier.strided_pcs else "other"
+                ),
+                covered_by=owner_of(pc),
+            )
+        )
+    return rows
+
+
+def render(rows: list[AttributionRow]) -> str:
+    return format_table(
+        ["pc", "base misses", "remaining", "coverage", "stall cyc",
+         "pattern", "owner"],
+        [
+            (f"{r.pc:#x}", r.baseline_misses, r.remaining_misses,
+             r.coverage, r.stall_cycles, r.pattern, r.covered_by)
+            for r in rows
+        ],
+    )

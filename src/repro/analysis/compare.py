@@ -1,0 +1,125 @@
+"""Result comparison and regression detection.
+
+Development on a prefetcher is a loop of "change something, re-run the
+suite, find out what moved".  This module diffs two result sets (e.g.
+before/after a T2 change) and classifies the movements, so a regression
+on one workload isn't hidden inside an improved geomean.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.analysis.metrics import geometric_mean
+from repro.analysis.report import format_table
+from repro.engine.system import SimulationResult
+
+
+class Movement(enum.Enum):
+    IMPROVED = "improved"
+    REGRESSED = "regressed"
+    UNCHANGED = "unchanged"
+
+
+@dataclass
+class ResultDiff:
+    """Cycle/miss/traffic movement for one workload."""
+
+    workload: str
+    cycles_before: int
+    cycles_after: int
+    misses_before: int
+    misses_after: int
+    traffic_before: int
+    traffic_after: int
+
+    @property
+    def speedup(self) -> float:
+        if self.cycles_after == 0:
+            return 0.0
+        return self.cycles_before / self.cycles_after
+
+    def movement(self, tolerance: float = 0.01) -> Movement:
+        if self.speedup > 1.0 + tolerance:
+            return Movement.IMPROVED
+        if self.speedup < 1.0 - tolerance:
+            return Movement.REGRESSED
+        return Movement.UNCHANGED
+
+
+def diff(before: SimulationResult, after: SimulationResult) -> ResultDiff:
+    """Diff two runs of the same workload."""
+    if before.workload != after.workload:
+        raise ValueError(
+            f"workload mismatch: {before.workload!r} vs {after.workload!r}"
+        )
+    return ResultDiff(
+        workload=before.workload,
+        cycles_before=before.cycles,
+        cycles_after=after.cycles,
+        misses_before=before.l1d.demand_misses,
+        misses_after=after.l1d.demand_misses,
+        traffic_before=before.dram_traffic,
+        traffic_after=after.dram_traffic,
+    )
+
+
+@dataclass
+class SuiteDiff:
+    """Aggregate of per-workload diffs."""
+
+    diffs: list[ResultDiff]
+    tolerance: float = 0.01
+
+    @property
+    def geomean_speedup(self) -> float:
+        speedups = [d.speedup for d in self.diffs if d.speedup > 0]
+        return geometric_mean(speedups) if speedups else 0.0
+
+    def by_movement(self) -> dict[Movement, list[ResultDiff]]:
+        buckets: dict[Movement, list[ResultDiff]] = {
+            movement: [] for movement in Movement
+        }
+        for result_diff in self.diffs:
+            buckets[result_diff.movement(self.tolerance)].append(result_diff)
+        return buckets
+
+    @property
+    def has_regressions(self) -> bool:
+        return bool(self.by_movement()[Movement.REGRESSED])
+
+
+def diff_suite(before: dict[str, SimulationResult],
+               after: dict[str, SimulationResult],
+               tolerance: float = 0.01) -> SuiteDiff:
+    """Diff two workload->result maps (common keys only)."""
+    common = sorted(set(before) & set(after))
+    return SuiteDiff(
+        diffs=[diff(before[name], after[name]) for name in common],
+        tolerance=tolerance,
+    )
+
+
+def render(suite_diff: SuiteDiff) -> str:
+    rows = []
+    for result_diff in sorted(suite_diff.diffs, key=lambda d: d.speedup):
+        rows.append(
+            (
+                result_diff.workload,
+                result_diff.speedup,
+                result_diff.misses_before,
+                result_diff.misses_after,
+                result_diff.traffic_after - result_diff.traffic_before,
+                result_diff.movement(suite_diff.tolerance).value,
+            )
+        )
+    body = format_table(
+        ["workload", "speedup", "misses before", "after", "traffic Δ",
+         "movement"],
+        rows,
+    )
+    return body + (
+        f"\n\ngeomean speedup: {suite_diff.geomean_speedup:.3f}"
+        f" | regressions: {len(suite_diff.by_movement()[Movement.REGRESSED])}"
+    )

@@ -1,0 +1,60 @@
+"""Plain-text rendering for experiment output (tables and figure series).
+
+The paper's figures are bar charts and scatter plots; the harness prints
+the same data as aligned text tables so results can be compared row by
+row with the paper and diffed between runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 floatfmt: str = "{:.3f}") -> str:
+    """Render an aligned text table."""
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return floatfmt.format(value)
+        return str(value)
+
+    string_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in string_rows:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(v.ljust(w) for v, w in zip(values, widths)).rstrip()
+
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in string_rows)
+    return "\n".join(out)
+
+
+def format_scatter(points: Iterable[tuple[str, float, float, float]],
+                   x_label: str = "scope",
+                   y_label: str = "accuracy") -> str:
+    """Render (label, x, y, weight) scatter points as a table.
+
+    The paper's scatter figures (1, 10, 13, 14) plot per-application dots
+    with area proportional to a weight; this is the textual equivalent.
+    """
+    return format_table(
+        ["app", x_label, y_label, "weight"],
+        [(label, x, y, w) for label, x, y, w in points],
+    )
+
+
+def format_bars(series: dict[str, float], unit: str = "") -> str:
+    """Render a name -> value bar series with a crude ASCII bar."""
+    if not series:
+        return "(empty)"
+    peak = max(abs(v) for v in series.values()) or 1.0
+    width = max(len(name) for name in series)
+    lines = []
+    for name, value in series.items():
+        bar = "#" * max(0, int(24 * abs(value) / peak))
+        lines.append(f"{name.ljust(width)}  {value:8.3f}{unit}  {bar}")
+    return "\n".join(lines)

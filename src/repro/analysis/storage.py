@@ -1,0 +1,55 @@
+"""Table II: storage cost of the evaluated prefetchers.
+
+Each prefetcher reports ``storage_bits`` computed from its structure
+sizes; this module collects them and renders the table next to the
+paper's published budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.prefetcher_registry import make_prefetcher
+
+PAPER_STORAGE_KB = {
+    "ghb": 4.0,
+    "spp": 5.0,
+    "vldp": 3.25,
+    "bop": 4.0,
+    "fdp": 2.5,
+    "sms": 12.0,
+    "ampm": 4.0,
+    "t2": 2.3,
+    "p1": 1.07,
+    "c1": 1.2,
+    "tpc": 4.57,
+}
+"""Paper Table II budgets in KB."""
+
+
+@dataclass(frozen=True)
+class StorageRow:
+    name: str
+    model_kb: float
+    paper_kb: float
+
+    @property
+    def ratio(self) -> float:
+        if self.paper_kb == 0:
+            return 0.0
+        return self.model_kb / self.paper_kb
+
+
+def storage_kb(name: str) -> float:
+    """Modeled storage of a registry prefetcher in KB."""
+    return make_prefetcher(name).storage_bits / 8 / 1024
+
+
+def storage_table(names=None) -> list[StorageRow]:
+    """Table II rows: modeled vs paper storage budgets."""
+    if names is None:
+        names = list(PAPER_STORAGE_KB)
+    return [
+        StorageRow(name, storage_kb(name), PAPER_STORAGE_KB.get(name, 0.0))
+        for name in names
+    ]

@@ -1,0 +1,194 @@
+"""Dependency-free SVG rendering for the paper's figure types.
+
+The environment has no plotting libraries, so this module writes the two
+chart shapes the paper uses directly as SVG:
+
+* :func:`scatter_svg` — accuracy-vs-scope scatters (Figs. 1, 10, 13, 14):
+  one dot per application with area proportional to a weight, plus a
+  cross-marked summary point per series.
+* :func:`bars_svg` — grouped bar charts with min/max "I-beams"
+  (Figs. 8, 9, 11, 15, 16).
+
+Both return the SVG text; callers write it wherever they like.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+_COLORS = [
+    "#4477aa", "#ee6677", "#228833", "#ccbb44",
+    "#66ccee", "#aa3377", "#bbbbbb", "#000000",
+]
+
+_WIDTH = 640
+_HEIGHT = 420
+_MARGIN = 56
+
+
+def _color(index: int) -> str:
+    return _COLORS[index % len(_COLORS)]
+
+
+def _escape(text: str) -> str:
+    return (
+        str(text).replace("&", "&amp;").replace("<", "&lt;")
+        .replace(">", "&gt;")
+    )
+
+
+@dataclass
+class ScatterSeries:
+    """One prefetcher's dots for :func:`scatter_svg`."""
+
+    label: str
+    points: list[tuple[float, float, float]]   # (x, y, weight)
+
+    def summary(self) -> tuple[float, float]:
+        total = sum(w for _, _, w in self.points) or 1.0
+        return (
+            sum(x * w for x, _, w in self.points) / total,
+            sum(y * w for _, y, w in self.points) / total,
+        )
+
+
+def _axes(x_label: str, y_label: str, x_range, y_range,
+          title: str) -> list[str]:
+    x0, x1 = x_range
+    y0, y1 = y_range
+    parts = [
+        f'<rect x="0" y="0" width="{_WIDTH}" height="{_HEIGHT}" '
+        f'fill="white"/>',
+        f'<text x="{_WIDTH / 2}" y="20" text-anchor="middle" '
+        f'font-size="14" font-family="sans-serif">{_escape(title)}</text>',
+        f'<line x1="{_MARGIN}" y1="{_HEIGHT - _MARGIN}" '
+        f'x2="{_WIDTH - 16}" y2="{_HEIGHT - _MARGIN}" stroke="black"/>',
+        f'<line x1="{_MARGIN}" y1="{_HEIGHT - _MARGIN}" '
+        f'x2="{_MARGIN}" y2="28" stroke="black"/>',
+        f'<text x="{_WIDTH / 2}" y="{_HEIGHT - 12}" text-anchor="middle" '
+        f'font-size="12" font-family="sans-serif">{_escape(x_label)}</text>',
+        f'<text x="14" y="{_HEIGHT / 2}" text-anchor="middle" '
+        f'font-size="12" font-family="sans-serif" '
+        f'transform="rotate(-90 14 {_HEIGHT / 2})">'
+        f'{_escape(y_label)}</text>',
+    ]
+    for i in range(5):
+        fx = x0 + (x1 - x0) * i / 4
+        fy = y0 + (y1 - y0) * i / 4
+        px = _MARGIN + (_WIDTH - _MARGIN - 16) * i / 4
+        py = _HEIGHT - _MARGIN - (_HEIGHT - _MARGIN - 28) * i / 4
+        parts.append(
+            f'<text x="{px:.0f}" y="{_HEIGHT - _MARGIN + 16}" '
+            f'text-anchor="middle" font-size="10" '
+            f'font-family="sans-serif">{fx:.2f}</text>'
+        )
+        parts.append(
+            f'<text x="{_MARGIN - 6}" y="{py:.0f}" text-anchor="end" '
+            f'font-size="10" font-family="sans-serif">{fy:.2f}</text>'
+        )
+    return parts
+
+
+def _project(x, y, x_range, y_range):
+    x0, x1 = x_range
+    y0, y1 = y_range
+    spanx = (x1 - x0) or 1.0
+    spany = (y1 - y0) or 1.0
+    px = _MARGIN + (x - x0) / spanx * (_WIDTH - _MARGIN - 16)
+    py = _HEIGHT - _MARGIN - (y - y0) / spany * (_HEIGHT - _MARGIN - 28)
+    return px, py
+
+
+def scatter_svg(series: list[ScatterSeries], *, title: str = "",
+                x_label: str = "scope", y_label: str = "eff. accuracy",
+                x_range=(0.0, 1.0), y_range=(-0.2, 1.0)) -> str:
+    """Render accuracy-vs-scope style scatters."""
+    parts = ['<svg xmlns="http://www.w3.org/2000/svg" '
+             f'width="{_WIDTH}" height="{_HEIGHT}">']
+    parts += _axes(x_label, y_label, x_range, y_range, title)
+    max_weight = max(
+        (w for s in series for _, _, w in s.points), default=1.0
+    ) or 1.0
+    for index, s in enumerate(series):
+        color = _color(index)
+        for x, y, weight in s.points:
+            px, py = _project(x, y, x_range, y_range)
+            radius = 2.0 + 8.0 * math.sqrt(weight / max_weight)
+            parts.append(
+                f'<circle cx="{px:.1f}" cy="{py:.1f}" r="{radius:.1f}" '
+                f'fill="{color}" fill-opacity="0.35" stroke="{color}"/>'
+            )
+        sx, sy = s.summary()
+        px, py = _project(sx, sy, x_range, y_range)
+        parts.append(
+            f'<circle cx="{px:.1f}" cy="{py:.1f}" r="9" fill="none" '
+            f'stroke="{color}" stroke-width="2"/>'
+        )
+        parts.append(
+            f'<path d="M {px - 9:.1f} {py:.1f} H {px + 9:.1f} '
+            f'M {px:.1f} {py - 9:.1f} V {py + 9:.1f}" '
+            f'stroke="{color}" stroke-width="2"/>'
+        )
+        parts.append(
+            f'<text x="{_WIDTH - 20}" y="{40 + 16 * index}" '
+            f'text-anchor="end" font-size="12" fill="{color}" '
+            f'font-family="sans-serif">{_escape(s.label)}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def bars_svg(values: dict[str, float], *, title: str = "",
+             y_label: str = "speedup",
+             ranges: dict[str, tuple[float, float]] | None = None,
+             baseline: float | None = 1.0) -> str:
+    """Render a bar series with optional min/max I-beams."""
+    names = list(values)
+    if not names:
+        raise ValueError("bars_svg needs at least one bar")
+    highs = [
+        max(values[n], *(ranges[n] if ranges and n in ranges else
+                         (values[n],)))
+        for n in names
+    ]
+    y_top = max(highs) * 1.1
+    y_range = (0.0, y_top)
+    parts = ['<svg xmlns="http://www.w3.org/2000/svg" '
+             f'width="{_WIDTH}" height="{_HEIGHT}">']
+    parts += _axes("", y_label, (0, len(names)), y_range, title)
+    slot = (_WIDTH - _MARGIN - 16) / len(names)
+    for index, name in enumerate(names):
+        color = _color(index)
+        x_center = _MARGIN + slot * (index + 0.5)
+        _, py = _project(0, values[name], (0, 1), y_range)
+        _, py0 = _project(0, 0, (0, 1), y_range)
+        width = slot * 0.6
+        parts.append(
+            f'<rect x="{x_center - width / 2:.1f}" y="{py:.1f}" '
+            f'width="{width:.1f}" height="{py0 - py:.1f}" '
+            f'fill="{color}" fill-opacity="0.8"/>'
+        )
+        if ranges and name in ranges:
+            low, high = ranges[name]
+            _, pl = _project(0, low, (0, 1), y_range)
+            _, ph = _project(0, high, (0, 1), y_range)
+            parts.append(
+                f'<path d="M {x_center:.1f} {pl:.1f} V {ph:.1f} '
+                f'M {x_center - 5:.1f} {pl:.1f} H {x_center + 5:.1f} '
+                f'M {x_center - 5:.1f} {ph:.1f} H {x_center + 5:.1f}" '
+                f'stroke="black"/>'
+            )
+        parts.append(
+            f'<text x="{x_center:.1f}" y="{_HEIGHT - _MARGIN + 28}" '
+            f'text-anchor="middle" font-size="10" '
+            f'font-family="sans-serif">{_escape(name)}</text>'
+        )
+    if baseline is not None and baseline <= y_top:
+        _, py = _project(0, baseline, (0, 1), y_range)
+        parts.append(
+            f'<line x1="{_MARGIN}" y1="{py:.1f}" x2="{_WIDTH - 16}" '
+            f'y2="{py:.1f}" stroke="gray" stroke-dasharray="4 3"/>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,47 @@
+"""Monolithic baseline prefetchers evaluated in the paper (Table II):
+
+GHB-PC/DC, SPP, VLDP, BOP, FDP, SMS, AMPM, plus a classic PC-stride
+prefetcher and a next-line prefetcher as reference points.
+
+All baselines observe the demand L1D access stream and (per the paper's
+Sec. V-C footnote) prefetch into L1 by default; their ``target_level`` can
+be overridden for the Fig. 16 destination experiment.
+"""
+
+__all__ = [
+    "AmpmPrefetcher",
+    "IsbPrefetcher",
+    "MarkovPrefetcher",
+    "BopPrefetcher",
+    "FdpPrefetcher",
+    "GhbPcDcPrefetcher",
+    "NextLinePrefetcher",
+    "SmsPrefetcher",
+    "SppPrefetcher",
+    "StridePrefetcher",
+    "VldpPrefetcher",
+]
+
+_MODULE_OF = {
+    "AmpmPrefetcher": "ampm",
+    "IsbPrefetcher": "isb",
+    "MarkovPrefetcher": "markov",
+    "BopPrefetcher": "bop",
+    "FdpPrefetcher": "fdp",
+    "GhbPcDcPrefetcher": "ghb",
+    "NextLinePrefetcher": "nextline",
+    "SmsPrefetcher": "sms",
+    "SppPrefetcher": "spp",
+    "StridePrefetcher": "stride",
+    "VldpPrefetcher": "vldp",
+}
+
+
+def __getattr__(name):
+    module_name = _MODULE_OF.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f"repro.baselines.{module_name}")
+    return getattr(module, name)

@@ -1,0 +1,106 @@
+"""AMPM — Access Map Pattern Matching (Ishii et al., JILP 2011; paper ref
+[12]).
+
+Memory is divided into zones (4 KB = 64 lines here); each tracked zone
+keeps an access bitmap.  On every access at line *t*, the pattern matcher
+checks, for each candidate stride *k*, whether lines *t-k* and *t-2k*
+were both accessed; if so, *t+k* is a predicted future access and is
+prefetched (symmetrically for negative strides).
+
+Table II configuration: 128 access maps, 256 bits per map, 4 KB.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import AccessEvent, Prefetcher, PrefetchRequest
+
+_ZONE_LINES = 64  # 4 KB zone of 64 B lines
+
+
+class _Zone:
+    __slots__ = ("accessed", "prefetched", "lru")
+
+    def __init__(self, lru: int) -> None:
+        self.accessed = 0
+        self.prefetched = 0
+        self.lru = lru
+
+
+class AmpmPrefetcher(Prefetcher):
+    name = "ampm"
+
+    def __init__(self, maps: int = 128, max_stride: int = 16,
+                 degree: int = 4, target_level: int = 1) -> None:
+        self.maps = maps
+        self.max_stride = max_stride
+        self.degree = degree
+        self.target_level = target_level
+        self._zones: dict[int, _Zone] = {}
+        self._clock = 0
+
+    def reset(self) -> None:
+        self._zones.clear()
+        self._clock = 0
+
+    # ------------------------------------------------------------------
+    def _zone(self, zone_id: int) -> _Zone:
+        zone = self._zones.get(zone_id)
+        if zone is None:
+            if len(self._zones) >= self.maps:
+                victim = min(self._zones, key=lambda z: self._zones[z].lru)
+                del self._zones[victim]
+            zone = _Zone(self._clock)
+            self._zones[zone_id] = zone
+        zone.lru = self._clock
+        return zone
+
+    def _is_accessed(self, zone_id: int, offset: int) -> bool:
+        """Check the access bit, crossing into the neighbor zone if needed."""
+        if offset < 0:
+            neighbor = self._zones.get(zone_id - 1)
+            return bool(
+                neighbor and neighbor.accessed & (1 << (offset + _ZONE_LINES))
+            )
+        if offset >= _ZONE_LINES:
+            neighbor = self._zones.get(zone_id + 1)
+            return bool(
+                neighbor and neighbor.accessed & (1 << (offset - _ZONE_LINES))
+            )
+        zone = self._zones.get(zone_id)
+        return bool(zone and zone.accessed & (1 << offset))
+
+    def on_access(self, event: AccessEvent):
+        self._clock += 1
+        zone_id = event.line // _ZONE_LINES
+        offset = event.line % _ZONE_LINES
+        zone = self._zone(zone_id)
+        zone.accessed |= 1 << offset
+
+        requests: list[PrefetchRequest] = []
+        zone_base = zone_id * _ZONE_LINES
+        for stride in range(1, self.max_stride + 1):
+            if len(requests) >= self.degree:
+                break
+            for direction in (1, -1):
+                k = stride * direction
+                if (
+                    self._is_accessed(zone_id, offset - k)
+                    and self._is_accessed(zone_id, offset - 2 * k)
+                ):
+                    target_offset = offset + k
+                    if 0 <= target_offset < _ZONE_LINES:
+                        bit = 1 << target_offset
+                        if not zone.accessed & bit and not zone.prefetched & bit:
+                            zone.prefetched |= bit
+                            requests.append(
+                                PrefetchRequest(zone_base + target_offset,
+                                                self.target_level, self.name)
+                            )
+                            if len(requests) >= self.degree:
+                                break
+        return requests or None
+
+    @property
+    def storage_bits(self) -> int:
+        # 128 maps x (256b map state + tag) per Table II's 4 KB budget.
+        return self.maps * 256

@@ -1,0 +1,116 @@
+"""BOP — Best-Offset Prefetcher (Michaud, HPCA 2016; paper ref [20]).
+
+BOP learns a single best prefetch *offset* for the current program phase.
+A recent-requests (RR) table remembers base addresses of recent fills; a
+learning engine round-robins through a fixed offset list, scoring an
+offset whenever the line that *would have been its trigger* is found in
+the RR table.  When a learning round ends (an offset reaches SCORE_MAX or
+ROUND_MAX rounds complete), the best-scoring offset becomes the prefetch
+offset — or prefetching turns off if the best score is too low.
+
+Table II configuration: 1K-entry RR table, 1 Kb of prefetch bits, 4 KB.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import AccessEvent, Prefetcher, PrefetchRequest
+
+# Offsets with no prime factor > 5, as in the original design.
+DEFAULT_OFFSETS = [
+    1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20, 24, 25,
+    27, 30, 32, 36, 40, 45, 48, 50, 54, 60, 64,
+]
+
+SCORE_MAX = 31
+ROUND_MAX = 100
+BAD_SCORE = 1
+
+
+class BopPrefetcher(Prefetcher):
+    name = "bop"
+
+    def __init__(self, rr_entries: int = 1024,
+                 offsets: list[int] | None = None,
+                 target_level: int = 1) -> None:
+        self.rr_entries = rr_entries
+        self.offsets = list(offsets) if offsets is not None else list(
+            DEFAULT_OFFSETS
+        )
+        self.target_level = target_level
+        self._rr: dict[int, None] = {}
+        self._scores = [0] * len(self.offsets)
+        self._test_index = 0
+        self._round = 0
+        self._best_offset = 1
+        self._prefetching_on = True
+
+    def reset(self) -> None:
+        self._rr.clear()
+        self._scores = [0] * len(self.offsets)
+        self._test_index = 0
+        self._round = 0
+        self._best_offset = 1
+        self._prefetching_on = True
+
+    # ------------------------------------------------------------------
+    def _rr_insert(self, line: int) -> None:
+        if line in self._rr:
+            return
+        if len(self._rr) >= self.rr_entries:
+            self._rr.pop(next(iter(self._rr)))
+        self._rr[line] = None
+
+    def _learn(self, line: int) -> None:
+        """One learning step: test the next offset against this trigger."""
+        offset = self.offsets[self._test_index]
+        if (line - offset) in self._rr:
+            self._scores[self._test_index] += 1
+            if self._scores[self._test_index] >= SCORE_MAX:
+                self._end_round()
+                return
+        self._test_index += 1
+        if self._test_index >= len(self.offsets):
+            self._test_index = 0
+            self._round += 1
+            if self._round >= ROUND_MAX:
+                self._end_round()
+
+    def _end_round(self) -> None:
+        best_index = max(range(len(self.offsets)),
+                         key=lambda i: self._scores[i])
+        best_score = self._scores[best_index]
+        self._best_offset = self.offsets[best_index]
+        self._prefetching_on = best_score > BAD_SCORE
+        self._scores = [0] * len(self.offsets)
+        self._test_index = 0
+        self._round = 0
+
+    # ------------------------------------------------------------------
+    def on_access(self, event: AccessEvent):
+        # BOP triggers on demand misses and on the first hit to a
+        # prefetched line, as in the original design.
+        if event.hit and not event.served_by_prefetch:
+            return None
+        self._learn(event.line)
+        if not self._prefetching_on:
+            return None
+        return [
+            PrefetchRequest(event.line + self._best_offset,
+                            self.target_level, self.name)
+        ]
+
+    def on_fill(self, line: int, level: int,
+                prefetched: bool = False) -> None:
+        # Original BOP RR policy: on completion of a *prefetch* for line
+        # X (triggered by base X - D), insert the base X - D; when
+        # prefetching is off, insert demand-missed lines directly so
+        # learning can restart.
+        if prefetched:
+            self._rr_insert(line - self._best_offset)
+        elif not self._prefetching_on:
+            self._rr_insert(line)
+
+    @property
+    def storage_bits(self) -> int:
+        # RR: 1024 x 12b hashed tags + score/round state + offset list.
+        return self.rr_entries * 12 + len(self.offsets) * (5 + 7) + 32

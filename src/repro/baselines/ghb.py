@@ -1,0 +1,113 @@
+"""GHB PC/DC prefetcher (Nesbit & Smith, HPCA 2004; paper ref [22]).
+
+A Global History Buffer: a 256-entry circular FIFO of miss addresses.
+Entries of the same localization key (the PC) are chained with link
+pointers; a 256-entry Index Table maps PC -> most recent GHB entry.
+
+PC/DC = PC-localized, Delta Correlated: on each miss the prefetcher walks
+the PC's chain to recover its recent address history, forms the delta
+stream, finds the previous occurrence of the most recent delta *pair*, and
+replays the deltas that followed it as prefetch predictions.
+
+Table II configuration: 256-entry GHB, 256-entry index table, 4 KB.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import AccessEvent, Prefetcher, PrefetchRequest
+
+
+class GhbPcDcPrefetcher(Prefetcher):
+    name = "ghb"
+
+    def __init__(self, ghb_entries: int = 256, index_entries: int = 256,
+                 degree: int = 4, history: int = 8,
+                 target_level: int = 1) -> None:
+        self.ghb_entries = ghb_entries
+        self.index_entries = index_entries
+        self.degree = degree
+        self.history = history
+        self.target_level = target_level
+        # Circular buffer slots: (line_addr, previous-slot-sequence) plus a
+        # global sequence number to detect stale links.
+        self._addresses = [0] * ghb_entries
+        self._links = [-1] * ghb_entries
+        self._sequence = 0
+        self._index: dict[int, int] = {}
+
+    def reset(self) -> None:
+        self._addresses = [0] * self.ghb_entries
+        self._links = [-1] * self.ghb_entries
+        self._sequence = 0
+        self._index.clear()
+
+    # ------------------------------------------------------------------
+    def _push(self, pc: int, line: int) -> int:
+        """Append a GHB entry, returning its sequence number."""
+        sequence = self._sequence
+        slot = sequence % self.ghb_entries
+        self._addresses[slot] = line
+        self._links[slot] = self._index.get(pc, -1)
+        self._sequence = sequence + 1
+        if pc not in self._index and len(self._index) >= self.index_entries:
+            # Index table full: evict an arbitrary (oldest-inserted) entry.
+            self._index.pop(next(iter(self._index)))
+        self._index[pc] = sequence
+        return sequence
+
+    def _chain(self, pc: int) -> list[int]:
+        """Most-recent-first line addresses of this PC still in the GHB."""
+        addresses: list[int] = []
+        sequence = self._index.get(pc, -1)
+        oldest_live = self._sequence - self.ghb_entries
+        while sequence >= 0 and sequence >= oldest_live:
+            slot = sequence % self.ghb_entries
+            addresses.append(self._addresses[slot])
+            if len(addresses) >= self.history:
+                break
+            sequence = self._links[slot]
+        return addresses
+
+    # ------------------------------------------------------------------
+    def on_access(self, event: AccessEvent):
+        if event.hit:
+            return None
+        self._push(event.pc, event.line)
+        chain = self._chain(event.pc)
+        if len(chain) < 4:
+            return None
+        # chain is most-recent-first; deltas oldest-first.
+        ordered = chain[::-1]
+        deltas = [b - a for a, b in zip(ordered, ordered[1:])]
+        if not deltas:
+            return None
+        # Correlation key: the last two deltas.
+        key = (deltas[-2], deltas[-1]) if len(deltas) >= 2 else None
+        predictions: list[int] = []
+        if key is not None:
+            for i in range(len(deltas) - 3, -1, -1):
+                if i + 1 < len(deltas) - 1 and (deltas[i], deltas[i + 1]) == key:
+                    predictions = deltas[i + 2:i + 2 + self.degree]
+                    break
+        if not predictions:
+            # Fall back to constant-delta replay if the stream is steady.
+            if len(set(deltas[-3:])) == 1:
+                predictions = [deltas[-1]] * self.degree
+            else:
+                return None
+        requests = []
+        line = event.line
+        seen = {line}
+        for delta in predictions[: self.degree]:
+            line += delta
+            if line >= 0 and line not in seen:
+                seen.add(line)
+                requests.append(
+                    PrefetchRequest(line, self.target_level, self.name)
+                )
+        return requests or None
+
+    @property
+    def storage_bits(self) -> int:
+        # GHB: 256 x (58b address + 8b link); IT: 256 x (32b PC tag + 8b ptr)
+        return self.ghb_entries * (58 + 8) + self.index_entries * (32 + 8)

@@ -1,0 +1,32 @@
+"""Next-line prefetcher (Jouppi-style, paper ref [15]).
+
+On every demand miss, prefetch the next ``degree`` sequential lines.  The
+simplest possible scope/accuracy point: broad scope on sequential code,
+zero pattern intelligence.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import AccessEvent, Prefetcher, PrefetchRequest
+
+
+class NextLinePrefetcher(Prefetcher):
+    name = "nextline"
+
+    def __init__(self, degree: int = 1, on_miss_only: bool = True,
+                 target_level: int = 1) -> None:
+        self.degree = degree
+        self.on_miss_only = on_miss_only
+        self.target_level = target_level
+
+    def on_access(self, event: AccessEvent):
+        if self.on_miss_only and event.hit:
+            return None
+        return [
+            PrefetchRequest(event.line + k, self.target_level, self.name)
+            for k in range(1, self.degree + 1)
+        ]
+
+    @property
+    def storage_bits(self) -> int:
+        return 0

@@ -1,0 +1,117 @@
+"""SMS — Spatial Memory Streaming (Somogyi et al., ISCA 2006; paper refs
+[30]/[31]).
+
+SMS records, per *spatial region generation*, the bit pattern of lines
+touched within a region (here 2 KB = 32 lines), associated with the
+(PC, region-offset) of the access that triggered the generation.  When the
+same trigger recurs on a new region, the stored pattern is streamed out as
+prefetches.
+
+Structures (Table II): 64-entry active generation table (AT), 32-entry
+filter table (FR), 512-entry pattern history table (PHT), 12 KB.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import AccessEvent, Prefetcher, PrefetchRequest
+
+_REGION_LINES = 32  # 2 KB regions of 64 B lines
+
+
+class _Generation:
+    __slots__ = ("trigger_key", "pattern", "trigger_offset", "lru")
+
+    def __init__(self, trigger_key: int, trigger_offset: int,
+                 lru: int) -> None:
+        self.trigger_key = trigger_key
+        self.trigger_offset = trigger_offset
+        self.pattern = 1 << trigger_offset
+        self.lru = lru
+
+
+class SmsPrefetcher(Prefetcher):
+    name = "sms"
+
+    def __init__(self, active_entries: int = 64, filter_entries: int = 32,
+                 pht_entries: int = 512, target_level: int = 1) -> None:
+        self.active_entries = active_entries
+        self.filter_entries = filter_entries
+        self.pht_entries = pht_entries
+        self.target_level = target_level
+        self._active: dict[int, _Generation] = {}    # region -> generation
+        self._filter: dict[int, tuple[int, int]] = {}  # region -> (key, off)
+        self._pht: dict[int, int] = {}               # trigger key -> pattern
+        self._clock = 0
+
+    def reset(self) -> None:
+        self._active.clear()
+        self._filter.clear()
+        self._pht.clear()
+        self._clock = 0
+
+    # ------------------------------------------------------------------
+    def _trigger_key(self, pc: int, offset: int) -> int:
+        return (pc << 5) | offset
+
+    def _record_generation(self, generation: _Generation) -> None:
+        """Generation ended: store its pattern (if spatial) in the PHT."""
+        if bin(generation.pattern).count("1") < 2:
+            return  # single-line generations carry no spatial information
+        if generation.trigger_key not in self._pht and (
+            len(self._pht) >= self.pht_entries
+        ):
+            self._pht.pop(next(iter(self._pht)))
+        self._pht[generation.trigger_key] = generation.pattern
+
+    def on_access(self, event: AccessEvent):
+        region = event.line // _REGION_LINES
+        offset = event.line % _REGION_LINES
+        self._clock += 1
+
+        generation = self._active.get(region)
+        if generation is not None:
+            generation.pattern |= 1 << offset
+            generation.lru = self._clock
+            return None
+
+        # Filter table: a region must be touched twice to start a
+        # generation (filters out sparse one-off touches).
+        if region in self._filter:
+            key, trigger_offset = self._filter.pop(region)
+            if len(self._active) >= self.active_entries:
+                victim = min(self._active,
+                             key=lambda r: self._active[r].lru)
+                self._record_generation(self._active.pop(victim))
+            new_generation = _Generation(key, trigger_offset, self._clock)
+            new_generation.pattern |= 1 << offset
+            self._active[region] = new_generation
+            return None
+
+        if len(self._filter) >= self.filter_entries:
+            self._filter.pop(next(iter(self._filter)))
+        key = self._trigger_key(event.pc, offset)
+        self._filter[region] = (key, offset)
+
+        # Prediction: does the PHT know this trigger?
+        pattern = self._pht.get(key)
+        if pattern is None:
+            return None
+        region_base = region * _REGION_LINES
+        requests = []
+        for bit in range(_REGION_LINES):
+            if pattern & (1 << bit) and bit != offset:
+                requests.append(
+                    PrefetchRequest(region_base + bit, self.target_level,
+                                    self.name)
+                )
+        return requests or None
+
+    @property
+    def storage_bits(self) -> int:
+        # AT: 64 x (26 tag + 32 pattern + 37 key); FR: 32 x (26 + 37);
+        # PHT: 512 x (37 tag + 32 pattern)  ~= 12 KB per Table II.
+        return (
+            self.active_entries * (26 + 32 + 37)
+            + self.filter_entries * (26 + 37)
+            + self.pht_entries * (37 + 32)
+        )

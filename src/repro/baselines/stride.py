@@ -1,0 +1,84 @@
+"""Classic PC-indexed stride prefetcher (Chen & Baer style, paper ref [18]
+lineage).
+
+Per-PC entries track the last address and the last observed stride with a
+2-bit confidence.  Once confident, it prefetches ``degree`` strides ahead.
+A useful reference point: simple, accurate on canonical streams, blind to
+everything else.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import AccessEvent, Prefetcher, PrefetchRequest
+
+
+class _Entry:
+    __slots__ = ("last_addr", "stride", "confidence", "lru")
+
+    def __init__(self, last_addr: int, lru: int) -> None:
+        self.last_addr = last_addr
+        self.stride = 0
+        self.confidence = 0
+        self.lru = lru
+
+
+class StridePrefetcher(Prefetcher):
+    """PC-based stride table."""
+
+    name = "stride"
+
+    def __init__(self, table_entries: int = 256, degree: int = 4,
+                 confidence_threshold: int = 2,
+                 target_level: int = 1) -> None:
+        self.table_entries = table_entries
+        self.degree = degree
+        self.confidence_threshold = confidence_threshold
+        self.target_level = target_level
+        self._table: dict[int, _Entry] = {}
+        self._clock = 0
+
+    def reset(self) -> None:
+        self._table.clear()
+        self._clock = 0
+
+    def on_access(self, event: AccessEvent):
+        self._clock += 1
+        entry = self._table.get(event.pc)
+        if entry is None:
+            if len(self._table) >= self.table_entries:
+                victim = min(self._table, key=lambda pc: self._table[pc].lru)
+                del self._table[victim]
+            self._table[event.pc] = _Entry(event.addr, self._clock)
+            return None
+
+        entry.lru = self._clock
+        stride = event.addr - entry.last_addr
+        entry.last_addr = event.addr
+        if stride == 0:
+            return None
+        if stride == entry.stride:
+            if entry.confidence < 3:
+                entry.confidence += 1
+        else:
+            entry.stride = stride
+            entry.confidence = 0
+            return None
+
+        if entry.confidence < self.confidence_threshold:
+            return None
+        requests = []
+        line = event.line
+        seen = {line}
+        for k in range(1, self.degree + 1):
+            target = (event.addr + k * stride) >> 6
+            if target not in seen and target >= 0:
+                seen.add(target)
+                requests.append(
+                    PrefetchRequest(target, self.target_level, self.name)
+                )
+        return requests or None
+
+    @property
+    def storage_bits(self) -> int:
+        # 256 entries x (last addr 58b + stride 16b + confidence 2b + tag 16b)
+        return self.table_entries * (58 + 16 + 2 + 16)

@@ -1,0 +1,154 @@
+"""VLDP — Variable Length Delta Prefetcher (Shevgoor et al., MICRO 2015;
+paper ref [29]).
+
+Per-page delta histories feed multiple delta prediction tables (DPTs):
+DPT-1 predicts from the single most recent delta, DPT-2 from the last two,
+DPT-3 from the last three.  Prediction always prefers the longest-history
+table that hits.  An offset prediction table (OPT) predicts the first
+delta of a freshly touched page from its first-access offset.
+
+Table II configuration: 64-entry DHB, 128-entry DPT, 128-entry OPT,
+3.25 KB.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import AccessEvent, Prefetcher, PrefetchRequest
+
+_LINES_PER_PAGE = 64
+
+
+class _DhbEntry:
+    """Delta history buffer entry for one page."""
+
+    __slots__ = ("last_offset", "deltas")
+
+    def __init__(self, offset: int) -> None:
+        self.last_offset = offset
+        self.deltas: list[int] = []
+
+    def push(self, delta: int) -> None:
+        self.deltas.append(delta)
+        if len(self.deltas) > 3:
+            self.deltas.pop(0)
+
+
+class _BoundedTable:
+    """Insertion-ordered dict bounded to ``capacity`` (FIFO replacement)."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._data: dict = {}
+
+    def get(self, key):
+        return self._data.get(key)
+
+    def put(self, key, value) -> None:
+        if key not in self._data and len(self._data) >= self.capacity:
+            self._data.pop(next(iter(self._data)))
+        self._data[key] = value
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+class VldpPrefetcher(Prefetcher):
+    name = "vldp"
+
+    def __init__(self, dhb_entries: int = 64, dpt_entries: int = 128,
+                 opt_entries: int = 128, degree: int = 4,
+                 target_level: int = 1) -> None:
+        self.dhb_entries = dhb_entries
+        self.dpt_entries = dpt_entries
+        self.opt_entries = opt_entries
+        self.degree = degree
+        self.target_level = target_level
+        self._dhb = _BoundedTable(dhb_entries)           # page -> _DhbEntry
+        # DPT-k maps a tuple of the last k deltas -> predicted next delta.
+        self._dpts = [_BoundedTable(dpt_entries) for _ in range(3)]
+        self._opt = _BoundedTable(opt_entries)           # first offset -> delta
+
+    def reset(self) -> None:
+        self._dhb.clear()
+        for dpt in self._dpts:
+            dpt.clear()
+        self._opt.clear()
+
+    # ------------------------------------------------------------------
+    def _predict(self, deltas: list[int]) -> int | None:
+        """Longest-matching-history prediction."""
+        for k in range(min(3, len(deltas)), 0, -1):
+            key = tuple(deltas[-k:])
+            prediction = self._dpts[k - 1].get(key)
+            if prediction is not None:
+                return prediction
+        return None
+
+    def on_access(self, event: AccessEvent):
+        page = event.line // _LINES_PER_PAGE
+        offset = event.line % _LINES_PER_PAGE
+        entry = self._dhb.get(page)
+        if entry is None:
+            self._dhb.put(page, _DhbEntry(offset))
+            # First touch of a page: OPT predicts the first delta.
+            first_delta = self._opt.get(offset)
+            if first_delta is None:
+                return None
+            target = offset + first_delta
+            if not 0 <= target < _LINES_PER_PAGE:
+                return None
+            return [
+                PrefetchRequest(page * _LINES_PER_PAGE + target,
+                                self.target_level, self.name)
+            ]
+
+        delta = offset - entry.last_offset
+        if delta == 0:
+            return None
+        # Train: the history that preceded this delta now predicts it.
+        deltas = entry.deltas
+        for k in range(1, min(3, len(deltas)) + 1):
+            self._dpts[k - 1].put(tuple(deltas[-k:]), delta)
+        if not deltas:
+            # This was the first delta in the page: train the OPT.
+            first_offset = entry.last_offset
+            self._opt.put(first_offset, delta)
+        entry.push(delta)
+        entry.last_offset = offset
+
+        # Predict a chain of future deltas.
+        requests: list[PrefetchRequest] = []
+        speculative = list(entry.deltas)
+        speculative_offset = offset
+        page_base = page * _LINES_PER_PAGE
+        seen = {event.line}
+        for _ in range(self.degree):
+            prediction = self._predict(speculative)
+            if prediction is None:
+                break
+            speculative_offset += prediction
+            if not 0 <= speculative_offset < _LINES_PER_PAGE:
+                break
+            line = page_base + speculative_offset
+            if line not in seen:
+                seen.add(line)
+                requests.append(
+                    PrefetchRequest(line, self.target_level, self.name)
+                )
+            speculative.append(prediction)
+            if len(speculative) > 3:
+                speculative.pop(0)
+        return requests or None
+
+    @property
+    def storage_bits(self) -> int:
+        # DHB: 64 x (36 tag + 6 offset + 3x7 deltas); DPT: 3 x 128 x
+        # (21 key + 7 delta); OPT: 128 x (6 + 7).
+        return (
+            self.dhb_entries * (36 + 6 + 21)
+            + 3 * self.dpt_entries * (21 + 7)
+            + self.opt_entries * 13
+        )

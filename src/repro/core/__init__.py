@@ -1,0 +1,49 @@
+"""The paper's contribution: composite prefetching.
+
+* :mod:`repro.core.base` — the prefetcher component protocol shared by the
+  TPC components and the monolithic baselines.
+* :mod:`repro.core.loop_detector` — T2's loop hardware (loop-branch
+  register + non-loop-PC table).
+* :mod:`repro.core.sit` — the stride identifier table.
+* :mod:`repro.core.t2` / :mod:`repro.core.p1` / :mod:`repro.core.c1` — the
+  three specialized components.
+* :mod:`repro.core.taint` — P1's register taint-propagation unit.
+* :mod:`repro.core.coordinator` / :mod:`repro.core.composite` — the glue
+  that makes a set of components one prefetcher (TPC), optionally with
+  existing monolithic prefetchers as extra components, and the "shunting"
+  contrast mode.
+"""
+
+from repro.core.base import (
+    AccessEvent,
+    NullPrefetcher,
+    Prefetcher,
+    PrefetchRequest,
+)
+
+__all__ = [
+    "AccessEvent",
+    "NullPrefetcher",
+    "Prefetcher",
+    "PrefetchRequest",
+]
+
+
+def __getattr__(name):
+    if name == "T2Prefetcher":
+        from repro.core.t2 import T2Prefetcher
+
+        return T2Prefetcher
+    if name == "P1Prefetcher":
+        from repro.core.p1 import P1Prefetcher
+
+        return P1Prefetcher
+    if name == "C1Prefetcher":
+        from repro.core.c1 import C1Prefetcher
+
+        return C1Prefetcher
+    if name in ("CompositePrefetcher", "ShuntPrefetcher", "make_tpc"):
+        from repro.core import composite
+
+        return getattr(composite, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

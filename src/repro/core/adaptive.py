@@ -1,0 +1,150 @@
+"""Adaptive coordinator: the paper's Sec. IV-D conjectures, implemented.
+
+The hardwired coordinator (T2 -> P1 -> C1) relies on each component
+recognizing "the boundary of its expertise".  Sec. IV-D conjectures a
+more general design:
+
+* *"Expertise can be measured"* — even with overlapping expertise we can
+  measure each component's effective accuracy and pick the best
+  performing component for each pattern.
+* *"Patterns are tied to static instructions"* — accuracy can be
+  characterized per static instruction, so division of labor can be
+  established empirically per PC.
+
+:class:`AdaptiveCoordinator` does both: per static instruction it tracks
+which component's prefetched lines actually serve the instruction's
+demand accesses (the measurable signal hardware has: the component tag on
+the hit line) and how often the instruction still misses.  Ownership of a
+PC starts at the static priority order but is *reassigned* to the
+component that demonstrably covers it, and an owner that keeps missing is
+demoted so the next candidate gets an audition.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.base import AccessEvent, Prefetcher, PrefetchRequest
+
+
+class _PcState:
+    """Measurement record for one static instruction."""
+
+    __slots__ = ("owner", "accesses", "misses", "served_by", "auditions")
+
+    def __init__(self, owner: int) -> None:
+        self.owner = owner
+        self.accesses = 0
+        self.misses = 0
+        self.served_by: Counter = Counter()
+        self.auditions = 0
+
+    def reset_window(self) -> None:
+        self.accesses = 0
+        self.misses = 0
+        self.served_by.clear()
+
+
+class AdaptiveCoordinator:
+    """Measured-expertise coordinator (drop-in for
+    :class:`~repro.core.coordinator.Coordinator`)."""
+
+    def __init__(self, components: list[Prefetcher],
+                 extras: list[Prefetcher] | None = None,
+                 window: int = 64,
+                 miss_tolerance: float = 0.3) -> None:
+        self.components = components
+        self.extras = list(extras) if extras else []
+        self.engines: list[Prefetcher] = components + self.extras
+        self.window = window
+        self.miss_tolerance = miss_tolerance
+        self._pc_state: dict[int, _PcState] = {}
+        self._name_to_index = {
+            engine.name: i for i, engine in enumerate(self.engines)
+        }
+        # Component request tags -> engine index ("T2" tag vs "t2" name).
+        for i, engine in enumerate(self.engines):
+            self._name_to_index.setdefault(engine.name.upper(), i)
+
+    def reset(self) -> None:
+        self._pc_state.clear()
+
+    # ------------------------------------------------------------------
+    def _state_for(self, pc: int) -> _PcState:
+        state = self._pc_state.get(pc)
+        if state is None:
+            state = self._pc_state[pc] = _PcState(owner=0)
+        return state
+
+    def _evaluate(self, state: _PcState) -> None:
+        """End of a measurement window: possibly reassign ownership."""
+        state.auditions += 1
+        if state.served_by:
+            # The component whose lines actually serve this PC wins it.
+            best_tag, _ = state.served_by.most_common(1)[0]
+            best = self._name_to_index.get(best_tag)
+            if best is not None and best != state.owner:
+                state.owner = best
+                state.reset_window()
+                return
+        if state.accesses and (
+            state.misses / state.accesses > self.miss_tolerance
+        ):
+            # Owner is not covering this instruction: audition the next.
+            state.owner = (state.owner + 1) % len(self.engines)
+        state.reset_window()
+
+    # ------------------------------------------------------------------
+    def route(self, event: AccessEvent) -> list[PrefetchRequest] | None:
+        state = self._state_for(event.pc)
+        state.accesses += 1
+        if event.primary_miss:
+            state.misses += 1
+        if event.served_by_prefetch and event.serving_component:
+            state.served_by[event.serving_component] += 1
+        if state.accesses >= self.window:
+            self._evaluate(state)
+
+        requests: list[PrefetchRequest] = []
+        owner = state.owner
+        for index, engine in enumerate(self.engines):
+            if index != owner and not engine.always_observe:
+                continue
+            result = engine.on_access(event)
+            if result and (index == owner or engine.always_observe):
+                requests.extend(result)
+        return requests or None
+
+    def claims(self, pc: int) -> bool:
+        state = self._pc_state.get(pc)
+        if state is None:
+            return False
+        return self.engines[state.owner].claims(pc)
+
+    def owner_of(self, pc: int) -> str | None:
+        """Diagnostics: current owning component name for a PC."""
+        state = self._pc_state.get(pc)
+        if state is None:
+            return None
+        return self.engines[state.owner].name
+
+    @property
+    def storage_bits(self) -> int:
+        # Per-PC state is bounded by the I-cache footprint in hardware;
+        # budget ~2 KB of counters (comparable to T2's state bits).
+        return 2048 * 8
+
+
+def make_adaptive_tpc(extras: list[Prefetcher] | None = None,
+                      window: int = 64,
+                      name: str = "tpc-adaptive"):
+    """TPC with the measured-expertise coordinator."""
+    from repro.core.composite import CompositePrefetcher, make_tpc
+
+    base = make_tpc(extras=extras)
+    composite = CompositePrefetcher(base.components, extras=base.extras,
+                                    name=name)
+    composite.coordinator = AdaptiveCoordinator(
+        base.components, base.extras, window=window
+    )
+    return composite

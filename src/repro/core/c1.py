@@ -1,0 +1,187 @@
+"""C1 — the high-spatial-locality ("carpet bombing") component (paper
+Sec. IV-C, Fig. 6).
+
+A *region* is a super cache line of 16 consecutive lines (1 KB).  Two
+structures cooperate:
+
+**Region Monitor (RM)** — 16 entries, each tracking one region with a
+16-bit cache-line vector (which lines were touched) and a 16-bit
+instruction vector (which monitored instructions touched the region).
+
+**Instruction Monitor (IM)** — 16 entries, one per candidate instruction,
+with ``TotalRegions``/``DenseRegions`` counters.  Entries are never
+evicted; they leave only when a decision is made: after ``decide_after``
+(4) regions, an instruction whose dense fraction is at least
+``dense_probability`` (3/4) is marked a *dense* instruction.
+
+When a marked instruction executes, C1 prefetches the entire surrounding
+region.  Accuracy is inherently lower than T2/P1, so the coordinator
+targets C1's prefetches at L2 (paper Sec. IV-D).
+"""
+
+from __future__ import annotations
+
+from repro.core.base import AccessEvent, Prefetcher, PrefetchRequest
+
+REGION_LINES = 16
+DENSE_LINE_THRESHOLD = 6     # "more than six bits set" => dense
+DECIDE_AFTER = 4             # regions before deciding an instruction
+DENSE_PROBABILITY = 0.75     # paper: > 3/4 dense probability
+
+
+class _RegionEntry:
+    __slots__ = ("region", "line_vector", "instruction_vector", "lru")
+
+    def __init__(self, region: int, lru: int) -> None:
+        self.region = region
+        self.line_vector = 0
+        self.instruction_vector = 0
+        self.lru = lru
+
+
+class _InstructionEntry:
+    __slots__ = ("pc", "total_regions", "dense_regions")
+
+    def __init__(self, pc: int) -> None:
+        self.pc = pc
+        self.total_regions = 0
+        self.dense_regions = 0
+
+
+class C1Prefetcher(Prefetcher):
+    name = "c1"
+
+    def __init__(self, rm_entries: int = 16, im_entries: int = 16,
+                 dense_line_threshold: int = DENSE_LINE_THRESHOLD,
+                 decide_after: int = DECIDE_AFTER,
+                 dense_probability: float = DENSE_PROBABILITY,
+                 target_level: int = 2,
+                 recent_regions: int = 32) -> None:
+        self.rm_entries = rm_entries
+        self.im_entries = im_entries
+        self.dense_line_threshold = dense_line_threshold
+        self.decide_after = decide_after
+        self.dense_probability = dense_probability
+        self.target_level = target_level
+        self.recent_regions = recent_regions
+        self._rm: dict[int, _RegionEntry] = {}
+        self._im: list[_InstructionEntry | None] = [None] * im_entries
+        self._im_index: dict[int, int] = {}      # pc -> IM slot
+        self._decided_dense: set[int] = set()
+        self._decided_sparse: set[int] = set()
+        self._recent: dict[int, None] = {}       # regions recently prefetched
+        self._clock = 0
+
+    def reset(self) -> None:
+        self._rm.clear()
+        self._im = [None] * self.im_entries
+        self._im_index.clear()
+        self._decided_dense.clear()
+        self._decided_sparse.clear()
+        self._recent.clear()
+        self._clock = 0
+
+    # ------------------------------------------------------------------
+    def claims(self, pc: int) -> bool:
+        return pc in self._decided_dense
+
+    @property
+    def dense_pcs(self) -> frozenset[int]:
+        return frozenset(self._decided_dense)
+
+    # ------------------------------------------------------------------
+    def _monitor_instruction(self, pc: int) -> int | None:
+        """IM slot of ``pc``, allocating one if free; None if IM is full."""
+        slot = self._im_index.get(pc)
+        if slot is not None:
+            return slot
+        for i, entry in enumerate(self._im):
+            if entry is None:
+                self._im[i] = _InstructionEntry(pc)
+                self._im_index[pc] = i
+                return i
+        return None
+
+    def _evict_region(self, entry: _RegionEntry) -> None:
+        """Region leaves the RM: update every monitored instruction."""
+        dense = bin(entry.line_vector).count("1") > self.dense_line_threshold
+        vector = entry.instruction_vector
+        for slot in range(self.im_entries):
+            if not vector & (1 << slot):
+                continue
+            instruction = self._im[slot]
+            if instruction is None:
+                continue
+            instruction.total_regions += 1
+            if dense:
+                instruction.dense_regions += 1
+            if instruction.total_regions >= self.decide_after:
+                self._decide(slot, instruction)
+
+    def _decide(self, slot: int, instruction: _InstructionEntry) -> None:
+        fraction = instruction.dense_regions / instruction.total_regions
+        if fraction >= self.dense_probability:
+            self._decided_dense.add(instruction.pc)
+        else:
+            self._decided_sparse.add(instruction.pc)
+        self._im[slot] = None
+        self._im_index.pop(instruction.pc, None)
+
+    # ------------------------------------------------------------------
+    def observe_access(self, event: AccessEvent) -> None:
+        """Region monitoring sees *every* access (paper Sec. IV-C)."""
+        self._clock += 1
+        region = event.line // REGION_LINES
+        offset = event.line % REGION_LINES
+        entry = self._rm.get(region)
+        if entry is None:
+            if len(self._rm) >= self.rm_entries:
+                victim_region = min(self._rm,
+                                    key=lambda r: self._rm[r].lru)
+                self._evict_region(self._rm.pop(victim_region))
+            entry = _RegionEntry(region, self._clock)
+            self._rm[region] = entry
+        entry.line_vector |= 1 << offset
+        entry.lru = self._clock
+
+    def on_access(self, event: AccessEvent):
+        pc = event.pc
+        region = event.line // REGION_LINES
+        entry = self._rm.get(region)
+
+        # Instruction monitoring: candidates are undecided instructions
+        # that miss (C1 watches what the cache cannot already serve).
+        if pc not in self._decided_dense and pc not in self._decided_sparse:
+            if entry is None:
+                return None
+            if event.primary_miss:
+                slot = self._monitor_instruction(pc)
+                if slot is not None:
+                    entry.instruction_vector |= 1 << slot
+            elif pc in self._im_index:
+                entry.instruction_vector |= 1 << self._im_index[pc]
+            return None
+
+        if pc not in self._decided_dense:
+            return None
+
+        # Dense instruction: carpet-bomb the region (once per region while
+        # it stays in the recent-regions window).
+        if region in self._recent:
+            return None
+        if len(self._recent) >= self.recent_regions:
+            self._recent.pop(next(iter(self._recent)))
+        self._recent[region] = None
+        region_base = region * REGION_LINES
+        return [
+            PrefetchRequest(region_base + i, self.target_level, "C1")
+            for i in range(REGION_LINES)
+            if region_base + i != event.line
+        ]
+
+    @property
+    def storage_bits(self) -> int:
+        # Table II: 16-entry IM (640 b) + 16-entry RM (1248 b) + 1 KB state.
+        rm_bits = self.rm_entries * (46 + REGION_LINES + self.im_entries)
+        im_bits = self.im_entries * (32 + 4 + 4)
+        return rm_bits + im_bits + 1024 * 8

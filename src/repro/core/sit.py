@@ -1,0 +1,149 @@
+"""Stride Identifier Table and per-instruction I-cache state bits
+(paper Sec. IV-A-2, Fig. 3-b).
+
+Each memory instruction is labeled with one of four states, conceptually
+stored as two bits per instruction in the I-cache:
+
+* ``UNKNOWN`` (0) — ignored until it triggers a primary L1 miss,
+* ``OBSERVATION`` (1) — every instance updates its SIT entry,
+* ``STRIDED`` (2) — confirmed canonical stream, prefetched,
+* ``NON_STRIDED`` (3) — given up on.
+
+The SIT itself has 32 entries (Table II), indexed by the
+call-site-disambiguated ``mPC`` (PC xor RAS top) and tracking the last
+address and the delta between consecutive instances.
+
+The labeling criteria come straight from the paper: sixteen consecutive
+instances of the same delta -> ``STRIDED``; four consecutive instances of
+a *changing* delta -> ``NON_STRIDED``; prefetching already begins in
+``OBSERVATION`` after four consecutive identical deltas.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class InstructionState(enum.IntEnum):
+    UNKNOWN = 0
+    OBSERVATION = 1
+    STRIDED = 2
+    NON_STRIDED = 3
+
+
+STRIDED_THRESHOLD = 16
+"""Consecutive identical deltas to label an instruction STRIDED."""
+
+NON_STRIDED_THRESHOLD = 4
+"""Consecutive changing deltas to label an instruction NON_STRIDED."""
+
+EARLY_ISSUE_THRESHOLD = 4
+"""Consecutive identical deltas before prefetching starts in OBSERVATION."""
+
+
+class SitEntry:
+    """One tracked memory instruction."""
+
+    __slots__ = ("mpc", "last_addr", "delta", "same_count", "diff_count",
+                 "lru", "pointer_delta", "is_pointer", "run_estimate")
+
+    def __init__(self, mpc: int, addr: int, lru: int) -> None:
+        self.mpc = mpc
+        self.last_addr = addr
+        self.delta = 0
+        self.same_count = 0
+        self.diff_count = 0
+        self.lru = lru
+        # P1 extension (paper Sec. IV-B-1): a strided instruction whose
+        # *value* feeds a dependent load's address keeps that constant
+        # offset here.
+        self.pointer_delta: int | None = None
+        self.is_pointer = False
+        # Learned typical run length of this stream (0 = unknown / long).
+        # A stream that repeatedly breaks after N stable deltas (e.g. a
+        # 16-line region sweep) teaches T2 not to prefetch past N.
+        self.run_estimate = 0.0
+
+    def observe(self, addr: int) -> int:
+        """Update with a new instance; returns the observed delta."""
+        delta = addr - self.last_addr
+        self.last_addr = addr
+        if delta == self.delta:
+            self.same_count += 1
+            self.diff_count = 0
+        else:
+            if self.same_count >= 4:
+                # A proven run just ended: learn its length.
+                if self.run_estimate == 0.0:
+                    self.run_estimate = float(self.same_count)
+                else:
+                    self.run_estimate += 0.5 * (
+                        self.same_count - self.run_estimate
+                    )
+            self.delta = delta
+            self.same_count = 1
+            self.diff_count += 1
+        return delta
+
+    @property
+    def stable(self) -> bool:
+        """Delta stable enough to begin (early) prefetching."""
+        return self.delta != 0 and self.same_count >= EARLY_ISSUE_THRESHOLD
+
+
+class StrideIdentifierTable:
+    """Bounded SIT with LRU replacement, plus the I-cache state bits."""
+
+    def __init__(self, entries: int = 32) -> None:
+        self.entries = entries
+        self._table: dict[int, SitEntry] = {}
+        self._states: dict[int, InstructionState] = {}
+        self._clock = 0
+
+    def reset(self) -> None:
+        self._table.clear()
+        self._states.clear()
+        self._clock = 0
+
+    # ------------------------------------------------------------------
+    # I-cache state bits
+    # ------------------------------------------------------------------
+    def state_of(self, pc: int) -> InstructionState:
+        return self._states.get(pc, InstructionState.UNKNOWN)
+
+    def set_state(self, pc: int, state: InstructionState) -> None:
+        self._states[pc] = state
+
+    # ------------------------------------------------------------------
+    # SIT entries
+    # ------------------------------------------------------------------
+    def get(self, mpc: int) -> SitEntry | None:
+        entry = self._table.get(mpc)
+        if entry is not None:
+            self._clock += 1
+            entry.lru = self._clock
+        return entry
+
+    def allocate(self, mpc: int, addr: int) -> SitEntry:
+        self._clock += 1
+        entry = self._table.get(mpc)
+        if entry is not None:
+            entry.lru = self._clock
+            return entry
+        if len(self._table) >= self.entries:
+            victim = min(self._table, key=lambda k: self._table[k].lru)
+            del self._table[victim]
+        entry = SitEntry(mpc, addr, self._clock)
+        self._table[mpc] = entry
+        return entry
+
+    def drop(self, mpc: int) -> None:
+        self._table.pop(mpc, None)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    @property
+    def storage_bits(self) -> int:
+        # 32 x (32b tag + 58b last addr + 16b delta + 2x5b counters + ptr).
+        return self.entries * (32 + 58 + 16 + 10 + 17)

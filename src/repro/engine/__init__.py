@@ -1,0 +1,33 @@
+"""Timing substrate: system configuration, the simplified out-of-order
+core model, and single-/multi-core system harnesses.
+
+Submodules are imported lazily so that low-level packages (e.g.
+:mod:`repro.memory`, which needs only :mod:`repro.engine.config`) do not
+pull in the whole engine.
+"""
+
+__all__ = [
+    "CacheConfig",
+    "CoreConfig",
+    "MulticoreResult",
+    "SimulationResult",
+    "SystemConfig",
+    "simulate",
+    "simulate_multicore",
+]
+
+
+def __getattr__(name):
+    if name in ("CacheConfig", "CoreConfig", "SystemConfig"):
+        from repro.engine import config
+
+        return getattr(config, name)
+    if name in ("SimulationResult", "simulate"):
+        from repro.engine import system
+
+        return getattr(system, name)
+    if name in ("MulticoreResult", "simulate_multicore"):
+        from repro.engine import multicore
+
+        return getattr(multicore, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,100 @@
+"""System configuration mirroring Table I of the paper.
+
+All latencies are in core cycles at 3 GHz (1 ns = 3 cycles):
+
+* Private L1: split I/D, 64 KB, 4-way, 64 B blocks, 1 ns, 32 MSHRs, LRU
+* Private L2: 256 KB, 8-way, 3 ns, 32 MSHRs, LRU
+* Shared L3: 2 MB/core, 16-way, 12 ns, LRU
+* Core: OoO, 4-wide, 3.0 GHz, 192 ROB, 96 LSQ, 15-cycle branch penalty
+* Main memory: DDR3-1600, 2 channels, 2 ranks/channel, 8 banks/rank
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.memory.dram import DramConfig, DropPolicy
+
+CORE_FREQUENCY_GHZ = 3.0
+CYCLES_PER_NS = 3
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Out-of-order core parameters (Table I, row 1).
+
+    ``branch_predictor`` is ``"static"`` (backward-taken/forward-not-
+    taken, the default) or ``"gshare"`` (gshare + loop predictor, closer
+    to Table I's L-Tag + 256-entry loop predictor).
+    """
+
+    width: int = 4
+    rob_entries: int = 192
+    lsq_entries: int = 96
+    branch_miss_penalty: int = 15
+    int_alu_latency: int = 1
+    mul_latency: int = 3
+    branch_predictor: str = "static"
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One cache level."""
+
+    size_bytes: int
+    ways: int
+    latency: int
+    line_bytes: int = 64
+    mshrs: int = 32
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Full single-core (or per-core) system configuration."""
+
+    core: CoreConfig = field(default_factory=CoreConfig)
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(64 * 1024, 4, latency=3)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(256 * 1024, 8, latency=9)
+    )
+    l3: CacheConfig = field(
+        default_factory=lambda: CacheConfig(2 * 1024 * 1024, 16, latency=36)
+    )
+    dram: DramConfig = field(default_factory=DramConfig)
+
+    def scaled_down(self, factor: int = 8) -> "SystemConfig":
+        """A proportionally smaller hierarchy.
+
+        The reproduction's traces are ~100x shorter than the paper's
+        simpoints; a full-size 2 MB L3 would never warm up and no workload
+        would stress capacity.  Scaling all cache sizes down by ``factor``
+        (default 8) preserves the *ratio* of working-set to cache size that
+        the paper's workloads exhibit, which is what the prefetcher
+        comparisons depend on.
+        """
+        def shrink(cache: CacheConfig) -> CacheConfig:
+            return replace(cache, size_bytes=max(
+                cache.size_bytes // factor,
+                cache.ways * cache.line_bytes,
+            ))
+
+        return replace(
+            self, l1d=shrink(self.l1d), l2=shrink(self.l2), l3=shrink(self.l3)
+        )
+
+    def with_drop_policy(self, policy: DropPolicy) -> "SystemConfig":
+        """Same system with a different memory-controller drop policy."""
+        return replace(self, dram=replace(self.dram, drop_policy=policy))
+
+    def with_l3_size(self, size_bytes: int) -> "SystemConfig":
+        return replace(self, l3=replace(self.l3, size_bytes=size_bytes))
+
+
+DEFAULT_CONFIG = SystemConfig()
+"""The Table I configuration."""
+
+EXPERIMENT_CONFIG = SystemConfig().scaled_down(8)
+"""The configuration used by the experiment harness (scaled caches to
+match the shortened traces; see DESIGN.md substitutions)."""

@@ -1,0 +1,274 @@
+"""Simplified out-of-order core timing model.
+
+A one-pass scoreboard over the retired-instruction trace, in the spirit of
+trace-driven simulators (the substitution for gem5's execution-driven core;
+see DESIGN.md).  Modeled:
+
+* 4-wide fetch/dispatch and commit (Table I),
+* a 192-entry ROB: instruction *n* cannot dispatch before instruction
+  *n - 192* commits,
+* register dependencies through a per-register ready-time scoreboard,
+* load latency from the cache hierarchy, including in-flight fill merging
+  and MSHR back-pressure,
+* static branch prediction (backward taken / forward not-taken; indirect
+  transfers predicted via BTB/RAS) with a 15-cycle mispredict bubble,
+* the prefetcher hooks: full instruction stream (when requested) and
+  per-access events carrying the ``mPC``, the load value, and the observed
+  latency.
+
+Not modeled: wrong-path execution (the penalty is charged as a fetch
+bubble) and LSQ-capacity stalls (the ROB bound dominates for these
+workloads).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.base import AccessEvent, Prefetcher
+from repro.engine.config import CoreConfig
+from repro.isa.instructions import NUM_REGISTERS, OpClass
+from repro.isa.trace import Trace
+from repro.memory.hierarchy import LINE_SHIFT, Hierarchy
+
+
+@dataclass(slots=True)
+class CoreStats:
+    instructions: int = 0
+    cycles: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    mispredicts: int = 0
+    load_latency_total: int = 0
+    miss_pcs: Counter = field(default_factory=Counter)
+    miss_latency_by_pc: Counter = field(default_factory=Counter)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def average_load_latency(self) -> float:
+        return self.load_latency_total / self.loads if self.loads else 0.0
+
+
+class OoOCore:
+    """Incremental core model; ``step()`` retires one instruction.
+
+    The incremental interface exists so the multicore harness can advance
+    several cores in (approximate) cycle order against a shared L3/DRAM.
+    """
+
+    def __init__(self, trace: Trace, hierarchy: Hierarchy,
+                 prefetcher: Prefetcher,
+                 config: CoreConfig | None = None) -> None:
+        self.trace = trace
+        self.hierarchy = hierarchy
+        self.prefetcher = prefetcher
+        self.config = config or CoreConfig()
+        self.stats = CoreStats()
+        self._records = trace.records
+        self._index = 0
+        self._reg_ready = [0] * NUM_REGISTERS
+        self._fetch_cycle = 0
+        self._fetch_slot = 0
+        rob = self.config.rob_entries
+        self._commit_ring = [0] * rob
+        self._rob_size = rob
+        self._last_commit_time = 0
+        self._commits_at_time = 0
+        self._feed_instructions = prefetcher.needs_instruction_stream
+        from repro.engine.branch import make_predictor
+
+        self._branch_predictor = make_predictor(
+            self.config.branch_predictor
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self._index >= len(self._records)
+
+    @property
+    def now(self) -> int:
+        """The core's current (fetch) cycle, for multicore scheduling."""
+        return self._fetch_cycle
+
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Process the next instruction; returns False when trace is done."""
+        index = self._index
+        records = self._records
+        if index >= len(records):
+            return False
+        record = records[index]
+        self._index = index + 1
+        config = self.config
+
+        # Fetch bandwidth: `width` instructions per cycle.
+        if self._fetch_slot >= config.width:
+            self._fetch_cycle += 1
+            self._fetch_slot = 0
+        self._fetch_slot += 1
+        fetch_time = self._fetch_cycle
+
+        # ROB occupancy: slot of instruction (index - rob) must be free.
+        rob_free = self._commit_ring[index % self._rob_size]
+        dispatch = fetch_time if fetch_time >= rob_free else rob_free
+        if dispatch > self._fetch_cycle:
+            # ROB-full stall also stalls fetch.
+            self._fetch_cycle = dispatch
+            self._fetch_slot = 1
+
+        if self._feed_instructions:
+            self.prefetcher.observe_instruction(record, dispatch)
+
+        reg_ready = self._reg_ready
+        opc = record.opc
+        if opc == OpClass.LOAD:
+            issue = dispatch
+            src = record.src1
+            if src >= 0 and reg_ready[src] > issue:
+                issue = reg_ready[src]
+            complete = self._do_load(record, issue)
+            reg_ready[record.dst] = complete
+        elif opc == OpClass.STORE:
+            issue = dispatch
+            src = record.src1
+            if src >= 0 and reg_ready[src] > issue:
+                issue = reg_ready[src]
+            data = record.src2
+            if data >= 0 and reg_ready[data] > issue:
+                issue = reg_ready[data]
+            self._do_store(record, issue)
+            complete = issue + 1
+        elif opc == OpClass.ALU:
+            issue = dispatch
+            src = record.src1
+            if src >= 0 and reg_ready[src] > issue:
+                issue = reg_ready[src]
+            src = record.src2
+            if src >= 0 and reg_ready[src] > issue:
+                issue = reg_ready[src]
+            complete = issue + config.int_alu_latency
+            if record.dst >= 0:
+                reg_ready[record.dst] = complete
+        elif opc == OpClass.BRANCH:
+            issue = dispatch
+            src = record.src1
+            if src >= 0 and reg_ready[src] > issue:
+                issue = reg_ready[src]
+            src = record.src2
+            if src >= 0 and reg_ready[src] > issue:
+                issue = reg_ready[src]
+            complete = issue + 1
+            self.stats.branches += 1
+            if record.src1 >= 0:  # conditional branch: predict and verify
+                predictor = self._branch_predictor
+                predicted_taken = predictor.predict(record.pc,
+                                                    record.target_pc)
+                predictor.update(record.pc, record.target_pc, record.taken)
+                if predicted_taken != record.taken:
+                    self.stats.mispredicts += 1
+                    self._fetch_cycle = complete + config.branch_miss_penalty
+                    self._fetch_slot = 0
+        else:  # CALL / RET / OTHER: predicted by BTB/RAS, 1-cycle op
+            complete = dispatch + 1
+
+        # In-order commit, `width` per cycle.
+        commit = complete if complete > self._last_commit_time else self._last_commit_time
+        if commit == self._last_commit_time:
+            self._commits_at_time += 1
+            if self._commits_at_time > config.width:
+                commit += 1
+                self._commits_at_time = 1
+        else:
+            self._commits_at_time = 1
+        self._last_commit_time = commit
+        self._commit_ring[index % self._rob_size] = commit
+
+        self.stats.instructions += 1
+        self.stats.cycles = commit
+        return True
+
+    # ------------------------------------------------------------------
+    def _do_load(self, record, issue: int) -> int:
+        result = self.hierarchy.demand_access(record.addr, issue,
+                                              is_write=False)
+        latency = result.ready_time - issue
+        self.stats.loads += 1
+        self.stats.load_latency_total += latency
+        if result.primary_miss:
+            self.stats.miss_pcs[record.pc] += 1
+            self.stats.miss_latency_by_pc[record.pc] += latency
+        event = AccessEvent(
+            cycle=issue,
+            pc=record.pc,
+            mpc=record.pc ^ record.ras_top,
+            addr=record.addr,
+            line=record.addr >> LINE_SHIFT,
+            is_load=True,
+            hit=result.l1_hit,
+            primary_miss=result.primary_miss,
+            latency=latency,
+            value=record.value,
+            dst=record.dst,
+            served_by_prefetch=result.served_by_prefetch,
+            serving_component=result.prefetch_component,
+        )
+        if result.served_by_prefetch:
+            self.prefetcher.on_prefetch_hit(event.line, result.hit_level)
+        self._issue_prefetches(event)
+        if result.primary_miss:
+            self.prefetcher.on_fill(event.line, 1)
+        return result.ready_time
+
+    def _do_store(self, record, issue: int) -> None:
+        result = self.hierarchy.demand_access(record.addr, issue,
+                                              is_write=True)
+        self.stats.stores += 1
+        event = AccessEvent(
+            cycle=issue,
+            pc=record.pc,
+            mpc=record.pc ^ record.ras_top,
+            addr=record.addr,
+            line=record.addr >> LINE_SHIFT,
+            is_load=False,
+            hit=result.l1_hit,
+            primary_miss=result.primary_miss,
+            latency=0,
+            value=0,
+            dst=-1,
+            served_by_prefetch=result.served_by_prefetch,
+            serving_component=result.prefetch_component,
+        )
+        if result.served_by_prefetch:
+            self.prefetcher.on_prefetch_hit(event.line, result.hit_level)
+        self._issue_prefetches(event)
+        if result.primary_miss:
+            self.prefetcher.on_fill(event.line, 1)
+
+    def _issue_prefetches(self, event: AccessEvent) -> None:
+        self.prefetcher.observe_access(event)
+        requests = self.prefetcher.on_access(event)
+        if not requests:
+            return
+        hierarchy = self.hierarchy
+        prefetcher = self.prefetcher
+        for request in requests:
+            issued = hierarchy.prefetch(request.line, event.cycle,
+                                        target_level=request.target_level,
+                                        component=request.component)
+            if issued:
+                prefetcher.on_fill(request.line, request.target_level,
+                                   prefetched=True)
+
+    # ------------------------------------------------------------------
+    def run(self) -> CoreStats:
+        """Run the whole trace."""
+        step = self.step
+        while step():
+            pass
+        return self.stats

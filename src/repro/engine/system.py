@@ -1,0 +1,108 @@
+"""Single-core system harness: trace + prefetcher + hierarchy -> results."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.base import NullPrefetcher, Prefetcher
+from repro.engine.config import SystemConfig, EXPERIMENT_CONFIG
+from repro.engine.ooo import CoreStats, OoOCore
+from repro.isa.trace import Trace
+from repro.memory.cache import CacheStats
+from repro.memory.dram import DramStats
+from repro.memory.hierarchy import Hierarchy, PrefetchStats
+
+
+@dataclass
+class SimulationResult:
+    """Everything the experiments need from one (trace, prefetcher) run."""
+
+    workload: str
+    prefetcher: str
+    core: CoreStats
+    l1d: CacheStats
+    l2: CacheStats
+    l3: CacheStats
+    dram: DramStats
+    prefetch: PrefetchStats
+    miss_lines_l1: Counter = field(default_factory=Counter)
+    miss_lines_l2: Counter = field(default_factory=Counter)
+    attempted_prefetch_lines: set = field(default_factory=set)
+    attempted_by_component: dict = field(default_factory=dict)
+    pollution_misses_l1: int = 0
+    pollution_misses_l2: int = 0
+
+    @property
+    def cycles(self) -> int:
+        return self.core.cycles
+
+    @property
+    def ipc(self) -> float:
+        return self.core.ipc
+
+    @property
+    def dram_traffic(self) -> int:
+        return self.dram.total_traffic
+
+    @property
+    def l1_mpki(self) -> float:
+        if not self.core.instructions:
+            return 0.0
+        return 1000.0 * self.l1d.demand_misses / self.core.instructions
+
+    @property
+    def l2_mpki(self) -> float:
+        if not self.core.instructions:
+            return 0.0
+        return 1000.0 * self.l2.demand_misses / self.core.instructions
+
+    def speedup_over(self, baseline: "SimulationResult") -> float:
+        """Speedup of this run relative to ``baseline`` (same trace)."""
+        if self.cycles == 0:
+            return 0.0
+        return baseline.cycles / self.cycles
+
+
+def simulate(trace: Trace, prefetcher: Prefetcher | None = None,
+             config: SystemConfig | None = None,
+             tracker=None) -> SimulationResult:
+    """Simulate one trace on a single-core system.
+
+    Parameters
+    ----------
+    prefetcher:
+        Any :class:`~repro.core.base.Prefetcher`; defaults to no prefetching.
+    config:
+        System configuration; defaults to the experiment configuration
+        (Table I with caches scaled to the shortened traces).
+    tracker:
+        Optional credit tracker (see :mod:`repro.analysis.credit`) attached
+        to the hierarchy for per-prefetch pollution accounting.
+    """
+    prefetcher = prefetcher if prefetcher is not None else NullPrefetcher()
+    config = config or EXPERIMENT_CONFIG
+    prefetcher.reset()
+    if prefetcher.wants_memory_image:
+        prefetcher.set_memory(trace.memory)
+    hierarchy = Hierarchy(config)
+    if tracker is not None:
+        hierarchy.tracker = tracker
+    core = OoOCore(trace, hierarchy, prefetcher, config.core)
+    core_stats = core.run()
+    return SimulationResult(
+        workload=trace.name,
+        prefetcher=prefetcher.name,
+        core=core_stats,
+        l1d=hierarchy.l1d.stats,
+        l2=hierarchy.l2.stats,
+        l3=hierarchy.l3.stats,
+        dram=hierarchy.dram.stats,
+        prefetch=hierarchy.prefetch_stats,
+        miss_lines_l1=hierarchy.miss_lines_l1,
+        miss_lines_l2=hierarchy.miss_lines_l2,
+        attempted_prefetch_lines=hierarchy.attempted_prefetch_lines,
+        attempted_by_component=hierarchy.attempted_by_component,
+        pollution_misses_l1=hierarchy.pollution_misses_l1,
+        pollution_misses_l2=hierarchy.pollution_misses_l2,
+    )

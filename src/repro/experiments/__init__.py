@@ -1,0 +1,30 @@
+"""Experiment harness: one module per reproduced paper artifact.
+
+==========  ========================================================
+module      paper artifact
+==========  ========================================================
+tables      Table I (system config) and Table II (storage cost)
+fig01       Fig. 1 — accuracy vs scope for AMPM/BOP/SMS
+fig08       Fig. 8 — per-application speedups, all prefetchers
+fig09       Fig. 9 — normalized memory traffic
+fig10       Fig. 10 — effective accuracy vs scope, all prefetchers
+fig11       Fig. 11 — speedups per suite including 4-core mixes
+fig12       Fig. 12 — accuracy/coverage vs scope at L1 and L2, with
+            TPC built up incrementally (T2, +P1, +C1)
+fig13       Fig. 13 — accuracy vs scope by LHF/MHF/HHF category
+fig14       Fig. 14 — existing prefetchers alone vs as TPC components
+fig15       Fig. 15 — shunting vs compositing
+fig16       Fig. 16 — prefetch destination (L2 / L1 / stratified)
+drop_policy Sec. V-C1 — memory-controller prefetch-drop policy
+==========  ========================================================
+
+Every module exposes ``run(...)`` returning structured results and
+``render(results)`` returning the printable table; running the module as
+a script prints it.  The shared :class:`~repro.experiments.runner
+.ExperimentRunner` caches (workload, prefetcher) simulation results
+within the process.
+"""
+
+from repro.experiments.runner import ExperimentRunner
+
+__all__ = ["ExperimentRunner"]

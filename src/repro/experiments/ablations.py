@@ -1,0 +1,138 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each ablation disables or perturbs one mechanism of the composite design
+and reports the geomean speedup over the no-prefetch baseline on a
+pattern-diverse app subset, next to the full TPC:
+
+* ``no-miss-activation`` — T2 tracks every memory instruction instead of
+  activating on a primary miss (paper Sec. IV-A-2, first modification).
+* ``plain-pc`` — the SIT indexed by plain PC instead of
+  ``mPC = PC xor RAS.top`` (second modification).
+* ``strided-8`` / ``strided-32`` — halve/double the 16-instance
+  strided-labeling threshold (the paper claims insensitivity).
+* ``no-boost`` — P1's strided-pointer triggers do not double T2's
+  distance (Sec. IV-B-1).
+* ``c1-dense-3`` / ``c1-dense-10`` — C1's dense-region line threshold.
+* ``order-cpt`` — coordinator priority reversed (C1 -> P1 -> T2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.metrics import geometric_mean
+from repro.analysis.report import format_table
+from repro.core.c1 import C1Prefetcher
+from repro.core.composite import CompositePrefetcher, make_tpc
+from repro.core.p1 import P1Prefetcher
+from repro.core.t2 import T2Prefetcher
+from repro.experiments.runner import ExperimentRunner
+
+DEFAULT_APPS = [
+    "spec.libquantum",
+    "spec.milc",
+    "spec.mcf",
+    "spec.omnetpp",
+    "spec.h264ref",
+    "spec.perlbench",
+    "spec.soplex",
+    "npb.mg",
+    "starbench.bodytrack",   # exercises the mPC (plain-pc) knob
+]
+
+
+def _variant(key: str):
+    """Factory for one ablation variant (with a stable cache key)."""
+    def reversed_order():
+        composite = CompositePrefetcher(
+            [C1Prefetcher(), P1Prefetcher(), T2Prefetcher()],
+            name="order-cpt",
+        )
+        composite._wire_components()
+        return composite
+
+    builders = {
+        "tpc": lambda: make_tpc(),
+        "no-miss-activation": lambda: make_tpc(
+            t2_kwargs={"activate_on_miss": False}
+        ),
+        "plain-pc": lambda: make_tpc(t2_kwargs={"use_mpc": False}),
+        "strided-8": lambda: make_tpc(
+            t2_kwargs={"strided_threshold": 8}
+        ),
+        "strided-32": lambda: make_tpc(
+            t2_kwargs={"strided_threshold": 32}
+        ),
+        "no-boost": lambda: make_tpc(boost_pointer_triggers=False),
+        "c1-dense-3": lambda: make_tpc(
+            c1_kwargs={"dense_line_threshold": 3}
+        ),
+        "c1-dense-10": lambda: make_tpc(
+            c1_kwargs={"dense_line_threshold": 10}
+        ),
+        "order-cpt": reversed_order,
+    }
+    factory = builders[key]
+    factory.cache_key = f"ablation:{key}"
+    return factory
+
+VARIANTS = [
+    "tpc",
+    "no-miss-activation",
+    "plain-pc",
+    "strided-8",
+    "strided-32",
+    "no-boost",
+    "c1-dense-3",
+    "c1-dense-10",
+    "order-cpt",
+]
+
+
+@dataclass
+class AblationRow:
+    variant: str
+    speedup: float
+    issued: float
+    accuracy_proxy: float     # useful / issued at L1+L2
+
+
+def run(runner: ExperimentRunner | None = None,
+        apps: list[str] | None = None,
+        variants: list[str] | None = None) -> list[AblationRow]:
+    runner = runner or ExperimentRunner()
+    apps = apps or DEFAULT_APPS
+    variants = variants or VARIANTS
+    rows = []
+    for variant in variants:
+        factory = _variant(variant)
+        speedups = []
+        issued = 0
+        useful = 0
+        for app in apps:
+            baseline = runner.baseline(app)
+            result = runner.run(app, factory)
+            speedups.append(baseline.cycles / result.cycles)
+            issued += result.prefetch.issued
+            useful += (result.l1d.useful_prefetches
+                       + result.l2.useful_prefetches)
+        rows.append(
+            AblationRow(
+                variant=variant,
+                speedup=geometric_mean(speedups),
+                issued=issued / len(apps),
+                accuracy_proxy=useful / issued if issued else 0.0,
+            )
+        )
+    return rows
+
+
+def render(rows: list[AblationRow]) -> str:
+    return format_table(
+        ["variant", "geomean speedup", "avg issued", "useful/issued"],
+        [(r.variant, r.speedup, r.issued, r.accuracy_proxy) for r in rows],
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(render(run()))

@@ -1,0 +1,106 @@
+"""Component replacement (paper Sec. V-C2):
+
+"If an existing prefetcher design has better accuracies than one of our
+components in its scope of prefetch, we can replace the component."
+
+The paper found no such case among its candidates; this experiment makes
+the check executable: each TPC component is replaced by the monolithic
+prefetcher closest to its scope (T2 -> SPP or stride; C1 -> SMS), and the
+composite is re-measured.  A replacement winning would be exactly the
+paper's "lower barrier to innovation" in action.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.metrics import geometric_mean
+from repro.analysis.report import format_table
+from repro.baselines.sms import SmsPrefetcher
+from repro.baselines.spp import SppPrefetcher
+from repro.baselines.stride import StridePrefetcher
+from repro.core.c1 import C1Prefetcher
+from repro.core.composite import CompositePrefetcher
+from repro.core.p1 import P1Prefetcher
+from repro.core.t2 import T2Prefetcher
+from repro.experiments.runner import ExperimentRunner
+
+DEFAULT_APPS = [
+    "spec.libquantum",
+    "spec.milc",
+    "spec.mcf",
+    "spec.omnetpp",
+    "spec.h264ref",
+    "spec.soplex",
+    "npb.mg",
+    "crono.bfs_google",
+]
+
+
+def _composite(name: str, components) -> CompositePrefetcher:
+    composite = CompositePrefetcher(list(components), name=name)
+    composite._wire_components()
+    return composite
+
+
+def _variants():
+    return {
+        "tpc": lambda: _composite(
+            "tpc", [T2Prefetcher(), P1Prefetcher(), C1Prefetcher()]
+        ),
+        "spp/P1/C1": lambda: _composite(
+            "spp-p1-c1",
+            [SppPrefetcher(), P1Prefetcher(), C1Prefetcher()],
+        ),
+        "stride/P1/C1": lambda: _composite(
+            "stride-p1-c1",
+            [StridePrefetcher(), P1Prefetcher(), C1Prefetcher()],
+        ),
+        "T2/P1/sms": lambda: _composite(
+            "t2-p1-sms",
+            [T2Prefetcher(), P1Prefetcher(),
+             SmsPrefetcher(target_level=2)],
+        ),
+    }
+
+
+@dataclass
+class SwapRow:
+    variant: str
+    speedup: float
+    issued: float
+
+
+def run(runner: ExperimentRunner | None = None,
+        apps: list[str] | None = None) -> list[SwapRow]:
+    runner = runner or ExperimentRunner()
+    apps = apps or DEFAULT_APPS
+    rows = []
+    for label, factory in _variants().items():
+        factory.cache_key = f"swap:{label}"
+        speedups = []
+        issued = 0
+        for app in apps:
+            baseline = runner.baseline(app)
+            result = runner.run(app, factory)
+            speedups.append(baseline.cycles / result.cycles)
+            issued += result.prefetch.issued
+        rows.append(
+            SwapRow(
+                variant=label,
+                speedup=geometric_mean(speedups),
+                issued=issued / len(apps),
+            )
+        )
+    return rows
+
+
+def render(rows: list[SwapRow]) -> str:
+    return format_table(
+        ["composite", "geomean speedup", "avg issued"],
+        [(r.variant, r.speedup, r.issued) for r in rows],
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(render(run()))

@@ -1,0 +1,71 @@
+"""The paper's implicit energy claim, checked (Sec. I):
+
+"the energy cost is almost always outweighed by the energy savings
+resulting from successful prefetches and thus commonly ignored."
+
+For every prefetcher, estimate per-app energy with the first-order model
+(`repro.analysis.energy`) and report how often engaging the prefetcher
+is a net energy win, and the suite-average saving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.energy import estimate, net_benefit
+from repro.analysis.report import format_table
+from repro.experiments.runner import ExperimentRunner, build_prefetcher
+from repro.prefetcher_registry import PAPER_MONOLITHIC
+from repro.workloads import workload_names
+
+PREFETCHERS = PAPER_MONOLITHIC + ["tpc"]
+
+
+@dataclass
+class EnergyRow:
+    prefetcher: str
+    wins: int                  # apps where the prefetcher saves energy
+    apps: int
+    average_saving_pct: float  # suite-average energy saving
+
+
+def run(runner: ExperimentRunner | None = None,
+        apps: list[str] | None = None,
+        prefetchers: list[str] | None = None) -> list[EnergyRow]:
+    runner = runner or ExperimentRunner()
+    apps = apps or workload_names("spec")
+    prefetchers = prefetchers or PREFETCHERS
+    rows = []
+    for name in prefetchers:
+        storage_bits = build_prefetcher(name).storage_bits
+        wins = 0
+        savings = []
+        for app in apps:
+            baseline = runner.baseline(app)
+            result = runner.run(app, name)
+            saved = net_benefit(result, baseline, storage_bits)
+            if saved > 0:
+                wins += 1
+            base_total = estimate(baseline).total_uj
+            savings.append(saved / base_total if base_total else 0.0)
+        rows.append(
+            EnergyRow(
+                prefetcher=name,
+                wins=wins,
+                apps=len(apps),
+                average_saving_pct=100.0 * sum(savings) / len(savings),
+            )
+        )
+    return rows
+
+
+def render(rows: list[EnergyRow]) -> str:
+    return format_table(
+        ["prefetcher", "net-win apps", "avg energy saving %"],
+        [(r.prefetcher, f"{r.wins}/{r.apps}", r.average_saving_pct)
+         for r in rows],
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(render(run()))

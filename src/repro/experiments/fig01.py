@@ -1,0 +1,37 @@
+"""Fig. 1 — effective accuracy vs scope for AMPM, BOP, and SMS.
+
+The paper's motivating observation: moving from AMPM to BOP to SMS,
+scope rises (67% -> 76% -> 87%) while accuracy falls (58% -> 49% -> 48%).
+The reproduction checks the same *ordering* on the SPEC-like suite.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.scatter import ScatterSeries, collect_scatter
+from repro.workloads import workload_names
+
+PREFETCHERS = ["ampm", "bop", "sms"]
+
+
+def run(runner: ExperimentRunner | None = None,
+        apps: list[str] | None = None) -> list[ScatterSeries]:
+    apps = apps or workload_names("spec")
+    return collect_scatter(PREFETCHERS, apps, runner, weight_by="mpki")
+
+
+def render(series: list[ScatterSeries]) -> str:
+    rows = []
+    for s in series:
+        for p in s.points:
+            rows.append((s.prefetcher, p.app, p.scope, p.accuracy, p.weight))
+        rows.append((s.prefetcher, "== average ==", s.average_scope,
+                     s.average_accuracy, sum(p.weight for p in s.points)))
+    return format_table(
+        ["prefetcher", "app", "scope", "eff_accuracy", "weight(mpki)"], rows
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(render(run()))

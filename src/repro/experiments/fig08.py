@@ -1,0 +1,76 @@
+"""Fig. 8 — per-application speedups of all prefetchers on the SPEC-like
+suite, applications sorted by average gain, plus the geometric mean.
+
+Paper result: TPC geomean 1.41 vs 1.21-1.33 for the monolithic designs;
+TPC is best in 11/21 benchmarks and within 5% of the best elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.metrics import geometric_mean
+from repro.analysis.report import format_table
+from repro.experiments.runner import ExperimentRunner
+from repro.prefetcher_registry import PAPER_MONOLITHIC
+from repro.workloads import workload_names
+
+PREFETCHERS = PAPER_MONOLITHIC + ["tpc"]
+
+
+@dataclass
+class SpeedupGrid:
+    prefetchers: list[str]
+    apps: list[str]                          # sorted by average gain
+    speedups: dict[tuple[str, str], float]   # (prefetcher, app) -> speedup
+
+    def geomean(self, prefetcher: str) -> float:
+        return geometric_mean(
+            self.speedups[(prefetcher, app)] for app in self.apps
+        )
+
+    def best_count(self, prefetcher: str) -> int:
+        """Number of apps where ``prefetcher`` is the best performer."""
+        count = 0
+        for app in self.apps:
+            best = max(self.prefetchers,
+                       key=lambda p: self.speedups[(p, app)])
+            if best == prefetcher:
+                count += 1
+        return count
+
+
+def run(runner: ExperimentRunner | None = None,
+        apps: list[str] | None = None,
+        prefetchers: list[str] | None = None) -> SpeedupGrid:
+    runner = runner or ExperimentRunner()
+    apps = apps or workload_names("spec")
+    prefetchers = prefetchers or PREFETCHERS
+    speedups: dict[tuple[str, str], float] = {}
+    for app in apps:
+        baseline = runner.baseline(app)
+        for name in prefetchers:
+            result = runner.run(app, name)
+            speedups[(name, app)] = baseline.cycles / result.cycles
+    # Paper sorting: applications by increasing average gain.
+    def average_gain(app: str) -> float:
+        return sum(speedups[(p, app)] for p in prefetchers) / len(prefetchers)
+
+    ordered = sorted(apps, key=average_gain)
+    return SpeedupGrid(prefetchers=prefetchers, apps=ordered,
+                       speedups=speedups)
+
+
+def render(grid: SpeedupGrid) -> str:
+    headers = ["app"] + grid.prefetchers
+    rows = []
+    for app in grid.apps:
+        rows.append([app] + [grid.speedups[(p, app)] for p in grid.prefetchers])
+    rows.append(["== geomean =="] + [grid.geomean(p) for p in grid.prefetchers])
+    rows.append(["== best in =="] + [grid.best_count(p)
+                                     for p in grid.prefetchers])
+    return format_table(headers, rows)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(render(run()))

@@ -1,0 +1,57 @@
+"""Fig. 9 — memory traffic normalized to the no-prefetch baseline.
+
+Paper result: TPC's average overhead is 6%, the least of all prefetchers;
+the next best (BOP) is 12%.  The figure reports the suite-wide geometric
+mean with min/max "I-beams".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.metrics import geometric_mean, traffic_overhead
+from repro.analysis.report import format_table
+from repro.experiments.runner import ExperimentRunner
+from repro.prefetcher_registry import PAPER_MONOLITHIC
+from repro.workloads import workload_names
+
+PREFETCHERS = PAPER_MONOLITHIC + ["tpc"]
+
+
+@dataclass
+class TrafficRow:
+    prefetcher: str
+    geomean: float
+    low: float
+    high: float
+
+
+def run(runner: ExperimentRunner | None = None,
+        apps: list[str] | None = None,
+        prefetchers: list[str] | None = None) -> list[TrafficRow]:
+    runner = runner or ExperimentRunner()
+    apps = apps or workload_names("spec")
+    prefetchers = prefetchers or PREFETCHERS
+    rows = []
+    for name in prefetchers:
+        overheads = []
+        for app in apps:
+            baseline = runner.baseline(app)
+            result = runner.run(app, name)
+            overheads.append(traffic_overhead(result, baseline))
+        rows.append(
+            TrafficRow(name, geometric_mean(overheads), min(overheads),
+                       max(overheads))
+        )
+    return rows
+
+
+def render(rows: list[TrafficRow]) -> str:
+    return format_table(
+        ["prefetcher", "traffic (geomean)", "min", "max"],
+        [(r.prefetcher, r.geomean, r.low, r.high) for r in rows],
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(render(run()))

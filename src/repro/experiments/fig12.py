@@ -1,0 +1,112 @@
+"""Fig. 12 — suite-average effective accuracy and coverage vs scope, at
+both L1 and L2, with TPC built up incrementally (T2, then +P1, then +C1).
+
+Paper observations: TPC's L1 effective coverage is significantly better
+than the monolithic prefetchers' despite fewer prefetches (because of
+better accuracy); each added component extends scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.metrics import (
+    effective_accuracy,
+    effective_coverage,
+    scope,
+    weighted_average,
+)
+from repro.analysis.report import format_table
+from repro.core.composite import make_tpc
+from repro.experiments.runner import ExperimentRunner, PrefetcherSpec
+from repro.prefetcher_registry import PAPER_MONOLITHIC
+from repro.workloads import workload_names
+
+
+def _tpc_factory(components: str):
+    def factory():
+        return make_tpc(components=components)
+
+    factory.cache_key = f"tpc:{components}"
+    return factory
+
+
+INCREMENTAL_TPC: list[tuple[str, PrefetcherSpec]] = [
+    ("T2", _tpc_factory("t")),
+    ("T2+P1", _tpc_factory("tp")),
+    ("TPC", _tpc_factory("tpc")),
+]
+
+
+@dataclass
+class Fig12Row:
+    label: str
+    level: int
+    scope: float
+    accuracy: float
+    coverage: float
+    issued: float
+
+
+def run(runner: ExperimentRunner | None = None,
+        apps: list[str] | None = None,
+        monolithic: list[str] | None = None) -> list[Fig12Row]:
+    runner = runner or ExperimentRunner()
+    apps = apps or workload_names("spec")
+    monolithic = monolithic if monolithic is not None else PAPER_MONOLITHIC
+    entries: list[tuple[str, PrefetcherSpec]] = [
+        (name, name) for name in monolithic
+    ]
+    entries += INCREMENTAL_TPC
+
+    rows = []
+    for label, spec in entries:
+        for level in (1, 2):
+            samples = []
+            issued_total = 0
+            for app in apps:
+                baseline = runner.baseline(app)
+                result = runner.run(app, spec)
+                weight = (
+                    baseline.l1_mpki if level == 1 else baseline.l2_mpki
+                )
+                samples.append(
+                    (
+                        scope(result, baseline, level),
+                        effective_accuracy(result, baseline, level),
+                        effective_coverage(result, baseline, level),
+                        weight,
+                    )
+                )
+                issued_total += result.prefetch.issued
+            rows.append(
+                Fig12Row(
+                    label=label,
+                    level=level,
+                    scope=weighted_average((s, w) for s, _, _, w in samples),
+                    accuracy=weighted_average(
+                        (a, w) for _, a, _, w in samples
+                    ),
+                    coverage=weighted_average(
+                        (c, w) for _, _, c, w in samples
+                    ),
+                    issued=issued_total / len(apps),
+                )
+            )
+    return rows
+
+
+def render(rows: list[Fig12Row]) -> str:
+    return format_table(
+        ["prefetcher", "level", "scope", "eff_accuracy", "eff_coverage",
+         "avg issued"],
+        [
+            (r.label, f"L{r.level}", r.scope, r.accuracy, r.coverage,
+             r.issued)
+            for r in rows
+        ],
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(render(run()))

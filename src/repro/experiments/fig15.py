@@ -1,0 +1,84 @@
+"""Fig. 15 — compositing vs shunting an existing prefetcher with TPC.
+
+Paper result: composited (coordinator-filtered) extras are never worse
+than TPC alone and average 3-8% better; shunted (mutually unaware)
+combinations are almost always worse than TPC alone (1-6% on average).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.metrics import geometric_mean
+from repro.analysis.report import format_table
+from repro.core.composite import make_shunt, make_tpc
+from repro.experiments.runner import ExperimentRunner, build_prefetcher
+from repro.workloads import workload_names
+
+EXTRAS = ["vldp", "spp", "fdp", "sms"]
+
+
+@dataclass
+class Fig15Row:
+    extra: str
+    mode: str                 # "composite" or "shunt"
+    average: float            # geomean speedup normalized to TPC alone
+    low: float
+    high: float
+
+
+def _composite_factory(extra: str):
+    def factory():
+        return make_tpc(extras=[build_prefetcher(extra)])
+
+    factory.cache_key = f"tpc+{extra}"
+    return factory
+
+
+def _shunt_factory(extra: str):
+    def factory():
+        return make_shunt([build_prefetcher(extra)])
+
+    factory.cache_key = f"shunt:tpc+{extra}"
+    return factory
+
+
+def run(runner: ExperimentRunner | None = None,
+        apps: list[str] | None = None,
+        extras: list[str] | None = None) -> list[Fig15Row]:
+    runner = runner or ExperimentRunner()
+    apps = apps or workload_names("spec")
+    extras = extras or EXTRAS
+
+    rows = []
+    for extra in extras:
+        for mode, factory in (
+            ("composite", _composite_factory(extra)),
+            ("shunt", _shunt_factory(extra)),
+        ):
+            ratios = []
+            for app in apps:
+                tpc_alone = runner.run(app, "tpc")
+                combined = runner.run(app, factory)
+                ratios.append(tpc_alone.cycles / combined.cycles)
+            rows.append(
+                Fig15Row(
+                    extra=extra,
+                    mode=mode,
+                    average=geometric_mean(ratios),
+                    low=min(ratios),
+                    high=max(ratios),
+                )
+            )
+    return rows
+
+
+def render(rows: list[Fig15Row]) -> str:
+    return format_table(
+        ["extra", "mode", "speedup vs TPC (geomean)", "min", "max"],
+        [(r.extra, r.mode, r.average, r.low, r.high) for r in rows],
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(render(run()))

@@ -1,0 +1,162 @@
+"""Fig. 16 — effect of the prefetch destination: everything into L2,
+everything into L1, or stratified by access category.
+
+For the monolithic prefetchers the stratification is an *oracle*: the
+offline classifier (the same "analysis mechanism similar to having an
+oracle" the paper uses) routes LHF-targeted prefetches to L1 and the rest
+to L2.  TPC needs no oracle — its components perform the stratification
+naturally (T2/P1 -> L1, C1 -> L2), which is the point of the figure.
+
+Paper result: prefetching into L1 beats L2-only on average; per-category
+destinations do better still.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.classify import Category
+from repro.analysis.metrics import geometric_mean
+from repro.analysis.report import format_table
+from repro.core.base import AccessEvent, Prefetcher
+from repro.core.composite import make_tpc
+from repro.experiments.fig13 import classifier_for
+from repro.experiments.runner import ExperimentRunner, build_prefetcher
+from repro.prefetcher_registry import PAPER_MONOLITHIC
+from repro.workloads import workload_names
+
+PREFETCHERS = PAPER_MONOLITHIC + ["tpc"]
+MODES = ["L2", "L1", "stratified"]
+
+
+class OracleDestinationPrefetcher(Prefetcher):
+    """Wraps a prefetcher and rewrites each request's destination by the
+    oracle category of its target line (LHF -> L1, MHF/HHF -> L2)."""
+
+    def __init__(self, inner: Prefetcher, categorize) -> None:
+        self.inner = inner
+        self.categorize = categorize
+        self.name = f"{inner.name}@oracle"
+        self.needs_instruction_stream = inner.needs_instruction_stream
+        self.wants_memory_image = inner.wants_memory_image
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+    def set_memory(self, memory) -> None:
+        self.inner.set_memory(memory)
+
+    def observe_instruction(self, record, cycle: int) -> None:
+        self.inner.observe_instruction(record, cycle)
+
+    def observe_access(self, event: AccessEvent) -> None:
+        self.inner.observe_access(event)
+
+    def on_access(self, event: AccessEvent):
+        requests = self.inner.on_access(event)
+        if not requests:
+            return requests
+        for request in requests:
+            request.target_level = (
+                1 if self.categorize(request.line) is Category.LHF else 2
+            )
+        return requests
+
+    def on_fill(self, line: int, level: int,
+                prefetched: bool = False) -> None:
+        self.inner.on_fill(line, level, prefetched)
+
+    def on_prefetch_hit(self, line: int, level: int) -> None:
+        self.inner.on_prefetch_hit(line, level)
+
+    @property
+    def storage_bits(self) -> int:
+        return self.inner.storage_bits
+
+
+def _spec_for(name: str, mode: str, app: str):
+    """Build the (prefetcher spec, cache key) for one table cell."""
+    if name == "tpc":
+        if mode == "stratified":
+            return "tpc"  # native component-based destinations
+        level = 1 if mode == "L1" else 2
+        kwargs = {"target_level": level}
+
+        def factory(kwargs=kwargs):
+            return make_tpc(t2_kwargs=kwargs, p1_kwargs=kwargs,
+                            c1_kwargs=kwargs)
+
+        factory.cache_key = f"tpc@{mode}"
+        return factory
+
+    if mode in ("L1", "L2"):
+        level = 1 if mode == "L1" else 2
+
+        def factory(name=name, level=level):
+            return build_prefetcher_with_level(name, level)
+
+        factory.cache_key = f"{name}@{mode}"
+        return factory
+
+    # Oracle stratification needs the app's classifier.
+    def factory(name=name, app=app):
+        classifier = classifier_for(app)
+        return OracleDestinationPrefetcher(
+            build_prefetcher(name), classifier.category
+        )
+
+    factory.cache_key = f"{name}@oracle:{app}"
+    return factory
+
+
+def build_prefetcher_with_level(name: str, level: int) -> Prefetcher:
+    from repro.prefetcher_registry import make_prefetcher
+
+    return make_prefetcher(name, target_level=level)
+
+
+@dataclass
+class Fig16Row:
+    prefetcher: str
+    mode: str
+    average: float
+    low: float
+    high: float
+
+
+def run(runner: ExperimentRunner | None = None,
+        apps: list[str] | None = None,
+        prefetchers: list[str] | None = None) -> list[Fig16Row]:
+    runner = runner or ExperimentRunner()
+    apps = apps or workload_names("spec")
+    prefetchers = prefetchers or PREFETCHERS
+
+    rows = []
+    for name in prefetchers:
+        for mode in MODES:
+            speedups = []
+            for app in apps:
+                baseline = runner.baseline(app)
+                result = runner.run(app, _spec_for(name, mode, app))
+                speedups.append(baseline.cycles / result.cycles)
+            rows.append(
+                Fig16Row(
+                    prefetcher=name,
+                    mode=mode,
+                    average=geometric_mean(speedups),
+                    low=min(speedups),
+                    high=max(speedups),
+                )
+            )
+    return rows
+
+
+def render(rows: list[Fig16Row]) -> str:
+    return format_table(
+        ["prefetcher", "destination", "speedup (geomean)", "min", "max"],
+        [(r.prefetcher, r.mode, r.average, r.low, r.high) for r in rows],
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(render(run()))

@@ -1,0 +1,97 @@
+"""Emit the paper's figures as SVG files.
+
+``python -m repro.experiments.figures_svg [output_dir]`` renders:
+
+* fig01.svg / fig10.svg — accuracy-vs-scope scatters,
+* fig08.svg — per-prefetcher geomean speedups,
+* fig09.svg — normalized traffic with min/max I-beams,
+* fig15.svg — compositing vs shunting,
+* fig16.svg — destination comparison.
+
+The SVG renderer is dependency-free (`repro.analysis.svgplot`).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro.analysis import svgplot
+from repro.experiments import fig01, fig08, fig09, fig10, fig15, fig16
+from repro.experiments.runner import ExperimentRunner
+
+
+def _scatter_series(series_list):
+    return [
+        svgplot.ScatterSeries(
+            label=s.prefetcher,
+            points=[(p.scope, p.accuracy, p.weight) for p in s.points],
+        )
+        for s in series_list
+    ]
+
+
+def generate(output_dir: str,
+             runner: ExperimentRunner | None = None) -> list[str]:
+    """Render every figure; returns the written paths."""
+    runner = runner or ExperimentRunner()
+    os.makedirs(output_dir, exist_ok=True)
+    written = []
+
+    def write(name: str, svg: str) -> None:
+        path = os.path.join(output_dir, name)
+        with open(path, "w") as handle:
+            handle.write(svg)
+        written.append(path)
+
+    write("fig01.svg", svgplot.scatter_svg(
+        _scatter_series(fig01.run(runner)),
+        title="Fig. 1 — accuracy vs scope (AMPM/BOP/SMS)",
+    ))
+
+    grid = fig08.run(runner)
+    write("fig08.svg", svgplot.bars_svg(
+        {p: grid.geomean(p) for p in grid.prefetchers},
+        title="Fig. 8 — geomean speedup (SPEC-like suite)",
+    ))
+
+    traffic = fig09.run(runner)
+    write("fig09.svg", svgplot.bars_svg(
+        {r.prefetcher: r.geomean for r in traffic},
+        ranges={r.prefetcher: (r.low, r.high) for r in traffic},
+        title="Fig. 9 — normalized memory traffic",
+        y_label="traffic vs no-prefetch",
+    ))
+
+    write("fig10.svg", svgplot.scatter_svg(
+        _scatter_series(fig10.run(runner)),
+        title="Fig. 10 — accuracy vs scope (all prefetchers)",
+    ))
+
+    fifteen = fig15.run(runner)
+    write("fig15.svg", svgplot.bars_svg(
+        {f"{r.extra}-{r.mode[:4]}": r.average for r in fifteen},
+        ranges={f"{r.extra}-{r.mode[:4]}": (r.low, r.high)
+                for r in fifteen},
+        title="Fig. 15 — compositing vs shunting (vs TPC alone)",
+        y_label="speedup vs TPC",
+    ))
+
+    sixteen = fig16.run(runner)
+    write("fig16.svg", svgplot.bars_svg(
+        {f"{r.prefetcher}-{r.mode}": r.average for r in sixteen
+         if r.prefetcher in ("bop", "sms", "tpc")},
+        title="Fig. 16 — prefetch destination (subset)",
+    ))
+    return written
+
+
+def main(argv: list[str] | None = None) -> None:
+    argv = argv if argv is not None else sys.argv[1:]
+    output_dir = argv[0] if argv else "figures"
+    for path in generate(output_dir):
+        print(path, file=sys.stderr)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,109 @@
+"""The paper's future-work direction, implemented (recap item 3):
+
+"TPC currently lacks in HHF scope, suggesting more components targeting
+this area will be helpful. ... Further specialization is likely to
+deliver additional benefits."
+
+This experiment adds two candidate HHF components behind TPC's
+coordinator — a Markov (temporal-correlation) predictor and an ISB-style
+irregular stream buffer, both classic designs the related-work section
+discusses — and measures each one's marginal effect on
+pointer/irregular-heavy workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.metrics import geometric_mean
+from repro.analysis.report import format_table
+from repro.baselines.isb import IsbPrefetcher
+from repro.baselines.markov import MarkovPrefetcher
+from repro.core.composite import make_tpc
+from repro.experiments.runner import ExperimentRunner
+
+HHF_HEAVY_APPS = [
+    "spec.mcf",
+    "spec.xalancbmk",
+    "spec.sjeng",
+    "spec.gobmk",
+    "npb.is",
+    "crono.bfs_google",
+    "crono.sssp_twitter",
+]
+
+EXTRA_FACTORIES = {
+    "markov": MarkovPrefetcher,
+    "isb": IsbPrefetcher,
+}
+
+
+def _tpc_plus_factory(extra: str):
+    def factory(extra=extra):
+        return make_tpc(extras=[EXTRA_FACTORIES[extra]()])
+
+    factory.cache_key = f"tpc+{extra}"
+    return factory
+
+
+@dataclass
+class FutureWorkRow:
+    app: str
+    extra: str
+    tpc: float
+    extra_alone: float
+    tpc_plus_extra: float
+
+    @property
+    def marginal(self) -> float:
+        if self.tpc == 0:
+            return 0.0
+        return self.tpc_plus_extra / self.tpc
+
+
+def run(runner: ExperimentRunner | None = None,
+        apps: list[str] | None = None,
+        extras: list[str] | None = None) -> list[FutureWorkRow]:
+    runner = runner or ExperimentRunner()
+    apps = apps or HHF_HEAVY_APPS
+    extras = extras or list(EXTRA_FACTORIES)
+    rows = []
+    for extra in extras:
+        factory = _tpc_plus_factory(extra)
+        for app in apps:
+            baseline = runner.baseline(app)
+            rows.append(
+                FutureWorkRow(
+                    app=app,
+                    extra=extra,
+                    tpc=baseline.cycles / runner.run(app, "tpc").cycles,
+                    extra_alone=(
+                        baseline.cycles / runner.run(app, extra).cycles
+                    ),
+                    tpc_plus_extra=(
+                        baseline.cycles / runner.run(app, factory).cycles
+                    ),
+                )
+            )
+    return rows
+
+
+def render(rows: list[FutureWorkRow]) -> str:
+    body = format_table(
+        ["app", "extra", "tpc", "extra alone", "tpc+extra", "marginal"],
+        [(r.app, r.extra, r.tpc, r.extra_alone, r.tpc_plus_extra,
+          r.marginal) for r in rows],
+    )
+    lines = [body, ""]
+    for extra in sorted({r.extra for r in rows}):
+        marginal = geometric_mean(
+            [r.marginal for r in rows if r.extra == extra]
+        )
+        lines.append(
+            f"geomean marginal effect of +{extra}: {marginal:.3f}"
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(render(run()))

@@ -1,0 +1,91 @@
+"""Regenerate every reproduced artifact in one run.
+
+``python -m repro.experiments.report_all [output.md]`` runs Tables I-II,
+Figs. 1 and 8-16, the drop-policy experiment, and the ablations, sharing
+one result cache, and writes a single markdown-ish report.  This is the
+programmatic equivalent of ``pytest benchmarks/ --benchmark-only`` when
+you want the tables without the benchmarking machinery.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import (
+    ablations,
+    drop_policy,
+    fig01,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    tables,
+)
+from repro.experiments.runner import ExperimentRunner
+
+SECTIONS = [
+    ("Table I — system configuration",
+     lambda runner: tables.render_table1()),
+    ("Table II — prefetcher storage cost",
+     lambda runner: tables.render_table2()),
+    ("Fig. 1 — accuracy vs scope (AMPM/BOP/SMS)",
+     lambda runner: fig01.render(fig01.run(runner))),
+    ("Fig. 8 — per-application speedups",
+     lambda runner: fig08.render(fig08.run(runner))),
+    ("Fig. 9 — normalized memory traffic",
+     lambda runner: fig09.render(fig09.run(runner))),
+    ("Fig. 10 — effective accuracy vs scope (all prefetchers)",
+     lambda runner: fig10.render(fig10.run(runner))),
+    ("Fig. 11 — speedups per suite (incl. 4-core mixes)",
+     lambda runner: fig11.render(fig11.run(runner, mix_count=3))),
+    ("Fig. 12 — accuracy/coverage vs scope at L1 and L2",
+     lambda runner: fig12.render(fig12.run(runner))),
+    ("Fig. 13 — per-category (LHF/MHF/HHF) accuracy and scope",
+     lambda runner: fig13.render(fig13.run(runner))),
+    ("Fig. 14 — existing prefetchers alone vs as TPC components",
+     lambda runner: fig14.render(fig14.run(runner))),
+    ("Fig. 15 — compositing vs shunting",
+     lambda runner: fig15.render(fig15.run(runner))),
+    ("Fig. 16 — prefetch destination",
+     lambda runner: fig16.render(fig16.run(runner))),
+    ("Sec. V-C1 — memory-controller drop policy",
+     lambda runner: drop_policy.render(drop_policy.run(mix_count=3))),
+    ("Ablations — TPC design choices",
+     lambda runner: ablations.render(ablations.run(runner))),
+]
+
+
+def generate(runner: ExperimentRunner | None = None,
+             progress=None) -> str:
+    """Run every section and return the combined report text."""
+    runner = runner or ExperimentRunner()
+    parts = []
+    for title, render in SECTIONS:
+        started = time.time()
+        body = render(runner)
+        elapsed = time.time() - started
+        if progress is not None:
+            progress(f"{title} ({elapsed:.0f}s)")
+        parts.append(f"## {title}\n\n```\n{body}\n```\n")
+    return "\n".join(parts)
+
+
+def main(argv: list[str] | None = None) -> None:
+    argv = argv if argv is not None else sys.argv[1:]
+    report = generate(progress=lambda line: print(line, file=sys.stderr))
+    if argv:
+        with open(argv[0], "w") as handle:
+            handle.write(report)
+        print(f"wrote {argv[0]}", file=sys.stderr)
+    else:
+        print(report)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

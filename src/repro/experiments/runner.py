@@ -1,0 +1,70 @@
+"""Shared experiment runner with in-process result caching.
+
+Most figures reuse the same (workload, prefetcher) simulations — e.g. the
+no-prefetch baseline of every workload appears in every metric — so the
+runner memoizes :class:`~repro.engine.system.SimulationResult` objects
+keyed by workload, prefetcher spec, and configuration tag.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.base import Prefetcher
+from repro.engine.config import SystemConfig, EXPERIMENT_CONFIG
+from repro.engine.system import SimulationResult, simulate
+from repro.prefetcher_registry import make_prefetcher
+from repro.workloads import get_workload
+
+PrefetcherSpec = str | Callable[[], Prefetcher]
+"""Either a registry name or a zero-argument factory."""
+
+
+def spec_key(spec: PrefetcherSpec) -> str:
+    """Stable cache key for a prefetcher spec."""
+    if isinstance(spec, str):
+        return spec
+    name = getattr(spec, "cache_key", None)
+    if name is not None:
+        return name
+    return getattr(spec, "__name__", repr(spec))
+
+
+def build_prefetcher(spec: PrefetcherSpec) -> Prefetcher:
+    if isinstance(spec, str):
+        return make_prefetcher(spec)
+    return spec()
+
+
+class ExperimentRunner:
+    """Caches single-core simulation results."""
+
+    def __init__(self, config: SystemConfig | None = None) -> None:
+        self.config = config or EXPERIMENT_CONFIG
+        self._cache: dict[tuple[str, str, str], SimulationResult] = {}
+
+    def run(self, workload: str, prefetcher: PrefetcherSpec = "none",
+            tag: str = "") -> SimulationResult:
+        """Simulate (cached).  ``tag`` distinguishes config variants."""
+        key = (workload, spec_key(prefetcher), tag)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        trace = get_workload(workload).trace()
+        result = simulate(trace, build_prefetcher(prefetcher), self.config)
+        self._cache[key] = result
+        return result
+
+    def run_tracked(self, workload: str, prefetcher: PrefetcherSpec,
+                    tracker) -> SimulationResult:
+        """Simulate with a credit tracker attached (never cached: the
+        tracker is a side output)."""
+        trace = get_workload(workload).trace()
+        return simulate(trace, build_prefetcher(prefetcher), self.config,
+                        tracker=tracker)
+
+    def baseline(self, workload: str) -> SimulationResult:
+        return self.run(workload, "none")
+
+    def cache_size(self) -> int:
+        return len(self._cache)

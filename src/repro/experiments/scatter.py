@@ -1,0 +1,66 @@
+"""Shared scope-vs-accuracy scatter machinery for Figs. 1 and 10.
+
+Both figures plot, per (prefetcher, application): prefetching scope on
+the x-axis and L1 effective accuracy on the y-axis, with a suite-wide
+average weighted by application miss intensity (MPKI in Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.metrics import effective_accuracy, scope, weighted_average
+from repro.experiments.runner import ExperimentRunner
+
+
+@dataclass(frozen=True)
+class ScatterPoint:
+    prefetcher: str
+    app: str
+    scope: float
+    accuracy: float
+    weight: float            # MPKI (Fig. 1) or prefetches issued (Fig. 10)
+
+
+@dataclass
+class ScatterSeries:
+    prefetcher: str
+    points: list[ScatterPoint]
+
+    @property
+    def average_scope(self) -> float:
+        return weighted_average((p.scope, p.weight) for p in self.points)
+
+    @property
+    def average_accuracy(self) -> float:
+        return weighted_average((p.accuracy, p.weight) for p in self.points)
+
+
+def collect_scatter(prefetchers: list[str], apps: list[str],
+                    runner: ExperimentRunner | None = None,
+                    weight_by: str = "mpki") -> list[ScatterSeries]:
+    """Simulate each (prefetcher, app) pair and compute the scatter."""
+    runner = runner or ExperimentRunner()
+    series = []
+    for name in prefetchers:
+        points = []
+        for app in apps:
+            baseline = runner.baseline(app)
+            result = runner.run(app, name)
+            if weight_by == "mpki":
+                weight = baseline.l1_mpki
+            elif weight_by == "issued":
+                weight = float(result.prefetch.issued)
+            else:
+                raise ValueError(f"unknown weight_by {weight_by!r}")
+            points.append(
+                ScatterPoint(
+                    prefetcher=name,
+                    app=app,
+                    scope=scope(result, baseline),
+                    accuracy=effective_accuracy(result, baseline),
+                    weight=weight,
+                )
+            )
+        series.append(ScatterSeries(prefetcher=name, points=points))
+    return series

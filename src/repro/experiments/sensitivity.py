@@ -1,0 +1,114 @@
+"""Sensitivity sweeps: how the headline comparison moves with the
+memory-system provisioning.
+
+Two sweeps:
+
+* **L3 capacity** — as the shared cache grows toward the working sets,
+  all prefetchers' gains shrink (fewer misses to remove); the claim that
+  TPC >= best monolithic should hold at every point.
+* **MSHR count** — prefetcher aggressiveness is throttled by miss
+  buffers; small MSHR counts punish over-aggressive designs more.
+
+These are the "knobs a reviewer would turn" on the reproduction —
+scaled-system choices should not drive the conclusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.analysis.metrics import geometric_mean
+from repro.analysis.report import format_table
+from repro.engine.config import EXPERIMENT_CONFIG
+from repro.engine.system import simulate
+from repro.prefetcher_registry import make_prefetcher
+from repro.workloads import get_workload
+
+# A pattern-balanced subset (stream, multi-stream, chain, region, AoP,
+# gather) — one representative per category, like the suite itself.
+DEFAULT_APPS = [
+    "spec.libquantum",
+    "spec.milc",
+    "spec.mcf",
+    "spec.h264ref",
+    "spec.omnetpp",
+    "npb.cg",
+]
+
+DEFAULT_PREFETCHERS = ["bop", "spp", "tpc"]
+
+L3_SIZES_KB = [64, 128, 256, 512, 1024]
+MSHR_COUNTS = [4, 8, 16, 32]
+
+
+@dataclass
+class SweepPoint:
+    parameter: str
+    value: int
+    prefetcher: str
+    speedup: float
+
+
+def _geomean_speedup(config, prefetcher: str, apps: list[str]) -> float:
+    speedups = []
+    for app in apps:
+        trace = get_workload(app).trace()
+        baseline = simulate(trace, config=config)
+        result = simulate(trace, make_prefetcher(prefetcher), config)
+        speedups.append(baseline.cycles / result.cycles)
+    return geometric_mean(speedups)
+
+
+def run_l3_sweep(apps: list[str] | None = None,
+                 prefetchers: list[str] | None = None,
+                 sizes_kb: list[int] | None = None) -> list[SweepPoint]:
+    apps = apps or DEFAULT_APPS
+    prefetchers = prefetchers or DEFAULT_PREFETCHERS
+    sizes_kb = sizes_kb or L3_SIZES_KB
+    points = []
+    for size_kb in sizes_kb:
+        config = EXPERIMENT_CONFIG.with_l3_size(size_kb * 1024)
+        for prefetcher in prefetchers:
+            points.append(
+                SweepPoint(
+                    "l3_kb", size_kb, prefetcher,
+                    _geomean_speedup(config, prefetcher, apps),
+                )
+            )
+    return points
+
+
+def run_mshr_sweep(apps: list[str] | None = None,
+                   prefetchers: list[str] | None = None,
+                   counts: list[int] | None = None) -> list[SweepPoint]:
+    apps = apps or DEFAULT_APPS
+    prefetchers = prefetchers or DEFAULT_PREFETCHERS
+    counts = counts or MSHR_COUNTS
+    points = []
+    for count in counts:
+        config = replace(
+            EXPERIMENT_CONFIG,
+            l1d=replace(EXPERIMENT_CONFIG.l1d, mshrs=count),
+            l2=replace(EXPERIMENT_CONFIG.l2, mshrs=count),
+        )
+        for prefetcher in prefetchers:
+            points.append(
+                SweepPoint(
+                    "mshrs", count, prefetcher,
+                    _geomean_speedup(config, prefetcher, apps),
+                )
+            )
+    return points
+
+
+def render(points: list[SweepPoint]) -> str:
+    return format_table(
+        ["parameter", "value", "prefetcher", "geomean speedup"],
+        [(p.parameter, p.value, p.prefetcher, p.speedup) for p in points],
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(render(run_l3_sweep()))
+    print()
+    print(render(run_mshr_sweep()))

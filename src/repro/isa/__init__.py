@@ -1,0 +1,38 @@
+"""Micro-ISA substrate.
+
+The paper evaluates prefetchers with gem5 running SPEC/CRONO/STARBENCH/NPB
+binaries.  Those binaries (and gem5) are not available here, so this package
+provides the closest synthetic equivalent: a tiny register machine whose
+programs produce dynamic instruction traces with everything the paper's
+prefetcher mechanisms observe on a real core:
+
+* program counters and I-cache-line locality (T2's per-instruction state),
+* backward loop branches and call/return (T2's loop hardware and the
+  ``mPC = PC xor RAS.top`` call-site disambiguation),
+* register dataflow (P1's taint-propagation unit),
+* load values (P1's pointer-chain and array-of-pointers patterns),
+* effective addresses (every prefetcher, the cache hierarchy).
+
+The public surface is :class:`~repro.isa.program.Assembler` /
+:class:`~repro.isa.program.Program` for building programs,
+:class:`~repro.isa.machine.Machine` for running them, and
+:class:`~repro.isa.trace.Trace` for the recorded result.
+"""
+
+from repro.isa.instructions import Instruction, Opcode, OpClass
+from repro.isa.program import Assembler, Program
+from repro.isa.machine import Machine, MachineError
+from repro.isa.trace import Trace, TraceRecord, TraceStats
+
+__all__ = [
+    "Assembler",
+    "Instruction",
+    "Machine",
+    "MachineError",
+    "OpClass",
+    "Opcode",
+    "Program",
+    "Trace",
+    "TraceRecord",
+    "TraceStats",
+]

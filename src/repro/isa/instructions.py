@@ -1,0 +1,160 @@
+"""Instruction set definition for the micro-ISA.
+
+The ISA is deliberately small: enough arithmetic to compute addresses and
+loop counters, loads/stores with base+offset addressing, conditional
+branches, and call/return.  Each static instruction occupies 4 bytes of the
+(virtual) instruction address space so that program counters have realistic
+I-cache-line locality (16 instructions per 64-byte line).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+INSTRUCTION_BYTES = 4
+"""Size of one encoded instruction; PCs advance by this amount."""
+
+NUM_REGISTERS = 32
+"""Number of general-purpose registers (r0..r31).  r0 is writable."""
+
+WORD_BYTES = 8
+"""Data memory is accessed in 8-byte words."""
+
+
+class Opcode(enum.IntEnum):
+    """Operations understood by :class:`repro.isa.machine.Machine`."""
+
+    # Arithmetic / logic (register-register and register-immediate).
+    MOVI = enum.auto()   # rd <- imm
+    MOV = enum.auto()    # rd <- rs1
+    ADD = enum.auto()    # rd <- rs1 + rs2
+    ADDI = enum.auto()   # rd <- rs1 + imm
+    SUB = enum.auto()    # rd <- rs1 - rs2
+    MUL = enum.auto()    # rd <- rs1 * rs2
+    MULI = enum.auto()   # rd <- rs1 * imm
+    AND = enum.auto()    # rd <- rs1 & rs2
+    ANDI = enum.auto()   # rd <- rs1 & imm
+    XOR = enum.auto()    # rd <- rs1 ^ rs2
+    SHLI = enum.auto()   # rd <- rs1 << imm
+    SHRI = enum.auto()   # rd <- rs1 >> imm
+    # Memory.
+    LOAD = enum.auto()   # rd <- M[rs1 + imm]
+    STORE = enum.auto()  # M[rs1 + imm] <- rs2
+    # Control flow.  Branch targets are instruction indices after assembly.
+    BEQ = enum.auto()    # if rs1 == rs2 goto target
+    BNE = enum.auto()    # if rs1 != rs2 goto target
+    BLT = enum.auto()    # if rs1 <  rs2 goto target
+    BGE = enum.auto()    # if rs1 >= rs2 goto target
+    JMP = enum.auto()    # goto target
+    CALL = enum.auto()   # push return, goto target
+    RET = enum.auto()    # pop return, goto it
+    # Misc.
+    NOP = enum.auto()
+    HALT = enum.auto()
+
+
+class OpClass(enum.IntEnum):
+    """Coarse classification used by the timing model and prefetchers."""
+
+    ALU = 0
+    LOAD = 1
+    STORE = 2
+    BRANCH = 3
+    CALL = 4
+    RET = 5
+    OTHER = 6
+
+
+_BRANCH_OPS = frozenset(
+    {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.JMP}
+)
+
+_CONDITIONAL_BRANCH_OPS = frozenset(
+    {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE}
+)
+
+_ALU_OPS = frozenset(
+    {
+        Opcode.MOVI,
+        Opcode.MOV,
+        Opcode.ADD,
+        Opcode.ADDI,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.MULI,
+        Opcode.AND,
+        Opcode.ANDI,
+        Opcode.XOR,
+        Opcode.SHLI,
+        Opcode.SHRI,
+    }
+)
+
+
+def op_class(op: Opcode) -> OpClass:
+    """Map an opcode to its :class:`OpClass`."""
+    if op in _ALU_OPS:
+        return OpClass.ALU
+    if op is Opcode.LOAD:
+        return OpClass.LOAD
+    if op is Opcode.STORE:
+        return OpClass.STORE
+    if op in _BRANCH_OPS:
+        return OpClass.BRANCH
+    if op is Opcode.CALL:
+        return OpClass.CALL
+    if op is Opcode.RET:
+        return OpClass.RET
+    return OpClass.OTHER
+
+
+def is_branch(op: Opcode) -> bool:
+    """True for (conditional or unconditional) branches, not call/ret."""
+    return op in _BRANCH_OPS
+
+
+def is_conditional_branch(op: Opcode) -> bool:
+    """True only for the conditional branch opcodes."""
+    return op in _CONDITIONAL_BRANCH_OPS
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """One static instruction.
+
+    ``rd``/``rs1``/``rs2`` are register indices (or ``None`` when unused),
+    ``imm`` is a signed immediate, and ``target`` is an instruction *index*
+    into the program (filled in by the assembler for control transfers).
+    """
+
+    op: Opcode
+    rd: int | None = None
+    rs1: int | None = None
+    rs2: int | None = None
+    imm: int = 0
+    target: int | None = None
+
+    def source_registers(self) -> tuple[int, ...]:
+        """Registers read by this instruction (for taint propagation)."""
+        sources = []
+        if self.rs1 is not None:
+            sources.append(self.rs1)
+        if self.rs2 is not None:
+            sources.append(self.rs2)
+        return tuple(sources)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [self.op.name.lower()]
+        if self.rd is not None:
+            parts.append(f"r{self.rd}")
+        if self.rs1 is not None:
+            parts.append(f"r{self.rs1}")
+        if self.rs2 is not None:
+            parts.append(f"r{self.rs2}")
+        if self.imm:
+            parts.append(str(self.imm))
+        if self.target is not None:
+            parts.append(f"@{self.target}")
+        return " ".join(parts)

@@ -1,0 +1,278 @@
+"""Functional executor: runs a :class:`~repro.isa.program.Program` and
+records the dynamic :class:`~repro.isa.trace.Trace`.
+
+The machine is purely functional (no timing).  It models:
+
+* 32 general-purpose 64-bit registers with signed wraparound arithmetic,
+* word-granular data memory (8-byte words, uninitialized reads return 0),
+* a bounded return-address stack mirroring the 32-entry RAS in Table I,
+  whose top-of-stack value is recorded per trace record for T2's ``mPC``.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import (
+    INSTRUCTION_BYTES,
+    NUM_REGISTERS,
+    Opcode,
+    OpClass,
+)
+from repro.isa.program import Program
+from repro.isa.trace import Trace, TraceRecord
+
+_WORD_MASK = (1 << 64) - 1
+_SIGN_BIT = 1 << 63
+
+RAS_DEPTH = 32
+"""Return-address-stack depth (Table I: 32-entry RAS)."""
+
+
+class MachineError(RuntimeError):
+    """Raised on invalid execution (bad PC, RET with empty stack, ...)."""
+
+
+def _wrap(value: int) -> int:
+    """Wrap a Python int to signed 64-bit semantics."""
+    value &= _WORD_MASK
+    if value & _SIGN_BIT:
+        value -= 1 << 64
+    return value
+
+
+class Machine:
+    """Executes programs and produces traces.
+
+    Parameters
+    ----------
+    max_instructions:
+        Safety bound on trace length; exceeding it raises
+        :class:`MachineError` unless ``truncate`` is true, in which case the
+        trace is cut at the bound (useful for fixed-length "simpoints").
+    """
+
+    def __init__(self, max_instructions: int = 2_000_000,
+                 truncate: bool = True) -> None:
+        self.max_instructions = max_instructions
+        self.truncate = truncate
+
+    def run(self, program: Program) -> Trace:
+        """Execute ``program`` from its first instruction until HALT."""
+        instructions = program.instructions
+        if not instructions:
+            raise MachineError("empty program")
+        memory = dict(program.memory)
+        registers = [0] * NUM_REGISTERS
+        base_pc = program.base_pc
+        records: list[TraceRecord] = []
+        ras: list[int] = []
+        index = 0
+        limit = self.max_instructions
+        n_instructions = len(instructions)
+
+        while True:
+            if len(records) >= limit:
+                if self.truncate:
+                    break
+                raise MachineError(
+                    f"exceeded max_instructions={limit} in {program.name!r}"
+                )
+            if not 0 <= index < n_instructions:
+                raise MachineError(
+                    f"PC index {index} out of range in {program.name!r}"
+                )
+            instruction = instructions[index]
+            op = instruction.op
+            pc = base_pc + index * INSTRUCTION_BYTES
+            ras_top = ras[-1] if ras else 0
+            next_index = index + 1
+
+            if op is Opcode.LOAD:
+                address = registers[instruction.rs1] + instruction.imm
+                if address < 0:
+                    raise MachineError(
+                        f"negative load address {address} at pc={pc:#x}"
+                    )
+                value = memory.get(address & ~7, 0)
+                registers[instruction.rd] = value
+                records.append(
+                    TraceRecord(
+                        pc,
+                        OpClass.LOAD,
+                        addr=address,
+                        value=value,
+                        dst=instruction.rd,
+                        src1=instruction.rs1,
+                        ras_top=ras_top,
+                    )
+                )
+            elif op is Opcode.STORE:
+                address = registers[instruction.rs1] + instruction.imm
+                if address < 0:
+                    raise MachineError(
+                        f"negative store address {address} at pc={pc:#x}"
+                    )
+                memory[address & ~7] = registers[instruction.rs2]
+                records.append(
+                    TraceRecord(
+                        pc,
+                        OpClass.STORE,
+                        addr=address,
+                        src1=instruction.rs1,
+                        src2=instruction.rs2,
+                        ras_top=ras_top,
+                    )
+                )
+            elif op is Opcode.MOVI:
+                registers[instruction.rd] = _wrap(instruction.imm)
+                records.append(
+                    TraceRecord(pc, OpClass.ALU, dst=instruction.rd,
+                                ras_top=ras_top)
+                )
+            elif op is Opcode.MOV:
+                registers[instruction.rd] = registers[instruction.rs1]
+                records.append(
+                    TraceRecord(pc, OpClass.ALU, dst=instruction.rd,
+                                src1=instruction.rs1, ras_top=ras_top)
+                )
+            elif op is Opcode.ADD:
+                registers[instruction.rd] = _wrap(
+                    registers[instruction.rs1] + registers[instruction.rs2]
+                )
+                records.append(
+                    TraceRecord(pc, OpClass.ALU, dst=instruction.rd,
+                                src1=instruction.rs1, src2=instruction.rs2,
+                                ras_top=ras_top)
+                )
+            elif op is Opcode.ADDI:
+                registers[instruction.rd] = _wrap(
+                    registers[instruction.rs1] + instruction.imm
+                )
+                records.append(
+                    TraceRecord(pc, OpClass.ALU, dst=instruction.rd,
+                                src1=instruction.rs1, ras_top=ras_top)
+                )
+            elif op is Opcode.SUB:
+                registers[instruction.rd] = _wrap(
+                    registers[instruction.rs1] - registers[instruction.rs2]
+                )
+                records.append(
+                    TraceRecord(pc, OpClass.ALU, dst=instruction.rd,
+                                src1=instruction.rs1, src2=instruction.rs2,
+                                ras_top=ras_top)
+                )
+            elif op is Opcode.MUL:
+                registers[instruction.rd] = _wrap(
+                    registers[instruction.rs1] * registers[instruction.rs2]
+                )
+                records.append(
+                    TraceRecord(pc, OpClass.ALU, dst=instruction.rd,
+                                src1=instruction.rs1, src2=instruction.rs2,
+                                ras_top=ras_top)
+                )
+            elif op is Opcode.MULI:
+                registers[instruction.rd] = _wrap(
+                    registers[instruction.rs1] * instruction.imm
+                )
+                records.append(
+                    TraceRecord(pc, OpClass.ALU, dst=instruction.rd,
+                                src1=instruction.rs1, ras_top=ras_top)
+                )
+            elif op is Opcode.AND:
+                registers[instruction.rd] = (
+                    registers[instruction.rs1] & registers[instruction.rs2]
+                )
+                records.append(
+                    TraceRecord(pc, OpClass.ALU, dst=instruction.rd,
+                                src1=instruction.rs1, src2=instruction.rs2,
+                                ras_top=ras_top)
+                )
+            elif op is Opcode.ANDI:
+                registers[instruction.rd] = (
+                    registers[instruction.rs1] & instruction.imm
+                )
+                records.append(
+                    TraceRecord(pc, OpClass.ALU, dst=instruction.rd,
+                                src1=instruction.rs1, ras_top=ras_top)
+                )
+            elif op is Opcode.XOR:
+                registers[instruction.rd] = (
+                    registers[instruction.rs1] ^ registers[instruction.rs2]
+                )
+                records.append(
+                    TraceRecord(pc, OpClass.ALU, dst=instruction.rd,
+                                src1=instruction.rs1, src2=instruction.rs2,
+                                ras_top=ras_top)
+                )
+            elif op is Opcode.SHLI:
+                registers[instruction.rd] = _wrap(
+                    registers[instruction.rs1] << instruction.imm
+                )
+                records.append(
+                    TraceRecord(pc, OpClass.ALU, dst=instruction.rd,
+                                src1=instruction.rs1, ras_top=ras_top)
+                )
+            elif op is Opcode.SHRI:
+                registers[instruction.rd] = (
+                    (registers[instruction.rs1] & _WORD_MASK)
+                    >> instruction.imm
+                )
+                records.append(
+                    TraceRecord(pc, OpClass.ALU, dst=instruction.rd,
+                                src1=instruction.rs1, ras_top=ras_top)
+                )
+            elif op in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE):
+                a = registers[instruction.rs1]
+                b = registers[instruction.rs2]
+                if op is Opcode.BEQ:
+                    taken = a == b
+                elif op is Opcode.BNE:
+                    taken = a != b
+                elif op is Opcode.BLT:
+                    taken = a < b
+                else:
+                    taken = a >= b
+                target_pc = base_pc + instruction.target * INSTRUCTION_BYTES
+                records.append(
+                    TraceRecord(pc, OpClass.BRANCH, src1=instruction.rs1,
+                                src2=instruction.rs2, taken=taken,
+                                target_pc=target_pc, ras_top=ras_top)
+                )
+                if taken:
+                    next_index = instruction.target
+            elif op is Opcode.JMP:
+                target_pc = base_pc + instruction.target * INSTRUCTION_BYTES
+                records.append(
+                    TraceRecord(pc, OpClass.BRANCH, taken=True,
+                                target_pc=target_pc, ras_top=ras_top)
+                )
+                next_index = instruction.target
+            elif op is Opcode.CALL:
+                target_pc = base_pc + instruction.target * INSTRUCTION_BYTES
+                return_pc = pc + INSTRUCTION_BYTES
+                records.append(
+                    TraceRecord(pc, OpClass.CALL, taken=True,
+                                target_pc=target_pc, ras_top=ras_top)
+                )
+                if len(ras) >= RAS_DEPTH:
+                    ras.pop(0)
+                ras.append(return_pc)
+                next_index = instruction.target
+            elif op is Opcode.RET:
+                if not ras:
+                    raise MachineError(f"RET with empty RAS at pc={pc:#x}")
+                return_pc = ras.pop()
+                records.append(
+                    TraceRecord(pc, OpClass.RET, taken=True,
+                                target_pc=return_pc, ras_top=ras_top)
+                )
+                next_index = (return_pc - base_pc) // INSTRUCTION_BYTES
+            elif op is Opcode.NOP:
+                records.append(TraceRecord(pc, OpClass.OTHER, ras_top=ras_top))
+            elif op is Opcode.HALT:
+                break
+            else:  # pragma: no cover - enum is exhaustive
+                raise MachineError(f"unhandled opcode {op!r}")
+
+            index = next_index
+
+        return Trace(name=program.name, records=records, memory=memory)

@@ -1,0 +1,254 @@
+"""Program container and a small assembler for building micro-ISA programs.
+
+Workload builders (:mod:`repro.workloads.builders`) use :class:`Assembler`
+to write kernels with symbolic labels::
+
+    asm = Assembler()
+    asm.movi("r1", 0)
+    loop = asm.label("loop")
+    asm.load("r2", "r1", 0)
+    asm.addi("r1", "r1", 64)
+    asm.blt("r1", "r3", loop)
+    asm.halt()
+    program = asm.assemble()
+
+Register operands accept either an ``int`` index or an ``"rN"`` string.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import (
+    INSTRUCTION_BYTES,
+    NUM_REGISTERS,
+    Instruction,
+    Opcode,
+)
+
+
+class AssemblyError(ValueError):
+    """Raised for malformed programs (unknown labels, bad registers)."""
+
+
+@dataclass
+class Program:
+    """An assembled program plus its initial data memory image.
+
+    ``memory`` maps 8-byte-aligned addresses to 64-bit word values; it is
+    copied by the machine at the start of execution so a program can be run
+    many times.  ``base_pc`` offsets instruction addresses so different
+    programs in a multiprogram mix occupy distinct PC ranges.
+    """
+
+    instructions: list[Instruction]
+    memory: dict[int, int] = field(default_factory=dict)
+    base_pc: int = 0x1000
+    name: str = "program"
+
+    def pc_of(self, index: int) -> int:
+        """Virtual PC of the instruction at ``index``."""
+        return self.base_pc + index * INSTRUCTION_BYTES
+
+    def index_of(self, pc: int) -> int:
+        """Inverse of :meth:`pc_of`."""
+        return (pc - self.base_pc) // INSTRUCTION_BYTES
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+def _reg(operand: int | str) -> int:
+    """Normalize a register operand to an index, validating its range."""
+    if isinstance(operand, str):
+        if not operand.startswith("r"):
+            raise AssemblyError(f"bad register operand {operand!r}")
+        try:
+            operand = int(operand[1:])
+        except ValueError as exc:
+            raise AssemblyError(f"bad register operand {operand!r}") from exc
+    if not 0 <= operand < NUM_REGISTERS:
+        raise AssemblyError(f"register index {operand} out of range")
+    return operand
+
+
+@dataclass(frozen=True)
+class Label:
+    """A symbolic jump target returned by :meth:`Assembler.label`."""
+
+    name: str
+
+
+class Assembler:
+    """Incremental builder producing a :class:`Program`.
+
+    Forward references are allowed: ``future_label`` creates a label that is
+    placed later with :meth:`place`.
+    """
+
+    def __init__(self, name: str = "program", base_pc: int = 0x1000) -> None:
+        self._instructions: list[Instruction] = []
+        self._labels: dict[str, int] = {}
+        self._fixups: list[tuple[int, str]] = []
+        self._memory: dict[int, int] = {}
+        self._name = name
+        self._base_pc = base_pc
+        self._label_counter = 0
+
+    # ------------------------------------------------------------------
+    # Labels
+    # ------------------------------------------------------------------
+    def label(self, name: str | None = None) -> Label:
+        """Create a label bound to the *current* position."""
+        label = self.future_label(name)
+        self.place(label)
+        return label
+
+    def future_label(self, name: str | None = None) -> Label:
+        """Create a label to be placed later (forward branch target)."""
+        if name is None:
+            name = f"_L{self._label_counter}"
+            self._label_counter += 1
+        if name in self._labels:
+            raise AssemblyError(f"label {name!r} already placed")
+        return Label(name)
+
+    def place(self, label: Label) -> None:
+        """Bind ``label`` to the current instruction index."""
+        if label.name in self._labels:
+            raise AssemblyError(f"label {label.name!r} already placed")
+        self._labels[label.name] = len(self._instructions)
+
+    @property
+    def here(self) -> int:
+        """Index of the next instruction to be emitted."""
+        return len(self._instructions)
+
+    # ------------------------------------------------------------------
+    # Data memory
+    # ------------------------------------------------------------------
+    def data(self, address: int, values: int | list[int]) -> None:
+        """Initialize data memory words starting at ``address``."""
+        if address % 8:
+            raise AssemblyError(f"data address {address:#x} not 8-byte aligned")
+        if isinstance(values, int):
+            values = [values]
+        for offset, value in enumerate(values):
+            self._memory[address + 8 * offset] = value
+
+    # ------------------------------------------------------------------
+    # Instruction emitters
+    # ------------------------------------------------------------------
+    def _emit(self, instruction: Instruction) -> None:
+        self._instructions.append(instruction)
+
+    def _emit_branch(self, op: Opcode, label: Label,
+                     rs1: int | str | None = None,
+                     rs2: int | str | None = None) -> None:
+        index = len(self._instructions)
+        self._fixups.append((index, label.name))
+        self._emit(
+            Instruction(
+                op,
+                rs1=_reg(rs1) if rs1 is not None else None,
+                rs2=_reg(rs2) if rs2 is not None else None,
+                target=-1,
+            )
+        )
+
+    def movi(self, rd: int | str, imm: int) -> None:
+        self._emit(Instruction(Opcode.MOVI, rd=_reg(rd), imm=imm))
+
+    def mov(self, rd: int | str, rs: int | str) -> None:
+        self._emit(Instruction(Opcode.MOV, rd=_reg(rd), rs1=_reg(rs)))
+
+    def add(self, rd: int | str, rs1: int | str, rs2: int | str) -> None:
+        self._emit(Instruction(Opcode.ADD, rd=_reg(rd), rs1=_reg(rs1), rs2=_reg(rs2)))
+
+    def addi(self, rd: int | str, rs1: int | str, imm: int) -> None:
+        self._emit(Instruction(Opcode.ADDI, rd=_reg(rd), rs1=_reg(rs1), imm=imm))
+
+    def sub(self, rd: int | str, rs1: int | str, rs2: int | str) -> None:
+        self._emit(Instruction(Opcode.SUB, rd=_reg(rd), rs1=_reg(rs1), rs2=_reg(rs2)))
+
+    def mul(self, rd: int | str, rs1: int | str, rs2: int | str) -> None:
+        self._emit(Instruction(Opcode.MUL, rd=_reg(rd), rs1=_reg(rs1), rs2=_reg(rs2)))
+
+    def muli(self, rd: int | str, rs1: int | str, imm: int) -> None:
+        self._emit(Instruction(Opcode.MULI, rd=_reg(rd), rs1=_reg(rs1), imm=imm))
+
+    def and_(self, rd: int | str, rs1: int | str, rs2: int | str) -> None:
+        self._emit(Instruction(Opcode.AND, rd=_reg(rd), rs1=_reg(rs1), rs2=_reg(rs2)))
+
+    def andi(self, rd: int | str, rs1: int | str, imm: int) -> None:
+        self._emit(Instruction(Opcode.ANDI, rd=_reg(rd), rs1=_reg(rs1), imm=imm))
+
+    def xor(self, rd: int | str, rs1: int | str, rs2: int | str) -> None:
+        self._emit(Instruction(Opcode.XOR, rd=_reg(rd), rs1=_reg(rs1), rs2=_reg(rs2)))
+
+    def shli(self, rd: int | str, rs1: int | str, imm: int) -> None:
+        self._emit(Instruction(Opcode.SHLI, rd=_reg(rd), rs1=_reg(rs1), imm=imm))
+
+    def shri(self, rd: int | str, rs1: int | str, imm: int) -> None:
+        self._emit(Instruction(Opcode.SHRI, rd=_reg(rd), rs1=_reg(rs1), imm=imm))
+
+    def load(self, rd: int | str, base: int | str, imm: int = 0) -> None:
+        self._emit(Instruction(Opcode.LOAD, rd=_reg(rd), rs1=_reg(base), imm=imm))
+
+    def store(self, value: int | str, base: int | str, imm: int = 0) -> None:
+        self._emit(
+            Instruction(Opcode.STORE, rs1=_reg(base), rs2=_reg(value), imm=imm)
+        )
+
+    def beq(self, rs1: int | str, rs2: int | str, label: Label) -> None:
+        self._emit_branch(Opcode.BEQ, label, rs1, rs2)
+
+    def bne(self, rs1: int | str, rs2: int | str, label: Label) -> None:
+        self._emit_branch(Opcode.BNE, label, rs1, rs2)
+
+    def blt(self, rs1: int | str, rs2: int | str, label: Label) -> None:
+        self._emit_branch(Opcode.BLT, label, rs1, rs2)
+
+    def bge(self, rs1: int | str, rs2: int | str, label: Label) -> None:
+        self._emit_branch(Opcode.BGE, label, rs1, rs2)
+
+    def jmp(self, label: Label) -> None:
+        self._emit_branch(Opcode.JMP, label)
+
+    def call(self, label: Label) -> None:
+        self._emit_branch(Opcode.CALL, label)
+
+    def ret(self) -> None:
+        self._emit(Instruction(Opcode.RET))
+
+    def nop(self, count: int = 1) -> None:
+        for _ in range(count):
+            self._emit(Instruction(Opcode.NOP))
+
+    def halt(self) -> None:
+        self._emit(Instruction(Opcode.HALT))
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def assemble(self) -> Program:
+        """Resolve labels and return the finished :class:`Program`."""
+        instructions = list(self._instructions)
+        for index, label_name in self._fixups:
+            if label_name not in self._labels:
+                raise AssemblyError(f"label {label_name!r} never placed")
+            original = instructions[index]
+            instructions[index] = Instruction(
+                original.op,
+                rd=original.rd,
+                rs1=original.rs1,
+                rs2=original.rs2,
+                imm=original.imm,
+                target=self._labels[label_name],
+            )
+        return Program(
+            instructions=instructions,
+            memory=dict(self._memory),
+            base_pc=self._base_pc,
+            name=self._name,
+        )

@@ -1,0 +1,166 @@
+"""Dynamic trace containers produced by :class:`repro.isa.machine.Machine`.
+
+A trace is the interface between the functional substrate and the timing
+simulator: the timing model replays records in program order and the
+prefetchers observe a per-record view equivalent to what the paper's
+hardware sees at decode/issue/commit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import OpClass
+
+
+class TraceRecord:
+    """One retired dynamic instruction.
+
+    Attributes
+    ----------
+    pc:
+        Virtual program counter of the instruction.
+    opc:
+        :class:`~repro.isa.instructions.OpClass` as an ``int`` (hot path).
+    addr:
+        Effective byte address for loads/stores, else ``0``.
+    value:
+        The 64-bit value loaded (loads only); lets pointer prefetchers
+        observe load outcomes the way real hardware observes the fill.
+    dst / src1 / src2:
+        Architectural register operands, ``-1`` when unused.
+    taken / target_pc:
+        Branch outcome and destination (branches, calls, returns).
+    ras_top:
+        Top of the return address stack *before* this instruction executes;
+        T2 XORs it into the PC for call-site disambiguation.
+    """
+
+    __slots__ = (
+        "pc",
+        "opc",
+        "addr",
+        "value",
+        "dst",
+        "src1",
+        "src2",
+        "taken",
+        "target_pc",
+        "ras_top",
+    )
+
+    def __init__(
+        self,
+        pc: int,
+        opc: int,
+        addr: int = 0,
+        value: int = 0,
+        dst: int = -1,
+        src1: int = -1,
+        src2: int = -1,
+        taken: bool = False,
+        target_pc: int = 0,
+        ras_top: int = 0,
+    ) -> None:
+        self.pc = pc
+        self.opc = opc
+        self.addr = addr
+        self.value = value
+        self.dst = dst
+        self.src1 = src1
+        self.src2 = src2
+        self.taken = taken
+        self.target_pc = target_pc
+        self.ras_top = ras_top
+
+    @property
+    def is_load(self) -> bool:
+        return self.opc == OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opc == OpClass.STORE
+
+    @property
+    def is_mem(self) -> bool:
+        return self.opc == OpClass.LOAD or self.opc == OpClass.STORE
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opc == OpClass.BRANCH
+
+    @property
+    def is_backward_branch(self) -> bool:
+        return self.opc == OpClass.BRANCH and self.taken and self.target_pc < self.pc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceRecord(pc={self.pc:#x}, opc={OpClass(self.opc).name}, "
+            f"addr={self.addr:#x}, dst=r{self.dst})"
+        )
+
+
+@dataclass(slots=True)
+class TraceStats:
+    """Aggregate counts over a trace."""
+
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    taken_branches: int = 0
+    calls: int = 0
+    returns: int = 0
+
+    @property
+    def memory_accesses(self) -> int:
+        return self.loads + self.stores
+
+
+@dataclass
+class Trace:
+    """A complete dynamic trace plus the memory image it executed against.
+
+    ``memory`` is the data image *after* execution; pointer-chain structures
+    in the workloads are built statically so prefetchers that dereference
+    memory (P1's chain FSM) observe the same values the program did.
+    """
+
+    name: str
+    records: list[TraceRecord]
+    memory: dict[int, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def stats(self) -> TraceStats:
+        """Compute aggregate statistics in one pass."""
+        stats = TraceStats()
+        stats.instructions = len(self.records)
+        for record in self.records:
+            opc = record.opc
+            if opc == OpClass.LOAD:
+                stats.loads += 1
+            elif opc == OpClass.STORE:
+                stats.stores += 1
+            elif opc == OpClass.BRANCH:
+                stats.branches += 1
+                if record.taken:
+                    stats.taken_branches += 1
+            elif opc == OpClass.CALL:
+                stats.calls += 1
+            elif opc == OpClass.RET:
+                stats.returns += 1
+        return stats
+
+    def memory_footprint(self, line_bytes: int = 64) -> set[int]:
+        """Unique cache-line addresses touched by loads and stores."""
+        shift = line_bytes.bit_length() - 1
+        return {
+            record.addr >> shift
+            for record in self.records
+            if record.opc == OpClass.LOAD or record.opc == OpClass.STORE
+        }

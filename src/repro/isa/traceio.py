@@ -1,0 +1,90 @@
+"""Trace serialization: save/load dynamic traces as compact .npz files.
+
+Functional execution is cheap, but sharing a trace between processes (or
+pinning an exact trace for regression hunting) needs a stable on-disk
+form.  Records are stored as parallel numpy arrays; the memory image as
+two aligned arrays of addresses and values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.trace import Trace, TraceRecord
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: str) -> None:
+    """Write ``trace`` to ``path`` (.npz)."""
+    n = len(trace.records)
+    pc = np.empty(n, dtype=np.int64)
+    opc = np.empty(n, dtype=np.int8)
+    addr = np.empty(n, dtype=np.int64)
+    value = np.empty(n, dtype=np.int64)
+    regs = np.empty((n, 3), dtype=np.int8)
+    taken = np.empty(n, dtype=np.bool_)
+    target_pc = np.empty(n, dtype=np.int64)
+    ras_top = np.empty(n, dtype=np.int64)
+    for i, r in enumerate(trace.records):
+        pc[i] = r.pc
+        opc[i] = r.opc
+        addr[i] = r.addr
+        value[i] = r.value  # machine values are already signed-64 wrapped
+        regs[i, 0] = r.dst
+        regs[i, 1] = r.src1
+        regs[i, 2] = r.src2
+        taken[i] = r.taken
+        target_pc[i] = r.target_pc
+        ras_top[i] = r.ras_top
+    memory_addresses = np.fromiter(trace.memory.keys(), dtype=np.int64,
+                                   count=len(trace.memory))
+    memory_values = np.fromiter(
+        (v if -(1 << 63) <= v < (1 << 63) else v - (1 << 64)
+         for v in trace.memory.values()),
+        dtype=np.int64,
+        count=len(trace.memory),
+    )
+    np.savez_compressed(
+        path,
+        version=np.int32(_FORMAT_VERSION),
+        name=np.str_(trace.name),
+        pc=pc, opc=opc, addr=addr, value=value, regs=regs,
+        taken=taken, target_pc=target_pc, ras_top=ras_top,
+        memory_addresses=memory_addresses, memory_values=memory_values,
+    )
+
+
+def load_trace(path: str) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {version}"
+            )
+        name = str(data["name"])
+        pc = data["pc"]
+        opc = data["opc"]
+        addr = data["addr"]
+        value = data["value"]
+        regs = data["regs"]
+        taken = data["taken"]
+        target_pc = data["target_pc"]
+        ras_top = data["ras_top"]
+        records = [
+            TraceRecord(
+                int(pc[i]), int(opc[i]), addr=int(addr[i]),
+                value=int(value[i]), dst=int(regs[i, 0]),
+                src1=int(regs[i, 1]), src2=int(regs[i, 2]),
+                taken=bool(taken[i]), target_pc=int(target_pc[i]),
+                ras_top=int(ras_top[i]),
+            )
+            for i in range(len(pc))
+        ]
+        memory = {
+            int(a): int(v)
+            for a, v in zip(data["memory_addresses"],
+                            data["memory_values"])
+        }
+    return Trace(name=name, records=records, memory=memory)

@@ -1,0 +1,33 @@
+"""Memory-system substrate: caches, shadow tags, DRAM, and the hierarchy.
+
+The paper evaluates prefetchers on a gem5-modeled three-level hierarchy
+(Table I).  This package reimplements the parts that matter for prefetch
+studies:
+
+* set-associative caches with LRU, dirty bits, and per-line prefetch
+  metadata (which component brought the line in, whether it was used),
+* in-flight fill timing — a line allocated by a miss or prefetch carries a
+  ``fill_time``; demand accesses that arrive earlier wait, which models both
+  MSHR secondary-miss merging and *late* prefetches,
+* alternative-reality shadow tags for pollution accounting (Sec. V-C1),
+* a DDR3-style DRAM model with per-bank row-buffer state and a bounded
+  request queue with pluggable prefetch-drop policies (Sec. V-C1's
+  memory-controller experiment).
+"""
+
+from repro.memory.cache import Cache, CacheStats, EvictionInfo
+from repro.memory.shadow import ShadowTagStore
+from repro.memory.dram import Dram, DramStats, DropPolicy
+from repro.memory.hierarchy import AccessResult, Hierarchy
+
+__all__ = [
+    "AccessResult",
+    "Cache",
+    "CacheStats",
+    "Dram",
+    "DramStats",
+    "DropPolicy",
+    "EvictionInfo",
+    "Hierarchy",
+    "ShadowTagStore",
+]

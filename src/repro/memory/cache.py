@@ -1,0 +1,232 @@
+"""Set-associative cache model with prefetch metadata and fill timing.
+
+The cache operates on *line addresses* (byte address >> line shift); the
+hierarchy does the shifting once.  Each resident line carries:
+
+``fill_time``
+    Cycle at which the data actually arrives.  A demand access to a line
+    whose fill is still in flight waits for it — this models MSHR
+    secondary-miss merging (no duplicate traffic) and late prefetches
+    (partial latency savings) without a full event queue.
+``prefetched`` / ``component``
+    Whether the line was brought in by a prefetch and by which component —
+    needed for useful-prefetch accounting, Fig. 13/14 credit assignment,
+    and the coordinator's "existing prefetcher as component" round-robin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class CacheLine:
+    """Metadata for one resident line (the model stores no data bytes)."""
+
+    __slots__ = (
+        "line_addr",
+        "fill_time",
+        "last_use",
+        "dirty",
+        "prefetched",
+        "used",
+        "component",
+    )
+
+    def __init__(self, line_addr: int, fill_time: int, last_use: int,
+                 prefetched: bool = False, component: str | None = None) -> None:
+        self.line_addr = line_addr
+        self.fill_time = fill_time
+        self.last_use = last_use
+        self.dirty = False
+        self.prefetched = prefetched
+        self.used = False
+        self.component = component
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Per-cache counters.
+
+    ``demand_misses`` counts *primary* misses only: an access that merges
+    into an in-flight fill counts as a hit here but is tracked separately
+    as ``mshr_merges`` (matching the paper's "we ignore secondary misses").
+    """
+
+    demand_accesses: int = 0
+    demand_hits: int = 0
+    demand_misses: int = 0
+    mshr_merges: int = 0
+    late_prefetch_hits: int = 0
+    useful_prefetches: int = 0
+    prefetch_fills: int = 0
+    prefetch_evicted_unused: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        if not self.demand_accesses:
+            return 0.0
+        return self.demand_misses / self.demand_accesses
+
+
+@dataclass(slots=True)
+class EvictionInfo:
+    """Returned when an allocation displaces a valid line."""
+
+    line_addr: int
+    dirty: bool
+    prefetched: bool
+    used: bool
+    component: str | None = None
+
+
+@dataclass(slots=True)
+class HitInfo:
+    """Returned by :meth:`Cache.lookup` on a hit."""
+
+    ready_time: int
+    was_prefetched: bool
+    first_use_of_prefetch: bool
+    component: str | None = None
+
+
+class Cache:
+    """A single cache level.
+
+    Parameters
+    ----------
+    size_bytes / ways / line_bytes:
+        Geometry; ``sets`` is derived and must be a power of two.
+    hit_latency:
+        Cycles from access to data on a hit (input clock already applied).
+    name:
+        For stats reporting ("L1D", "L2", "L3").
+    """
+
+    def __init__(self, name: str, size_bytes: int, ways: int,
+                 line_bytes: int = 64, hit_latency: int = 1) -> None:
+        sets = size_bytes // (ways * line_bytes)
+        if sets <= 0 or sets & (sets - 1):
+            raise ValueError(
+                f"{name}: set count {sets} must be a positive power of two"
+            )
+        self.name = name
+        self.ways = ways
+        self.num_sets = sets
+        self.line_bytes = line_bytes
+        self.hit_latency = hit_latency
+        self.stats = CacheStats()
+        self._set_mask = sets - 1
+        # One dict per set: line_addr -> CacheLine.  Dicts keep lookup O(1);
+        # LRU eviction scans the (few) ways.
+        self._sets: list[dict[int, CacheLine]] = [dict() for _ in range(sets)]
+        self._use_counter = 0
+
+    # ------------------------------------------------------------------
+    # Lookup / fill
+    # ------------------------------------------------------------------
+    def set_index(self, line_addr: int) -> int:
+        return line_addr & self._set_mask
+
+    def lookup(self, line_addr: int, now: int,
+               is_write: bool = False, touch: bool = True) -> HitInfo | None:
+        """Demand lookup.  Returns hit info or ``None`` on a miss.
+
+        On a hit the LRU state is updated and prefetch-usefulness is
+        recorded on first use.  ``ready_time`` accounts for in-flight fills.
+        """
+        line = self._sets[line_addr & self._set_mask].get(line_addr)
+        if line is None:
+            return None
+        self._use_counter += 1
+        if touch:
+            line.last_use = self._use_counter
+        if is_write:
+            line.dirty = True
+        first_use = line.prefetched and not line.used
+        if first_use:
+            line.used = True
+        ready = max(now, line.fill_time)
+        return HitInfo(
+            ready_time=ready,
+            was_prefetched=line.prefetched,
+            first_use_of_prefetch=first_use,
+            component=line.component,
+        )
+
+    def probe(self, line_addr: int) -> bool:
+        """Tag check with no side effects (used by prefetch filtering)."""
+        return line_addr in self._sets[line_addr & self._set_mask]
+
+    def fill(self, line_addr: int, fill_time: int,
+             prefetched: bool = False, component: str | None = None,
+             dirty: bool = False) -> EvictionInfo | None:
+        """Allocate ``line_addr``; returns eviction info if a line leaves.
+
+        If the line is already resident the existing entry is kept (its
+        fill_time is only lowered, never raised) and no eviction happens.
+        """
+        target_set = self._sets[line_addr & self._set_mask]
+        existing = target_set.get(line_addr)
+        self._use_counter += 1
+        if existing is not None:
+            existing.fill_time = min(existing.fill_time, fill_time)
+            if dirty:
+                existing.dirty = True
+            return None
+
+        evicted = None
+        if len(target_set) >= self.ways:
+            victim = min(target_set.values(), key=lambda l: l.last_use)
+            del target_set[victim.line_addr]
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.writebacks += 1
+            if victim.prefetched and not victim.used:
+                self.stats.prefetch_evicted_unused += 1
+            evicted = EvictionInfo(
+                line_addr=victim.line_addr,
+                dirty=victim.dirty,
+                prefetched=victim.prefetched,
+                used=victim.used,
+                component=victim.component,
+            )
+
+        line = CacheLine(line_addr, fill_time, self._use_counter,
+                         prefetched=prefetched, component=component)
+        line.dirty = dirty
+        target_set[line_addr] = line
+        if prefetched:
+            self.stats.prefetch_fills += 1
+        return evicted
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Drop a line if present (no writeback modeling on invalidate)."""
+        target_set = self._sets[line_addr & self._set_mask]
+        return target_set.pop(line_addr, None) is not None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def resident_lines(self) -> list[int]:
+        """All currently resident line addresses (tests, debugging)."""
+        lines: list[int] = []
+        for target_set in self._sets:
+            lines.extend(target_set.keys())
+        return lines
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def prefetched_lines_in_set(self, set_index: int) -> list[CacheLine]:
+        """Prefetched lines resident in a set (pollution credit sharing)."""
+        return [
+            line for line in self._sets[set_index].values() if line.prefetched
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cache({self.name}, {self.num_sets} sets x {self.ways} ways, "
+            f"occupancy={self.occupancy()})"
+        )

@@ -1,0 +1,356 @@
+"""Three-level cache hierarchy with prefetch support.
+
+Wires L1D -> L2 -> L3 -> DRAM per Table I.  Responsibilities:
+
+* demand access timing (latency accumulates level by level; fills carry a
+  ``fill_time`` so later accesses can merge into in-flight misses),
+* MSHR occupancy limits at L1 and L2 (full MSHRs stall demands and drop
+  prefetches, which naturally throttles over-aggressive prefetchers),
+* prefetch insertion at a chosen target level (L1 or L2), tagged with the
+  issuing component for usefulness/pollution attribution,
+* shadow-tag pollution detection at L1 and L2 (see
+  :mod:`repro.memory.shadow`),
+* dirty writeback chains down to DRAM (traffic accounting for Fig. 9),
+* footprint recording: per-line demand-miss counts (the paper's ``FP`` with
+  weights ``W_i``) and the set of attempted prefetch lines (``PFP``).
+
+Instruction fetch is assumed to hit (perfect L1I): the workloads' code
+footprints are tiny and the paper's prefetchers are data prefetchers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.memory.cache import Cache, EvictionInfo
+
+if TYPE_CHECKING:  # avoid a circular import with repro.engine.config
+    from repro.engine.config import SystemConfig
+from repro.memory.dram import Dram
+from repro.memory.shadow import ShadowTagStore
+
+LINE_SHIFT = 6
+LINE_BYTES = 64
+
+
+@dataclass(slots=True)
+class AccessResult:
+    """Outcome of one demand access."""
+
+    ready_time: int
+    hit_level: int          # 1, 2, 3, or 4 (DRAM)
+    l1_hit: bool
+    primary_miss: bool      # primary L1 miss (drives T2 activation)
+    served_by_prefetch: bool
+    prefetch_component: str | None = None
+
+
+@dataclass(slots=True)
+class PrefetchStats:
+    """Hierarchy-wide prefetch accounting."""
+
+    issued: int = 0
+    issued_to_l1: int = 0
+    issued_to_l2: int = 0
+    filtered: int = 0        # target already had (or was fetching) the line
+    dropped_mshr: int = 0
+    dropped_dram: int = 0
+    by_component: Counter = field(default_factory=Counter)
+
+
+class _MshrFile:
+    """Completion-time list bounded by the MSHR count."""
+
+    __slots__ = ("capacity", "_pending")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._pending: list[int] = []
+
+    def _drain(self, now: int) -> None:
+        if self._pending:
+            self._pending = [t for t in self._pending if t > now]
+
+    def acquire_demand(self, now: int) -> int:
+        """Returns the cycle at which an MSHR is available (>= now)."""
+        self._drain(now)
+        if len(self._pending) < self.capacity:
+            return now
+        earliest = min(self._pending)
+        self._drain(earliest)
+        return earliest
+
+    def try_acquire_prefetch(self, now: int) -> bool:
+        self._drain(now)
+        return len(self._pending) < self.capacity
+
+    def register(self, completion: int) -> None:
+        self._pending.append(completion)
+
+    def occupancy(self, now: int) -> int:
+        self._drain(now)
+        return len(self._pending)
+
+
+class Hierarchy:
+    """L1D/L2/L3/DRAM for one core.
+
+    ``l3`` and ``dram`` may be shared across cores (multicore mode); when
+    omitted, private instances are created from ``config``.
+
+    ``tracker``, when set, receives credit-accounting callbacks:
+    ``on_prefetch_issued(line, component)``,
+    ``on_useful(line, component, level)``, and
+    ``on_pollution(level, victims)`` where ``victims`` is a list of
+    ``(line_addr, component)`` for prefetched lines in the affected set.
+    """
+
+    def __init__(self, config: SystemConfig,
+                 l3: Cache | None = None,
+                 dram: Dram | None = None) -> None:
+        self.config = config
+        self.l1d = Cache("L1D", config.l1d.size_bytes, config.l1d.ways,
+                         config.l1d.line_bytes, config.l1d.latency)
+        self.l2 = Cache("L2", config.l2.size_bytes, config.l2.ways,
+                        config.l2.line_bytes, config.l2.latency)
+        self.l3 = l3 if l3 is not None else Cache(
+            "L3", config.l3.size_bytes, config.l3.ways,
+            config.l3.line_bytes, config.l3.latency,
+        )
+        self.dram = dram if dram is not None else Dram(config.dram)
+        self.shadow_l1 = ShadowTagStore(self.l1d.num_sets, self.l1d.ways)
+        self.shadow_l2 = ShadowTagStore(self.l2.num_sets, self.l2.ways)
+        self.prefetch_stats = PrefetchStats()
+        self.tracker = None
+        self.miss_lines_l1: Counter = Counter()
+        self.miss_lines_l2: Counter = Counter()
+        self.attempted_prefetch_lines: set[int] = set()
+        self.attempted_by_component: dict[str, set[int]] = {}
+        self.pollution_misses_l1 = 0
+        self.pollution_misses_l2 = 0
+        self._l1_mshrs = _MshrFile(config.l1d.mshrs)
+        self._l2_mshrs = _MshrFile(config.l2.mshrs)
+
+    # ------------------------------------------------------------------
+    # Demand path
+    # ------------------------------------------------------------------
+    def demand_access(self, addr: int, now: int,
+                      is_write: bool = False) -> AccessResult:
+        """One demand load/store; returns when the data is ready."""
+        line = addr >> LINE_SHIFT
+        l1 = self.l1d
+        l1.stats.demand_accesses += 1
+        hit = l1.lookup(line, now, is_write=is_write)
+        shadow_l1_hit = self.shadow_l1.access(line)
+
+        if hit is not None:
+            l1.stats.demand_hits += 1
+            served = hit.first_use_of_prefetch
+            if served:
+                l1.stats.useful_prefetches += 1
+                if hit.ready_time > now:
+                    l1.stats.late_prefetch_hits += 1
+                if self.tracker is not None:
+                    self.tracker.on_useful(line, hit.component, 1)
+            elif hit.ready_time > now and not hit.was_prefetched:
+                l1.stats.mshr_merges += 1
+            return AccessResult(
+                ready_time=max(now, hit.ready_time) + l1.hit_latency,
+                hit_level=1,
+                l1_hit=True,
+                primary_miss=False,
+                served_by_prefetch=served,
+                prefetch_component=hit.component,
+            )
+
+        # Primary L1 miss.
+        l1.stats.demand_misses += 1
+        self.miss_lines_l1[line] += 1
+        if shadow_l1_hit:
+            self.pollution_misses_l1 += 1
+            if self.tracker is not None:
+                self.tracker.on_pollution(
+                    1, self._prefetch_victims(l1, line)
+                )
+        t = self._l1_mshrs.acquire_demand(now) + l1.hit_latency
+        fill_time, hit_level, served, component = self._access_l2(
+            line, t, shadow_l1_hit, is_write
+        )
+        self._fill_l1(line, fill_time, is_write)
+        self._l1_mshrs.register(fill_time)
+        return AccessResult(
+            ready_time=fill_time,
+            hit_level=hit_level,
+            l1_hit=False,
+            primary_miss=True,
+            served_by_prefetch=served,
+            prefetch_component=component,
+        )
+
+    def _access_l2(self, line: int, now: int, shadow_l1_hit: bool,
+                   is_write: bool) -> tuple[int, int, bool, str | None]:
+        """L2 leg of a demand miss: returns (data ready, level, served-by-
+        prefetch, component)."""
+        l2 = self.l2
+        l2.stats.demand_accesses += 1
+        hit = l2.lookup(line, now)
+        shadow_l2_hit = True
+        if not shadow_l1_hit:
+            shadow_l2_hit = self.shadow_l2.access(line)
+
+        if hit is not None:
+            l2.stats.demand_hits += 1
+            served = hit.first_use_of_prefetch
+            if served:
+                l2.stats.useful_prefetches += 1
+                if hit.ready_time > now:
+                    l2.stats.late_prefetch_hits += 1
+                if self.tracker is not None:
+                    self.tracker.on_useful(line, hit.component, 2)
+            ready = max(now, hit.ready_time) + l2.hit_latency
+            return ready, 2, served, hit.component
+
+        l2.stats.demand_misses += 1
+        self.miss_lines_l2[line] += 1
+        if not shadow_l1_hit and shadow_l2_hit:
+            self.pollution_misses_l2 += 1
+            if self.tracker is not None:
+                self.tracker.on_pollution(
+                    2, self._prefetch_victims(l2, line)
+                )
+        t = self._l2_mshrs.acquire_demand(now) + l2.hit_latency
+        fill_time, hit_level = self._access_l3(line, t, is_prefetch=False,
+                                               component=None)
+        self._fill_l2(line, fill_time)
+        self._l2_mshrs.register(fill_time)
+        return fill_time, hit_level, False, None
+
+    def _access_l3(self, line: int, now: int, is_prefetch: bool,
+                   component: str | None) -> tuple[int, int]:
+        """L3 leg: returns (data ready time, hit level).  For dropped
+        prefetch reads, returns (-1, 4)."""
+        l3 = self.l3
+        if not is_prefetch:
+            l3.stats.demand_accesses += 1
+        hit = l3.lookup(line, now)
+        if hit is not None:
+            if not is_prefetch:
+                l3.stats.demand_hits += 1
+                if hit.first_use_of_prefetch:
+                    l3.stats.useful_prefetches += 1
+            return max(now, hit.ready_time) + l3.hit_latency, 3
+        if not is_prefetch:
+            l3.stats.demand_misses += 1
+        t = now + l3.hit_latency
+        completion = self.dram.read(line, t, is_prefetch=is_prefetch,
+                                    component=component)
+        if completion is None:
+            return -1, 4
+        self._fill_l3(line, completion, prefetched=is_prefetch,
+                      component=component)
+        return completion, 4
+
+    # ------------------------------------------------------------------
+    # Fills and writebacks
+    # ------------------------------------------------------------------
+    def _fill_l1(self, line: int, fill_time: int, dirty: bool = False,
+                 prefetched: bool = False,
+                 component: str | None = None) -> None:
+        evicted = self.l1d.fill(line, fill_time, prefetched=prefetched,
+                                component=component, dirty=dirty)
+        if evicted is not None and evicted.dirty:
+            self._writeback_to_l2(evicted, fill_time)
+
+    def _fill_l2(self, line: int, fill_time: int, prefetched: bool = False,
+                 component: str | None = None, dirty: bool = False) -> None:
+        evicted = self.l2.fill(line, fill_time, prefetched=prefetched,
+                               component=component, dirty=dirty)
+        if evicted is not None and evicted.dirty:
+            self._writeback_to_l3(evicted, fill_time)
+
+    def _fill_l3(self, line: int, fill_time: int, prefetched: bool = False,
+                 component: str | None = None, dirty: bool = False) -> None:
+        evicted = self.l3.fill(line, fill_time, prefetched=prefetched,
+                               component=component, dirty=dirty)
+        if evicted is not None and evicted.dirty:
+            self.dram.write(evicted.line_addr, fill_time)
+
+    def _writeback_to_l2(self, evicted: EvictionInfo, now: int) -> None:
+        self._fill_l2(evicted.line_addr, now, dirty=True)
+
+    def _writeback_to_l3(self, evicted: EvictionInfo, now: int) -> None:
+        self._fill_l3(evicted.line_addr, now, dirty=True)
+
+    # ------------------------------------------------------------------
+    # Prefetch path
+    # ------------------------------------------------------------------
+    def prefetch(self, line: int, now: int, target_level: int = 1,
+                 component: str | None = None) -> bool:
+        """Prefetch one line into ``target_level`` (1 or 2).
+
+        Returns True if a prefetch was actually issued (not filtered or
+        dropped).  Every call records the line in the attempted-prefetch
+        footprint (the paper's ``PFP``) regardless of outcome.
+        """
+        if target_level not in (1, 2):
+            raise ValueError(f"prefetch target must be 1 or 2, got {target_level}")
+        self.attempted_prefetch_lines.add(line)
+        if component is not None:
+            per_component = self.attempted_by_component.get(component)
+            if per_component is None:
+                per_component = self.attempted_by_component[component] = set()
+            per_component.add(line)
+        stats = self.prefetch_stats
+        target = self.l1d if target_level == 1 else self.l2
+        if target.probe(line):
+            stats.filtered += 1
+            return False
+        mshrs = self._l1_mshrs if target_level == 1 else self._l2_mshrs
+        if not mshrs.try_acquire_prefetch(now):
+            stats.dropped_mshr += 1
+            return False
+
+        # Locate the data below the target level.
+        if target_level == 1 and self.l2.probe(line):
+            hit = self.l2.lookup(line, now, touch=True)
+            fill_time = max(now, hit.ready_time) + self.l2.hit_latency
+        else:
+            fill_time, _ = self._access_l3(
+                line, now, is_prefetch=True, component=component
+            )
+            if fill_time < 0:
+                stats.dropped_dram += 1
+                return False
+            self._fill_l2(line, fill_time, prefetched=True,
+                          component=component)
+
+        if target_level == 1:
+            self._fill_l1(line, fill_time, prefetched=True,
+                          component=component)
+            stats.issued_to_l1 += 1
+        else:
+            stats.issued_to_l2 += 1
+        stats.issued += 1
+        stats.by_component[component or "?"] += 1
+        mshrs.register(fill_time)
+        if self.tracker is not None:
+            self.tracker.on_prefetch_issued(line, component)
+        return True
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _prefetch_victims(self, cache: Cache, line: int
+                          ) -> list[tuple[int, str | None]]:
+        set_index = cache.set_index(line)
+        return [
+            (l.line_addr, l.component)
+            for l in cache.prefetched_lines_in_set(set_index)
+        ]
+
+    @property
+    def dram_traffic(self) -> int:
+        """Total lines moved over the memory channels (Fig. 9 metric)."""
+        return self.dram.stats.total_traffic

@@ -1,0 +1,46 @@
+"""Alternative-reality shadow tag store (Sec. V-C1 of the paper).
+
+To attribute pollution, the paper keeps "an additional set of cache tags,
+which track the alternative reality where no prefetch is issued.  When an
+access misses in the cache but finds its tag in the alternative-reality
+cache tags, we have a prefetching-induced miss."
+
+:class:`ShadowTagStore` is that structure: a tag-only cache with the same
+geometry as the real cache, updated **only by demand accesses**, so its
+content is what the real cache would hold without prefetching.
+"""
+
+from __future__ import annotations
+
+
+class ShadowTagStore:
+    """Tag-only LRU cache mirroring a :class:`~repro.memory.cache.Cache`."""
+
+    def __init__(self, num_sets: int, ways: int) -> None:
+        if num_sets <= 0 or num_sets & (num_sets - 1):
+            raise ValueError("num_sets must be a positive power of two")
+        self.num_sets = num_sets
+        self.ways = ways
+        self._set_mask = num_sets - 1
+        # Per-set insertion-ordered dict: line_addr -> None; order == LRU.
+        self._sets: list[dict[int, None]] = [dict() for _ in range(num_sets)]
+
+    def access(self, line_addr: int) -> bool:
+        """Demand access: returns hit/miss and updates LRU + contents."""
+        target_set = self._sets[line_addr & self._set_mask]
+        hit = line_addr in target_set
+        if hit:
+            # Move to MRU position.
+            del target_set[line_addr]
+        elif len(target_set) >= self.ways:
+            # Evict LRU (first inserted).
+            target_set.pop(next(iter(target_set)))
+        target_set[line_addr] = None
+        return hit
+
+    def probe(self, line_addr: int) -> bool:
+        """Tag check with no state change."""
+        return line_addr in self._sets[line_addr & self._set_mask]
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,153 @@
+"""Name -> prefetcher factory registry.
+
+``make_prefetcher("tpc")`` builds the paper's composite; the monolithic
+names match Table II.  Factories accept keyword overrides that are passed
+through to the prefetcher constructor (e.g. ``target_level=2`` for the
+Fig. 16 destination experiment).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.base import NullPrefetcher, Prefetcher
+
+
+def _null(**kwargs) -> Prefetcher:
+    return NullPrefetcher()
+
+
+def _stride(**kwargs) -> Prefetcher:
+    from repro.baselines.stride import StridePrefetcher
+
+    return StridePrefetcher(**kwargs)
+
+
+def _nextline(**kwargs) -> Prefetcher:
+    from repro.baselines.nextline import NextLinePrefetcher
+
+    return NextLinePrefetcher(**kwargs)
+
+
+def _ghb(**kwargs) -> Prefetcher:
+    from repro.baselines.ghb import GhbPcDcPrefetcher
+
+    return GhbPcDcPrefetcher(**kwargs)
+
+
+def _spp(**kwargs) -> Prefetcher:
+    from repro.baselines.spp import SppPrefetcher
+
+    return SppPrefetcher(**kwargs)
+
+
+def _vldp(**kwargs) -> Prefetcher:
+    from repro.baselines.vldp import VldpPrefetcher
+
+    return VldpPrefetcher(**kwargs)
+
+
+def _bop(**kwargs) -> Prefetcher:
+    from repro.baselines.bop import BopPrefetcher
+
+    return BopPrefetcher(**kwargs)
+
+
+def _fdp(**kwargs) -> Prefetcher:
+    from repro.baselines.fdp import FdpPrefetcher
+
+    return FdpPrefetcher(**kwargs)
+
+
+def _sms(**kwargs) -> Prefetcher:
+    from repro.baselines.sms import SmsPrefetcher
+
+    return SmsPrefetcher(**kwargs)
+
+
+def _ampm(**kwargs) -> Prefetcher:
+    from repro.baselines.ampm import AmpmPrefetcher
+
+    return AmpmPrefetcher(**kwargs)
+
+
+def _isb(**kwargs) -> Prefetcher:
+    from repro.baselines.isb import IsbPrefetcher
+
+    return IsbPrefetcher(**kwargs)
+
+
+def _markov(**kwargs) -> Prefetcher:
+    from repro.baselines.markov import MarkovPrefetcher
+
+    return MarkovPrefetcher(**kwargs)
+
+
+def _t2(**kwargs) -> Prefetcher:
+    from repro.core.t2 import T2Prefetcher
+
+    return T2Prefetcher(**kwargs)
+
+
+def _p1(**kwargs) -> Prefetcher:
+    from repro.core.p1 import P1Prefetcher
+
+    return P1Prefetcher(**kwargs)
+
+
+def _c1(**kwargs) -> Prefetcher:
+    from repro.core.c1 import C1Prefetcher
+
+    return C1Prefetcher(**kwargs)
+
+
+def _tpc(**kwargs) -> Prefetcher:
+    from repro.core.composite import make_tpc
+
+    return make_tpc(**kwargs)
+
+
+def _tpc_adaptive(**kwargs) -> Prefetcher:
+    from repro.core.adaptive import make_adaptive_tpc
+
+    return make_adaptive_tpc(**kwargs)
+
+
+_FACTORIES: dict[str, Callable[..., Prefetcher]] = {
+    "none": _null,
+    "stride": _stride,
+    "nextline": _nextline,
+    "ghb": _ghb,
+    "spp": _spp,
+    "vldp": _vldp,
+    "bop": _bop,
+    "fdp": _fdp,
+    "sms": _sms,
+    "ampm": _ampm,
+    "isb": _isb,
+    "markov": _markov,
+    "t2": _t2,
+    "p1": _p1,
+    "c1": _c1,
+    "tpc": _tpc,
+    "tpc-adaptive": _tpc_adaptive,
+}
+
+PAPER_MONOLITHIC = ["ghb", "fdp", "vldp", "spp", "bop", "ampm", "sms"]
+"""The seven monolithic prefetchers the paper compares against (Fig. 8)."""
+
+
+def available_prefetchers() -> list[str]:
+    """All registered prefetcher names."""
+    return sorted(_FACTORIES)
+
+
+def make_prefetcher(name: str, **kwargs) -> Prefetcher:
+    """Instantiate a prefetcher by registry name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown prefetcher {name!r}; available: {available_prefetchers()}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,34 @@
+"""Synthetic workload suites standing in for the paper's benchmarks.
+
+The paper evaluates on SPEC CPU2006, CRONO (graphs), STARBENCH (embedded)
+and NPB (scientific).  Those binaries cannot be run here, so each suite is
+reproduced as a set of micro-ISA programs whose *memory access patterns*
+match the family (see DESIGN.md substitutions):
+
+* :mod:`repro.workloads.spec` — 21 workloads named after SPEC 2006
+  benchmarks, each mimicking that benchmark's dominant pattern mix.
+* :mod:`repro.workloads.crono` — graph kernels (BFS, SSSP-lite, PageRank,
+  components) over CSR representations of generated graphs.
+* :mod:`repro.workloads.starbench` — embedded/media kernels.
+* :mod:`repro.workloads.npb` — scientific kernels (CG/MG/FT/IS-like).
+* :mod:`repro.workloads.mixes` — seeded 4-workload multicore mixes.
+
+Use :func:`get_workload` / :func:`get_suite` for lookup; traces are cached
+per process so repeated experiments reuse the functional run.
+"""
+
+from repro.workloads.registry import (
+    Workload,
+    all_suites,
+    get_suite,
+    get_workload,
+    workload_names,
+)
+
+__all__ = [
+    "Workload",
+    "all_suites",
+    "get_suite",
+    "get_workload",
+    "workload_names",
+]

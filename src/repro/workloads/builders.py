@@ -1,0 +1,392 @@
+"""Reusable kernel builders for the synthetic workloads.
+
+Each builder emits one loop nest into an :class:`~repro.isa.Assembler`
+plus the data it traverses.  Register conventions are local to a builder;
+kernels composed sequentially in one program may reuse registers freely.
+
+The builders cover the paper's access-pattern taxonomy:
+
+=====================  =======================================
+builder                pattern (paper category)
+=====================  =======================================
+strided_loop           canonical strided stream (LHF)
+multi_stream           several concurrent strided streams (LHF)
+stencil_rows           neighbor rows, multi-stream (LHF)
+array_of_pointers      strided pointers -> scattered objects
+linked_list            pointer chain (HHF)
+region_sweep           pointer-selected dense regions (MHF)
+random_gather          irregular table lookups (HHF)
+index_gather           A[B[i]] indirection (HHF/AoP)
+csr_traversal          CSR graph walk: offsets+neighbors+gather
+=====================  =======================================
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa.program import Assembler
+
+
+class Allocator:
+    """Bump allocator for non-overlapping data segments.
+
+    The default alignment is one cache line: allocating every small
+    object page-aligned would alias them all onto cache set 0 and turn
+    the workloads into pathological conflict tests.  Builders that need
+    coarser alignment (e.g. region sweeps aligned to the region size)
+    request it per allocation.
+    """
+
+    def __init__(self, base: int = 0x100000, align: int = 64) -> None:
+        self._next = base
+        self._align = align
+
+    def alloc(self, size_bytes: int, align: int | None = None) -> int:
+        step = align if align is not None else self._align
+        base = (self._next + step - 1) // step * step
+        self._next = base + max(size_bytes, 8)
+        return base
+
+
+def _emit_work(asm: Assembler, work: int, acc: str = "r15",
+               src: str = "r14") -> None:
+    """Emit ``work`` filler ALU ops (models per-element computation)."""
+    for _ in range(work):
+        asm.add(acc, acc, src)
+
+
+# ---------------------------------------------------------------------------
+# Strided patterns (LHF)
+# ---------------------------------------------------------------------------
+def strided_loop(asm: Assembler, alloc: Allocator, *, elements: int,
+                 stride: int = 8, work: int = 0, store_every: int = 0,
+                 passes: int = 1) -> int:
+    """``for i: acc += a[i*stride]`` — the canonical stream.
+
+    ``store_every`` > 0 adds a store to every Nth element (write stream);
+    ``passes`` repeats the sweep (temporal reuse).  Returns the base
+    address.
+    """
+    base = alloc.alloc(elements * stride)
+    asm.movi("r10", 0)                      # pass counter
+    asm.movi("r11", passes)
+    outer = asm.label()
+    asm.movi("r1", base)
+    asm.movi("r2", base + elements * stride)
+    loop = asm.label()
+    asm.load("r14", "r1", 0)
+    asm.add("r15", "r15", "r14")
+    _emit_work(asm, work)
+    if store_every > 0:
+        asm.store("r15", "r1", 0)
+    asm.addi("r1", "r1", stride)
+    asm.blt("r1", "r2", loop)
+    asm.addi("r10", "r10", 1)
+    asm.blt("r10", "r11", outer)
+    return base
+
+
+def multi_stream(asm: Assembler, alloc: Allocator, *, elements: int,
+                 streams: int = 3, stride: int = 8, work: int = 0) -> list[int]:
+    """``c[i] = a[i] + b[i] ...`` — N concurrent strided streams.
+
+    Stream ``k`` is loaded into ``r20+k``; the last stream is stored
+    (STREAM-triad-like).  At most 6 streams.
+    """
+    if not 1 <= streams <= 6:
+        raise ValueError("streams must be in 1..6")
+    bases = [alloc.alloc(elements * stride) for _ in range(streams)]
+    for k, base in enumerate(bases):
+        asm.movi(f"r{20 + k}", base)
+    asm.movi("r1", 0)
+    asm.movi("r2", elements)
+    loop = asm.label()
+    for k in range(streams - 1):
+        asm.load("r14", f"r{20 + k}", 0)
+        asm.add("r15", "r15", "r14")
+    _emit_work(asm, work)
+    asm.store("r15", f"r{20 + streams - 1}", 0)
+    for k in range(streams):
+        asm.addi(f"r{20 + k}", f"r{20 + k}", stride)
+    asm.addi("r1", "r1", 1)
+    asm.blt("r1", "r2", loop)
+    return bases
+
+
+def stencil_rows(asm: Assembler, alloc: Allocator, *, rows: int, cols: int,
+                 work: int = 0) -> int:
+    """3-row stencil: ``out[r][c] = in[r-1][c] + in[r][c] + in[r+1][c]``.
+
+    Three read streams one row apart plus one write stream — the
+    GemsFDTD/lbm-style pattern.
+    """
+    row_bytes = cols * 8
+    in_base = alloc.alloc((rows + 2) * row_bytes)
+    out_base = alloc.alloc(rows * row_bytes)
+    asm.movi("r20", in_base)                # row r-1
+    asm.movi("r21", in_base + row_bytes)    # row r
+    asm.movi("r22", in_base + 2 * row_bytes)  # row r+1
+    asm.movi("r23", out_base)
+    asm.movi("r1", 0)
+    asm.movi("r2", rows * cols)
+    loop = asm.label()
+    asm.load("r14", "r20", 0)
+    asm.load("r13", "r21", 0)
+    asm.add("r14", "r14", "r13")
+    asm.load("r13", "r22", 0)
+    asm.add("r15", "r14", "r13")
+    _emit_work(asm, work)
+    asm.store("r15", "r23", 0)
+    asm.addi("r20", "r20", 8)
+    asm.addi("r21", "r21", 8)
+    asm.addi("r22", "r22", 8)
+    asm.addi("r23", "r23", 8)
+    asm.addi("r1", "r1", 1)
+    asm.blt("r1", "r2", loop)
+    return in_base
+
+
+# ---------------------------------------------------------------------------
+# Pointer patterns
+# ---------------------------------------------------------------------------
+def array_of_pointers(asm: Assembler, alloc: Allocator, *, count: int,
+                      object_bytes: int = 256, field_offset: int = 16,
+                      work: int = 0, seed: int = 11,
+                      fields: int = 1) -> int:
+    """``for i: acc += arr[i]->field`` (paper Fig. 5-a).
+
+    A strided pointer array whose targets are shuffled objects; the
+    dependent load's address is the pointer value plus a constant offset.
+    ``fields`` > 1 reads several fields per object.
+    """
+    rng = random.Random(seed)
+    objects = [alloc.alloc(object_bytes) for _ in range(count)]
+    rng.shuffle(objects)
+    array_base = alloc.alloc(count * 8)
+    asm.data(array_base, objects)
+    for address in objects:
+        for f in range(fields):
+            asm.data(address + field_offset + 8 * f, address & 0xFFFF)
+    asm.movi("r1", array_base)
+    asm.movi("r2", array_base + count * 8)
+    loop = asm.label()
+    asm.load("r4", "r1", 0)                 # pointer (strided)
+    for f in range(fields):
+        asm.load("r14", "r4", field_offset + 8 * f)  # dependent
+        asm.add("r15", "r15", "r14")
+    _emit_work(asm, work)
+    asm.addi("r1", "r1", 8)
+    asm.blt("r1", "r2", loop)
+    return array_base
+
+
+def linked_list(asm: Assembler, alloc: Allocator, *, nodes: int,
+                node_bytes: int = 64, layout: str = "scattered",
+                payload_loads: int = 1, work: int = 0,
+                seed: int = 7) -> int:
+    """``while n: acc += n->payload; n = n->next`` (paper Fig. 5-b).
+
+    ``layout``: "sequential" (allocation order), "scattered" (shuffled),
+    or "clustered" (runs of 8 nodes shuffled as groups — malloc-arena
+    behavior).
+    """
+    rng = random.Random(seed)
+    addresses = [alloc.alloc(node_bytes) for _ in range(nodes)]
+    if layout == "scattered":
+        rng.shuffle(addresses)
+    elif layout == "clustered":
+        groups = [addresses[i:i + 8] for i in range(0, nodes, 8)]
+        rng.shuffle(groups)
+        addresses = [a for group in groups for a in group]
+    elif layout != "sequential":
+        raise ValueError(f"unknown layout {layout!r}")
+    for i in range(nodes - 1):
+        asm.data(addresses[i], addresses[i + 1])      # next at +0
+        asm.data(addresses[i] + 8, i)                 # payload at +8
+    asm.data(addresses[-1], 0)
+    asm.data(addresses[-1] + 8, nodes)
+
+    asm.movi("r1", addresses[0])
+    loop = asm.label()
+    for p in range(payload_loads):
+        asm.load("r14", "r1", 8 + 8 * p)
+        asm.add("r15", "r15", "r14")
+    _emit_work(asm, work)
+    asm.load("r1", "r1", 0)                 # n = n->next
+    asm.bne("r1", "r0", loop)
+    return addresses[0]
+
+
+# ---------------------------------------------------------------------------
+# Region / irregular patterns
+# ---------------------------------------------------------------------------
+def region_sweep(asm: Assembler, alloc: Allocator, *, regions: int,
+                 region_bytes: int = 1024, step: int = 64,
+                 work: int = 0, seed: int = 13) -> int:
+    """Pointer-selected regions swept densely (the MHF pattern).
+
+    An outer loop follows a shuffled array of region base pointers; an
+    inner loop touches every ``step`` bytes of the region.
+    """
+    rng = random.Random(seed)
+    bases = [
+        alloc.alloc(region_bytes, align=region_bytes)
+        for _ in range(regions)
+    ]
+    rng.shuffle(bases)
+    index_base = alloc.alloc(regions * 8)
+    asm.data(index_base, bases)
+    asm.movi("r1", index_base)
+    asm.movi("r2", index_base + regions * 8)
+    outer = asm.label()
+    asm.load("r4", "r1", 0)
+    asm.addi("r5", "r4", region_bytes)
+    inner = asm.label()
+    asm.load("r14", "r4", 0)
+    asm.add("r15", "r15", "r14")
+    _emit_work(asm, work)
+    asm.addi("r4", "r4", step)
+    asm.blt("r4", "r5", inner)
+    asm.addi("r1", "r1", 8)
+    asm.blt("r1", "r2", outer)
+    return index_base
+
+
+def random_gather(asm: Assembler, alloc: Allocator, *, lookups: int,
+                  table_bytes: int, work: int = 0, seed: int = 17) -> int:
+    """Irregular table lookups with no reuse structure (the HHF floor).
+
+    The address sequence is precomputed (a shuffled index array read with
+    a strided load) so the *gather* load is data-dependent and
+    unpredictable, like hash probing.
+    """
+    rng = random.Random(seed)
+    table_base = alloc.alloc(table_bytes)
+    slots = table_bytes // 64
+    index_base = alloc.alloc(lookups * 8)
+    targets = [
+        table_base + rng.randrange(slots) * 64 for _ in range(lookups)
+    ]
+    asm.data(index_base, targets)
+    asm.movi("r1", index_base)
+    asm.movi("r2", index_base + lookups * 8)
+    loop = asm.label()
+    asm.load("r4", "r1", 0)                 # next target address
+    asm.load("r14", "r4", 0)                # the gather
+    asm.add("r15", "r15", "r14")
+    _emit_work(asm, work)
+    asm.addi("r1", "r1", 8)
+    asm.blt("r1", "r2", loop)
+    return table_base
+
+
+def index_gather(asm: Assembler, alloc: Allocator, *, elements: int,
+                 table_elements: int, locality_window: int = 0,
+                 work: int = 0, seed: int = 19) -> int:
+    """``acc += table[idx[i]]`` — sparse-matrix-style indirection.
+
+    ``locality_window`` > 0 draws indices from a sliding window,
+    producing the partial spatial locality of real sparse matrices.
+    """
+    rng = random.Random(seed)
+    table_base = alloc.alloc(table_elements * 8)
+    index_base = alloc.alloc(elements * 8)
+    indices = []
+    for i in range(elements):
+        if locality_window > 0:
+            center = (i * table_elements) // elements
+            low = max(0, center - locality_window)
+            high = min(table_elements - 1, center + locality_window)
+            indices.append(rng.randint(low, high))
+        else:
+            indices.append(rng.randrange(table_elements))
+    asm.data(index_base, [table_base + 8 * i for i in indices])
+    asm.movi("r1", index_base)
+    asm.movi("r2", index_base + elements * 8)
+    loop = asm.label()
+    asm.load("r4", "r1", 0)
+    asm.load("r14", "r4", 0)
+    asm.add("r15", "r15", "r14")
+    _emit_work(asm, work)
+    asm.addi("r1", "r1", 8)
+    asm.blt("r1", "r2", loop)
+    return table_base
+
+
+def call_site_streams(asm: Assembler, alloc: Allocator, *, elements: int,
+                      strides: tuple[int, int] = (8, 24),
+                      work: int = 0) -> tuple[int, int]:
+    """Two strided streams accessed through the *same* load inside a
+    shared accessor function (paper Sec. IV-A-2, second modification).
+
+    This is the object-oriented pattern that defeats plain-PC stride
+    tables: the accessor's load PC sees interleaved addresses from two
+    streams with different strides, but ``mPC = PC xor RAS.top``
+    separates the call sites.  Returns the two stream bases.
+    """
+    base_a = alloc.alloc(elements * strides[0])
+    base_b = alloc.alloc(elements * strides[1])
+    accessor = asm.future_label("accessor")
+    start = asm.future_label("start")
+    asm.jmp(start)
+
+    # accessor: r14 <- M[r10]; r15 += r14; work; ret
+    asm.place(accessor)
+    asm.load("r14", "r10", 0)
+    asm.add("r15", "r15", "r14")
+    _emit_work(asm, work)
+    asm.ret()
+
+    asm.place(start)
+    asm.movi("r20", base_a)
+    asm.movi("r21", base_b)
+    asm.movi("r1", 0)
+    asm.movi("r2", elements)
+    loop = asm.label()
+    asm.mov("r10", "r20")      # call site A
+    asm.call(accessor)
+    asm.mov("r10", "r21")      # call site B
+    asm.call(accessor)
+    asm.addi("r20", "r20", strides[0])
+    asm.addi("r21", "r21", strides[1])
+    asm.addi("r1", "r1", 1)
+    asm.blt("r1", "r2", loop)
+    return base_a, base_b
+
+
+def csr_traversal(asm: Assembler, alloc: Allocator, *, offsets: list[int],
+                  neighbors: list[int], values_elements: int | None = None,
+                  work: int = 0) -> None:
+    """Walk a CSR graph: offsets (strided) -> neighbor lists (bursty
+    strided) -> per-neighbor value gather (irregular).
+
+    ``offsets``/``neighbors`` come from :mod:`repro.workloads.graphs`.
+    """
+    n = len(offsets) - 1
+    if values_elements is None:
+        values_elements = n
+    offsets_base = alloc.alloc(len(offsets) * 8)
+    neighbors_base = alloc.alloc(max(1, len(neighbors)) * 8)
+    values_base = alloc.alloc(values_elements * 8)
+    asm.data(offsets_base, [neighbors_base + 8 * o for o in offsets])
+    if neighbors:
+        asm.data(neighbors_base, [values_base + 8 * v for v in neighbors])
+
+    asm.movi("r1", offsets_base)            # &offsets[u]
+    asm.movi("r2", offsets_base + n * 8)
+    outer = asm.label()
+    asm.load("r4", "r1", 0)                 # start = offsets[u]
+    asm.load("r5", "r1", 8)                 # end = offsets[u+1]
+    inner_done = asm.future_label()
+    asm.bge("r4", "r5", inner_done)
+    inner = asm.label()
+    asm.load("r6", "r4", 0)                 # neighbor value address
+    asm.load("r14", "r6", 0)                # gather neighbor value
+    asm.add("r15", "r15", "r14")
+    _emit_work(asm, work)
+    asm.addi("r4", "r4", 8)
+    asm.blt("r4", "r5", inner)
+    asm.place(inner_done)
+    asm.addi("r1", "r1", 8)
+    asm.blt("r1", "r2", outer)

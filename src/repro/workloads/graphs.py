@@ -1,0 +1,53 @@
+"""CSR graph generation for the CRONO-like suite.
+
+CRONO's inputs are real graphs (google, amazon, twitter, california road
+network); we substitute networkx generators with matching structure:
+scale-free graphs (preferential attachment) for the web/social inputs and
+a 2-D grid for the road network, flattened to CSR (offsets + neighbor
+indices) the way CRONO stores them.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+
+def to_csr(graph: "nx.Graph") -> tuple[list[int], list[int]]:
+    """Flatten a graph into (offsets, neighbors) with integer node ids."""
+    nodes = sorted(graph.nodes())
+    index_of = {node: i for i, node in enumerate(nodes)}
+    offsets = [0]
+    neighbors: list[int] = []
+    for node in nodes:
+        for neighbor in sorted(graph.neighbors(node), key=index_of.get):
+            neighbors.append(index_of[neighbor])
+        offsets.append(len(neighbors))
+    return offsets, neighbors
+
+
+def web_graph(nodes: int = 3000, edges_per_node: int = 6,
+              seed: int = 42) -> tuple[list[int], list[int]]:
+    """Scale-free graph (google/amazon-like degree distribution)."""
+    graph = nx.barabasi_albert_graph(nodes, edges_per_node, seed=seed)
+    return to_csr(graph)
+
+
+def social_graph(nodes: int = 2000, edges_per_node: int = 12,
+                 seed: int = 43) -> tuple[list[int], list[int]]:
+    """Denser scale-free graph (twitter-like hubs)."""
+    graph = nx.barabasi_albert_graph(nodes, edges_per_node, seed=seed)
+    return to_csr(graph)
+
+
+def road_graph(side: int = 55) -> tuple[list[int], list[int]]:
+    """2-D grid (california road-network-like: low degree, high diameter,
+    strong spatial locality once renumbered row-major)."""
+    graph = nx.grid_2d_graph(side, side)
+    return to_csr(graph)
+
+
+def community_graph(nodes: int = 2400, seed: int = 44
+                    ) -> tuple[list[int], list[int]]:
+    """Small-world graph (mathoverflow-like clustering)."""
+    graph = nx.connected_watts_strogatz_graph(nodes, 10, 0.1, seed=seed)
+    return to_csr(graph)

@@ -1,0 +1,30 @@
+"""Multicore mixes: seeded 4-workload combinations (paper Sec. V-A:
+"4-thread mixes randomly drawn from the above suites").
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.registry import Workload, get_workload, workload_names
+
+DEFAULT_MIX_COUNT = 8
+MIX_WIDTH = 4
+MIX_SEED = 2018  # the paper's year; any fixed seed works
+
+
+def mix_names(count: int = DEFAULT_MIX_COUNT,
+              seed: int = MIX_SEED) -> list[list[str]]:
+    """Deterministic list of 4-workload mixes drawn across all suites."""
+    rng = random.Random(seed)
+    pool = workload_names()
+    return [rng.sample(pool, MIX_WIDTH) for _ in range(count)]
+
+
+def mix_workloads(count: int = DEFAULT_MIX_COUNT,
+                  seed: int = MIX_SEED) -> list[list[Workload]]:
+    """The same mixes resolved to :class:`Workload` objects."""
+    return [
+        [get_workload(name) for name in names]
+        for names in mix_names(count, seed)
+    ]

@@ -1,0 +1,58 @@
+"""NPB-like scientific suite (paper: NPB with class C inputs).
+
+The NAS Parallel Benchmarks stress distinct kernels: CG (sparse matvec
+indirection), MG (stencil hierarchy), FT (large-stride butterflies), IS
+(random bucket counting), EP (embarrassingly parallel compute).
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Assembler, Program
+from repro.workloads import builders
+from repro.workloads.builders import Allocator
+from repro.workloads.registry import Workload, register
+
+
+def _program(name: str, emit) -> Program:
+    asm = Assembler(name=f"npb.{name}")
+    alloc = Allocator()
+    emit(asm, alloc)
+    asm.halt()
+    return asm.assemble()
+
+
+def _npb(name: str, description: str, emit) -> None:
+    register(
+        Workload(
+            name=f"npb.{name}",
+            suite="npb",
+            build=lambda: _program(name, emit),
+            description=description,
+        )
+    )
+
+
+_npb("cg", "sparse matrix-vector gathers with row locality",
+     lambda asm, alloc:
+     builders.index_gather(asm, alloc, elements=13000,
+                           table_elements=60000, locality_window=48,
+                           work=1, seed=61))
+
+_npb("mg", "multigrid stencil sweep", lambda asm, alloc:
+     builders.stencil_rows(asm, alloc, rows=85, cols=110, work=1))
+
+
+def _ft(asm: Assembler, alloc: Allocator) -> None:
+    builders.strided_loop(asm, alloc, elements=5500, stride=1024, work=2)
+    builders.strided_loop(asm, alloc, elements=5500, stride=8, work=2)
+
+
+_npb("ft", "butterfly: unit-stride pass + large-stride pass", _ft)
+
+_npb("is", "integer sort: random bucket increments", lambda asm, alloc:
+     builders.random_gather(asm, alloc, lookups=11000,
+                            table_bytes=512 * 1024, work=1, seed=62))
+
+_npb("ep", "compute-bound with a small residency", lambda asm, alloc:
+     builders.strided_loop(asm, alloc, elements=1800, stride=8, work=30,
+                           passes=2))

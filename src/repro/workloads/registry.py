@@ -1,0 +1,97 @@
+"""Workload registry with per-process trace caching.
+
+A :class:`Workload` pairs a name with a deferred program builder; its
+functional trace (the "simpoint") is generated once and cached, since
+every prefetcher comparison replays the same trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.isa.machine import Machine
+from repro.isa.program import Program
+from repro.isa.trace import Trace
+
+DEFAULT_SIMPOINT = 160_000
+"""Default dynamic-instruction budget per workload (the paper uses 10M
+per simpoint; scaled down ~60x for Python, see DESIGN.md)."""
+
+
+@dataclass
+class Workload:
+    """A named, lazily-built benchmark program."""
+
+    name: str
+    suite: str
+    build: Callable[[], Program]
+    simpoint: int = DEFAULT_SIMPOINT
+    description: str = ""
+    _trace: Trace | None = field(default=None, repr=False)
+
+    def program(self) -> Program:
+        return self.build()
+
+    def trace(self) -> Trace:
+        """Functional trace, cached for the process lifetime."""
+        if self._trace is None:
+            machine = Machine(max_instructions=self.simpoint, truncate=True)
+            self._trace = machine.run(self.program())
+            self._trace.name = self.name
+        return self._trace
+
+
+_REGISTRY: dict[str, Workload] = {}
+_SUITES_LOADED = False
+
+
+def register(workload: Workload) -> Workload:
+    if workload.name in _REGISTRY:
+        raise ValueError(f"workload {workload.name!r} already registered")
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def _load_suites() -> None:
+    global _SUITES_LOADED
+    if _SUITES_LOADED:
+        return
+    _SUITES_LOADED = True
+    # Importing a suite module registers its workloads.
+    from repro.workloads import spec, crono, starbench, npb  # noqa: F401
+
+
+def get_workload(name: str) -> Workload:
+    """Look up one workload by ``suite.name`` (e.g. ``"spec.mcf"``)."""
+    _load_suites()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def get_suite(suite: str) -> list[Workload]:
+    """All workloads of one suite ("spec", "crono", "starbench", "npb")."""
+    _load_suites()
+    selected = [w for w in _REGISTRY.values() if w.suite == suite]
+    if not selected:
+        raise ValueError(f"unknown suite {suite!r}")
+    return selected
+
+
+def all_suites() -> dict[str, list[Workload]]:
+    _load_suites()
+    suites: dict[str, list[Workload]] = {}
+    for workload in _REGISTRY.values():
+        suites.setdefault(workload.suite, []).append(workload)
+    return suites
+
+
+def workload_names(suite: str | None = None) -> list[str]:
+    _load_suites()
+    if suite is None:
+        return sorted(_REGISTRY)
+    return sorted(w.name for w in _REGISTRY.values() if w.suite == suite)

@@ -1,0 +1,235 @@
+"""SPEC CPU2006-like suite: 21 synthetic workloads.
+
+Each workload is named after a SPEC 2006 benchmark and reproduces that
+benchmark's *dominant memory access pattern mix* (streaming, pointer
+chasing, indirection, spatial blocks, computation density) at a scale
+matched to the shortened simpoints and scaled caches.  These are pattern
+stand-ins, not ports — see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Assembler, Program
+from repro.workloads import builders
+from repro.workloads.builders import Allocator
+from repro.workloads.registry import Workload, register
+
+
+def _program(name: str, emit) -> Program:
+    asm = Assembler(name=f"spec.{name}")
+    alloc = Allocator()
+    emit(asm, alloc)
+    asm.halt()
+    return asm.assemble()
+
+
+def _spec(name: str, description: str, emit) -> None:
+    register(
+        Workload(
+            name=f"spec.{name}",
+            suite="spec",
+            build=lambda: _program(name, emit),
+            description=description,
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# Streaming / strided (libquantum, milc, lbm, GemsFDTD, cactusADM, hmmer,
+# namd)
+# ---------------------------------------------------------------------------
+_spec("libquantum", "pure streaming over a large array", lambda asm, alloc:
+      builders.strided_loop(asm, alloc, elements=26000, stride=8, work=1))
+
+_spec("milc", "three concurrent streams (lattice QCD style)",
+      lambda asm, alloc:
+      builders.multi_stream(asm, alloc, elements=14000, streams=3, work=1))
+
+_spec("lbm", "stencil rows with a write stream", lambda asm, alloc:
+      builders.stencil_rows(asm, alloc, rows=95, cols=120, work=0))
+
+_spec("gemsfdtd", "compute-heavier stencil", lambda asm, alloc:
+      builders.stencil_rows(asm, alloc, rows=72, cols=120, work=2))
+
+_spec("cactusadm", "four-stream relaxation kernel", lambda asm, alloc:
+      builders.multi_stream(asm, alloc, elements=9000, streams=4, work=3))
+
+_spec("hmmer", "small hot array, heavy compute per element",
+      lambda asm, alloc:
+      builders.strided_loop(asm, alloc, elements=4000, stride=8, work=10,
+                            passes=3))
+
+_spec("namd", "two streams with moderate compute", lambda asm, alloc:
+      builders.multi_stream(asm, alloc, elements=11000, streams=2, work=4))
+
+
+# ---------------------------------------------------------------------------
+# Pointer chasing (mcf, omnetpp, xalancbmk)
+# ---------------------------------------------------------------------------
+_spec("mcf", "scattered linked-list traversal (network simplex arcs)",
+      lambda asm, alloc:
+      builders.linked_list(asm, alloc, nodes=14000, node_bytes=96,
+                           layout="scattered", payload_loads=2, work=2))
+
+
+def _omnetpp(asm: Assembler, alloc: Allocator) -> None:
+    builders.array_of_pointers(asm, alloc, count=9000, object_bytes=192,
+                               work=1, seed=21)
+    builders.linked_list(asm, alloc, nodes=5000, node_bytes=64,
+                         layout="clustered", work=1, seed=22)
+
+
+_spec("omnetpp", "event objects via pointer array + message queue list",
+      _omnetpp)
+
+
+def _xalancbmk(asm: Assembler, alloc: Allocator) -> None:
+    builders.linked_list(asm, alloc, nodes=7000, node_bytes=80,
+                         layout="scattered", work=1, seed=23)
+    builders.random_gather(asm, alloc, lookups=5000,
+                           table_bytes=256 * 1024, seed=24)
+
+
+_spec("xalancbmk", "DOM-tree-like pointer walk + symbol table probing",
+      _xalancbmk)
+
+
+# ---------------------------------------------------------------------------
+# Array-of-pointers / object-oriented (perlbench, dealII, povray)
+# ---------------------------------------------------------------------------
+def _perlbench(asm: Assembler, alloc: Allocator) -> None:
+    builders.array_of_pointers(asm, alloc, count=7000, object_bytes=128,
+                               fields=2, work=2, seed=25)
+    builders.region_sweep(asm, alloc, regions=180, region_bytes=1024,
+                          work=1, seed=26)
+
+
+_spec("perlbench", "SV-object dereferences + string buffer sweeps",
+      _perlbench)
+
+_spec("dealii", "element objects behind an iterator array",
+      lambda asm, alloc:
+      builders.array_of_pointers(asm, alloc, count=11000, object_bytes=128,
+                                 work=2, seed=27))
+
+_spec("povray", "scene objects, several fields per object, heavy compute",
+      lambda asm, alloc:
+      builders.array_of_pointers(asm, alloc, count=7500, object_bytes=256,
+                                 fields=3, work=4, seed=28))
+
+
+# ---------------------------------------------------------------------------
+# Irregular (gobmk, sjeng, astar, soplex, gcc, bzip2, sphinx3, h264ref)
+# ---------------------------------------------------------------------------
+_spec("gobmk", "board evaluation over an L2-resident table",
+      lambda asm, alloc:
+      builders.random_gather(asm, alloc, lookups=11000,
+                             table_bytes=32 * 1024, work=3, seed=29))
+
+_spec("sjeng", "transposition-table probing over a large table",
+      lambda asm, alloc:
+      builders.random_gather(asm, alloc, lookups=11000,
+                             table_bytes=1024 * 1024, work=2, seed=30))
+
+_spec("astar", "open-list neighbor lookups with some locality",
+      lambda asm, alloc:
+      builders.index_gather(asm, alloc, elements=11000,
+                            table_elements=60000, locality_window=64,
+                            work=2, seed=31))
+
+_spec("soplex", "sparse-matrix column gathers", lambda asm, alloc:
+      builders.index_gather(asm, alloc, elements=13000,
+                            table_elements=80000, locality_window=32,
+                            work=1, seed=32))
+
+
+def _gcc(asm: Assembler, alloc: Allocator) -> None:
+    builders.index_gather(asm, alloc, elements=8000, table_elements=40000,
+                          locality_window=512, work=1, seed=33)
+    builders.strided_loop(asm, alloc, elements=5000, stride=8, work=1)
+
+
+_spec("gcc", "RTL walks with windowed locality + pass over insn stream",
+      _gcc)
+
+
+def _bzip2(asm: Assembler, alloc: Allocator) -> None:
+    builders.strided_loop(asm, alloc, elements=9000, stride=8, work=1)
+    builders.random_gather(asm, alloc, lookups=7000,
+                           table_bytes=64 * 1024, work=1, seed=34)
+
+
+_spec("bzip2", "sequential block scan + sort-table probing", _bzip2)
+
+
+def _sphinx3(asm: Assembler, alloc: Allocator) -> None:
+    builders.strided_loop(asm, alloc, elements=9000, stride=8, work=2)
+    builders.index_gather(asm, alloc, elements=6000, table_elements=50000,
+                          locality_window=128, work=1, seed=35)
+
+
+_spec("sphinx3", "feature streaming + senone score gathers", _sphinx3)
+
+
+def _h264ref(asm: Assembler, alloc: Allocator) -> None:
+    builders.region_sweep(asm, alloc, regions=520, region_bytes=1024,
+                          step=64, work=2, seed=36)
+    builders.strided_loop(asm, alloc, elements=4000, stride=8, work=1)
+
+
+_spec("h264ref", "motion-compensation block sweeps + reference stream",
+      _h264ref)
+
+
+# ---------------------------------------------------------------------------
+# Remaining mixes
+# ---------------------------------------------------------------------------
+def _wrf_like(asm: Assembler, alloc: Allocator) -> None:
+    builders.stencil_rows(asm, alloc, rows=50, cols=100, work=2)
+    builders.strided_loop(asm, alloc, elements=6000, stride=8, work=1)
+
+
+_spec("wrf", "weather stencil + field copy streams", _wrf_like)
+
+
+def _zeusmp(asm: Assembler, alloc: Allocator) -> None:
+    builders.multi_stream(asm, alloc, elements=8000, streams=3, work=2)
+    builders.strided_loop(asm, alloc, elements=4000, stride=1024, work=1)
+
+
+_spec("zeusmp", "multi-field streams + large-stride plane walk", _zeusmp)
+
+_spec("bwaves", "three large wave-field streams", lambda asm, alloc:
+      builders.multi_stream(asm, alloc, elements=12000, streams=3, work=2))
+
+_spec("gamess", "quantum-chemistry compute over a hot working set",
+      lambda asm, alloc:
+      builders.strided_loop(asm, alloc, elements=2500, stride=8, work=20,
+                            passes=2))
+
+_spec("gromacs", "neighbor-list force gathers", lambda asm, alloc:
+      builders.index_gather(asm, alloc, elements=9000,
+                            table_elements=30000, locality_window=16,
+                            work=4, seed=37))
+
+
+def _leslie3d(asm: Assembler, alloc: Allocator) -> None:
+    builders.stencil_rows(asm, alloc, rows=60, cols=140, work=2)
+    builders.strided_loop(asm, alloc, elements=4000, stride=8, work=1)
+
+
+_spec("leslie3d", "3-D eddy stencil + boundary stream", _leslie3d)
+
+
+def _calculix(asm: Assembler, alloc: Allocator) -> None:
+    builders.index_gather(asm, alloc, elements=8000, table_elements=50000,
+                          locality_window=24, work=2, seed=38)
+    builders.strided_loop(asm, alloc, elements=4000, stride=8, work=2)
+
+
+_spec("calculix", "FE sparse solve + element stream", _calculix)
+
+_spec("tonto", "molecule objects with several fields, heavy compute",
+      lambda asm, alloc:
+      builders.array_of_pointers(asm, alloc, count=6500, object_bytes=192,
+                                 fields=2, work=5, seed=39))

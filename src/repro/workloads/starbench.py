@@ -1,0 +1,61 @@
+"""STARBENCH-like embedded/media suite (paper: STARBENCH with large
+inputs).
+
+Media kernels lean on streams and dense blocks; the suite mirrors that:
+color-space conversion (parallel streams), image rotation (block sweeps),
+hashing (compute-dense streaming), clustering (gathers), and a
+streamcluster-like object workload.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Assembler, Program
+from repro.workloads import builders
+from repro.workloads.builders import Allocator
+from repro.workloads.registry import Workload, register
+
+
+def _program(name: str, emit) -> Program:
+    asm = Assembler(name=f"starbench.{name}")
+    alloc = Allocator()
+    emit(asm, alloc)
+    asm.halt()
+    return asm.assemble()
+
+
+def _star(name: str, description: str, emit) -> None:
+    register(
+        Workload(
+            name=f"starbench.{name}",
+            suite="starbench",
+            build=lambda: _program(name, emit),
+            description=description,
+        )
+    )
+
+
+_star("rgbyuv", "four-stream color conversion", lambda asm, alloc:
+      builders.multi_stream(asm, alloc, elements=11000, streams=4, work=2))
+
+_star("rotate", "image rotation: dense block sweeps", lambda asm, alloc:
+      builders.region_sweep(asm, alloc, regions=450, region_bytes=1024,
+                            step=64, work=1, seed=51))
+
+_star("md5", "hashing: compute-dense buffer streaming", lambda asm, alloc:
+      builders.strided_loop(asm, alloc, elements=4500, stride=8, work=12,
+                            passes=2))
+
+_star("kmeans", "centroid gathers over the point set", lambda asm, alloc:
+      builders.index_gather(asm, alloc, elements=9000,
+                            table_elements=24000, work=4, seed=52))
+
+_star("streamcluster", "distance evaluations against scattered points",
+      lambda asm, alloc:
+      builders.array_of_pointers(asm, alloc, count=9000, object_bytes=192,
+                                 fields=2, work=3, seed=53))
+
+_star("bodytrack", "object-oriented accessors: two streams behind one "
+      "shared load (the mPC pattern)",
+      lambda asm, alloc:
+      builders.call_site_streams(asm, alloc, elements=8000,
+                                 strides=(8, 24), work=1))

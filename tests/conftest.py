@@ -1,0 +1,140 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.base import AccessEvent
+from repro.isa import Assembler, Machine
+
+
+def make_event(pc=0x1000, addr=0, *, cycle=0, hit=False, primary_miss=None,
+               value=0, latency=200, is_load=True, dst=1, mpc=None,
+               served_by_prefetch=False, serving_component=None):
+    """Build an AccessEvent with sensible defaults for unit tests.
+
+    ``primary_miss`` defaults to ``not hit``.
+    """
+    if primary_miss is None:
+        primary_miss = not hit
+    if mpc is None:
+        mpc = pc
+    return AccessEvent(
+        cycle=cycle,
+        pc=pc,
+        mpc=mpc,
+        addr=addr,
+        line=addr >> 6,
+        is_load=is_load,
+        hit=hit,
+        primary_miss=primary_miss,
+        latency=latency if not hit else 3,
+        value=value,
+        dst=dst,
+        served_by_prefetch=served_by_prefetch,
+        serving_component=serving_component,
+    )
+
+
+def feed_stream(prefetcher, addresses, pc=0x1000, values=None,
+                start_cycle=0, cycle_step=10, hit_after=None):
+    """Feed a sequence of addresses to a prefetcher as misses.
+
+    Returns the list of all requests produced.  ``hit_after`` marks
+    accesses after index N as hits (post-warmup behavior).
+    """
+    requests = []
+    for i, addr in enumerate(addresses):
+        hit = hit_after is not None and i >= hit_after
+        event = make_event(
+            pc=pc,
+            addr=addr,
+            cycle=start_cycle + i * cycle_step,
+            hit=hit,
+            value=values[i] if values is not None else 0,
+        )
+        prefetcher.observe_access(event)
+        result = prefetcher.on_access(event)
+        if result:
+            requests.extend(result)
+    return requests
+
+
+def requested_lines(requests):
+    return {r.line for r in requests}
+
+
+# ---------------------------------------------------------------------------
+# Small trace fixtures
+# ---------------------------------------------------------------------------
+def build_strided_trace(elements=5000, stride=8, name="strided"):
+    asm = Assembler(name=name)
+    base = 0x100000
+    asm.movi("r1", base)
+    asm.movi("r2", base + elements * stride)
+    loop = asm.label()
+    asm.load("r4", "r1", 0)
+    asm.add("r3", "r3", "r4")
+    asm.addi("r1", "r1", stride)
+    asm.blt("r1", "r2", loop)
+    asm.halt()
+    return Machine(max_instructions=200_000).run(asm.assemble())
+
+
+def build_chain_trace(nodes=4000, node_bytes=128, scattered=True,
+                      seed=5, name="chain"):
+    asm = Assembler(name=name)
+    rng = random.Random(seed)
+    addrs = [0x200000 + i * node_bytes for i in range(nodes)]
+    if scattered:
+        rng.shuffle(addrs)
+    for i in range(nodes - 1):
+        asm.data(addrs[i], addrs[i + 1])
+        asm.data(addrs[i] + 8, i)
+    asm.data(addrs[-1], 0)
+    asm.movi("r1", addrs[0])
+    loop = asm.label()
+    asm.load("r3", "r1", 8)
+    asm.add("r2", "r2", "r3")
+    asm.load("r1", "r1", 0)
+    asm.bne("r1", "r0", loop)
+    asm.halt()
+    return Machine(max_instructions=200_000).run(asm.assemble())
+
+
+def build_aop_trace(count=4000, object_bytes=256, seed=6, name="aop"):
+    asm = Assembler(name=name)
+    rng = random.Random(seed)
+    objects = [0x800000 + i * object_bytes for i in range(count)]
+    rng.shuffle(objects)
+    array_base = 0x100000
+    asm.data(array_base, objects)
+    for address in objects:
+        asm.data(address + 16, address & 0xFFFF)
+    asm.movi("r1", array_base)
+    asm.movi("r2", array_base + count * 8)
+    loop = asm.label()
+    asm.load("r4", "r1", 0)
+    asm.load("r5", "r4", 16)
+    asm.add("r3", "r3", "r5")
+    asm.addi("r1", "r1", 8)
+    asm.blt("r1", "r2", loop)
+    asm.halt()
+    return Machine(max_instructions=200_000).run(asm.assemble())
+
+
+@pytest.fixture(scope="session")
+def strided_trace():
+    return build_strided_trace()
+
+
+@pytest.fixture(scope="session")
+def chain_trace():
+    return build_chain_trace()
+
+
+@pytest.fixture(scope="session")
+def aop_trace():
+    return build_aop_trace()

@@ -1,0 +1,46 @@
+"""Tests for per-instruction miss attribution."""
+
+from repro.analysis.attribution import attribute, render
+from repro.engine.system import simulate
+from repro.prefetcher_registry import make_prefetcher
+
+
+class TestAttribution:
+    def test_strided_load_attributed_to_t2(self, strided_trace):
+        baseline = simulate(strided_trace)
+        tpc = make_prefetcher("tpc")
+        result = simulate(strided_trace, tpc)
+        rows = attribute(strided_trace, baseline, result, tpc)
+        assert rows
+        hottest = rows[0]
+        assert hottest.pattern == "strided"
+        assert hottest.covered_by == "t2"
+        assert hottest.coverage > 0.9
+
+    def test_miss_pcs_tracked(self, strided_trace):
+        baseline = simulate(strided_trace)
+        assert baseline.core.miss_pcs
+        assert sum(baseline.core.miss_pcs.values()) == \
+            baseline.l1d.demand_misses
+
+    def test_render(self, strided_trace):
+        baseline = simulate(strided_trace)
+        tpc = make_prefetcher("tpc")
+        result = simulate(strided_trace, tpc)
+        out = render(attribute(strided_trace, baseline, result, tpc))
+        assert "owner" in out and "t2" in out
+
+    def test_uncovered_pc_marked(self, chain_trace):
+        baseline = simulate(chain_trace)
+        stride = make_prefetcher("stride")
+        result = simulate(chain_trace, stride)
+        rows = attribute(chain_trace, baseline, result, stride)
+        # A scattered chain is not covered by a stride prefetcher.
+        assert any(r.covered_by == "-" and r.coverage < 0.5 for r in rows)
+
+    def test_top_limits_rows(self, strided_trace):
+        baseline = simulate(strided_trace)
+        tpc = make_prefetcher("tpc")
+        result = simulate(strided_trace, tpc)
+        rows = attribute(strided_trace, baseline, result, tpc, top=1)
+        assert len(rows) == 1

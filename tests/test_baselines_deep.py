@@ -1,0 +1,157 @@
+"""Second battery of baseline tests: mechanism-specific behaviors."""
+
+from conftest import feed_stream, make_event, requested_lines
+
+from repro.baselines.ampm import AmpmPrefetcher
+from repro.baselines.bop import BopPrefetcher
+from repro.baselines.fdp import FdpPrefetcher, _AGGRESSIVENESS
+from repro.baselines.ghb import GhbPcDcPrefetcher
+from repro.baselines.sms import SmsPrefetcher
+from repro.baselines.spp import SppPrefetcher, _advance_signature
+from repro.baselines.vldp import VldpPrefetcher
+
+
+class TestGhbMechanics:
+    def test_stale_links_ignored_after_wrap(self):
+        pf = GhbPcDcPrefetcher(ghb_entries=8)
+        # Train PC A, then flood the GHB with other PCs so A's entries
+        # are overwritten; A's chain must not resurrect stale slots.
+        feed_stream(pf, [i * 64 for i in range(4)], pc=0xA)
+        for pc in range(0x100, 0x110):
+            feed_stream(pf, [pc * 0x1000], pc=pc)
+        chain = pf._chain(0xA)
+        assert len(chain) <= 1  # everything older fell out of the buffer
+
+    def test_chain_order_most_recent_first(self):
+        pf = GhbPcDcPrefetcher()
+        feed_stream(pf, [0, 64, 128], pc=0xA)
+        chain = pf._chain(0xA)
+        assert chain == [2, 1, 0]
+
+    def test_distinct_pcs_chains_independent(self):
+        pf = GhbPcDcPrefetcher()
+        feed_stream(pf, [0, 64], pc=0xA)
+        feed_stream(pf, [0x8000, 0x8040], pc=0xB)
+        assert pf._chain(0xA) != pf._chain(0xB)
+
+
+class TestSppMechanics:
+    def test_signature_update_is_deterministic(self):
+        assert _advance_signature(0, 5) == _advance_signature(0, 5)
+        assert _advance_signature(0, 5) != _advance_signature(0, 6)
+
+    def test_signature_stays_in_12_bits(self):
+        signature = 0
+        for delta in range(-60, 60):
+            signature = _advance_signature(signature, delta)
+            assert 0 <= signature < (1 << 12)
+
+    def test_pattern_entry_replaces_weakest(self):
+        from repro.baselines.spp import _PatternEntry
+        entry = _PatternEntry()
+        for delta in (1, 2, 3, 4):
+            for _ in range(delta):   # delta k observed k times
+                entry.update(delta)
+        entry.update(9)              # fifth candidate displaces delta 1
+        assert 9 in entry.deltas
+        assert 1 not in entry.deltas
+
+    def test_best_confidence_fraction(self):
+        from repro.baselines.spp import _PatternEntry
+        entry = _PatternEntry()
+        entry.update(2)
+        entry.update(2)
+        entry.update(5)
+        delta, confidence = entry.best()
+        assert delta == 2
+        assert abs(confidence - 2 / 3) < 1e-9
+
+
+class TestVldpMechanics:
+    def test_longest_history_wins(self):
+        pf = VldpPrefetcher()
+        # DPT-1: after delta 1 comes 2.  DPT-2: after (3,1) comes 7.
+        pf._dpts[0].put((1,), 2)
+        pf._dpts[1].put((3, 1), 7)
+        assert pf._predict([3, 1]) == 7     # 2-history beats 1-history
+        assert pf._predict([9, 1]) == 2     # falls back to 1-history
+
+    def test_no_prediction_for_unknown(self):
+        pf = VldpPrefetcher()
+        assert pf._predict([42]) is None
+
+
+class TestBopMechanics:
+    def test_round_counting(self):
+        pf = BopPrefetcher(offsets=[1, 2])
+        # Each learn step tests one offset; a full pass = one round.
+        pf._learn(100)
+        pf._learn(101)
+        assert pf._round == 1
+
+    def test_score_max_short_circuits_round(self):
+        from repro.baselines import bop as bop_module
+        pf = BopPrefetcher(offsets=[1])
+        for i in range(bop_module.SCORE_MAX):
+            pf._rr_insert(i - 1)
+            pf._learn(i)
+        # Round ended: scores reset, offset selected.
+        assert pf._scores == [0]
+        assert pf._best_offset == 1
+
+    def test_off_state_inserts_demand_fills(self):
+        pf = BopPrefetcher()
+        pf._prefetching_on = False
+        pf.on_fill(42, 1, prefetched=False)
+        assert 42 in pf._rr
+
+
+class TestFdpMechanics:
+    def test_ladder_is_monotonic(self):
+        distances = [d for d, _ in _AGGRESSIVENESS]
+        degrees = [deg for _, deg in _AGGRESSIVENESS]
+        assert distances == sorted(distances)
+        assert degrees == sorted(degrees)
+
+    def test_level_bounded(self):
+        pf = FdpPrefetcher(start_aggressiveness=len(_AGGRESSIVENESS) - 1)
+        # Many highly useful windows cannot push the level out of range.
+        for i in range(5000):
+            event = make_event(addr=i * 64, hit=False)
+            for r in pf.on_access(event) or []:
+                pf.on_prefetch_hit(r.line, 1)
+        assert 0 <= pf._level < len(_AGGRESSIVENESS)
+
+
+class TestSmsMechanics:
+    def test_trigger_key_uses_pc_and_offset(self):
+        pf = SmsPrefetcher()
+        assert pf._trigger_key(0x40, 3) != pf._trigger_key(0x40, 4)
+        assert pf._trigger_key(0x40, 3) != pf._trigger_key(0x44, 3)
+
+    def test_generation_end_on_at_capacity(self):
+        pf = SmsPrefetcher(active_entries=1, filter_entries=8)
+        # Open a generation on region 0 with a 2-line pattern.
+        pf.on_access(make_event(pc=0x40, addr=0, hit=False))
+        pf.on_access(make_event(pc=0x40, addr=64, hit=False))
+        assert 0 in pf._active
+        # Opening a second generation evicts (and records) the first.
+        pf.on_access(make_event(pc=0x40, addr=0x10000, hit=False))
+        pf.on_access(make_event(pc=0x40, addr=0x10040, hit=False))
+        assert 0 not in pf._active
+        assert pf._pht  # the 2-line pattern was recorded
+
+
+class TestAmpmMechanics:
+    def test_negative_direction_prediction(self):
+        pf = AmpmPrefetcher(degree=1)
+        requests = feed_stream(pf, [0x4000 - i * 64 for i in range(6)])
+        assert requests
+        assert all(r.line < 0x4000 >> 6 for r in requests)
+
+    def test_prefetched_bit_suppresses_duplicates(self):
+        pf = AmpmPrefetcher()
+        first = feed_stream(pf, [0, 64, 128])
+        again = pf.on_access(make_event(addr=128, hit=False))
+        overlap = requested_lines(first) & requested_lines(again or [])
+        assert not overlap

@@ -1,0 +1,224 @@
+"""Unit tests for SPP, VLDP, BOP, FDP, SMS, and AMPM."""
+
+from conftest import feed_stream, make_event, requested_lines
+
+from repro.baselines.ampm import AmpmPrefetcher
+from repro.baselines.bop import BopPrefetcher
+from repro.baselines.fdp import FdpPrefetcher
+from repro.baselines.sms import SmsPrefetcher
+from repro.baselines.spp import SppPrefetcher
+from repro.baselines.vldp import VldpPrefetcher
+
+
+class TestSpp:
+    def test_learns_unit_delta_within_page(self):
+        pf = SppPrefetcher()
+        # Train one page, then start a second page with the same pattern.
+        requests = feed_stream(pf, [i * 64 for i in range(30)])
+        requests += feed_stream(pf, [0x10000 + i * 64 for i in range(10)])
+        assert requests
+
+    def test_stops_at_page_boundary(self):
+        pf = SppPrefetcher()
+        requests = feed_stream(pf, [i * 64 for i in range(80)])
+        for r in requests:
+            # All prefetches land inside some 4 KB page of the stream.
+            assert r.line < 4096
+
+    def test_filter_suppresses_duplicates(self):
+        pf = SppPrefetcher()
+        requests = feed_stream(pf, [i * 64 for i in range(40)])
+        lines = [r.line for r in requests]
+        assert len(lines) == len(set(lines))
+
+    def test_signature_tables_bounded(self):
+        pf = SppPrefetcher(signature_entries=4, pattern_entries=8)
+        import random
+        rng = random.Random(1)
+        feed_stream(pf, [rng.randrange(1 << 18) * 64 for _ in range(200)])
+        assert len(pf._signatures) <= 4
+        assert len(pf._patterns) <= 8
+
+    def test_reset(self):
+        pf = SppPrefetcher()
+        feed_stream(pf, [i * 64 for i in range(40)])
+        pf.reset()
+        assert not pf._signatures and not pf._patterns
+
+
+class TestVldp:
+    def test_learns_repeating_delta(self):
+        pf = VldpPrefetcher()
+        requests = feed_stream(pf, [i * 64 for i in range(20)])
+        assert requests
+
+    def test_multi_delta_pattern(self):
+        # Repeating +1,+2 line pattern inside a page.
+        pf = VldpPrefetcher()
+        addrs = [0]
+        for i in range(18):
+            addrs.append(addrs[-1] + (64 if i % 2 == 0 else 128))
+        requests = feed_stream(pf, addrs)
+        assert requests
+
+    def test_opt_first_touch_prediction(self):
+        pf = VldpPrefetcher()
+        # Several pages starting at offset 0 then moving +1 line teach
+        # the OPT that offset 0 -> delta 1.
+        for page in range(6):
+            base = page * 0x1000
+            feed_stream(pf, [base, base + 64, base + 128])
+        requests = pf.on_access(make_event(addr=0x100000, hit=False))
+        assert requests and requests[0].line == (0x100000 >> 6) + 1
+
+    def test_tables_bounded(self):
+        pf = VldpPrefetcher(dhb_entries=4)
+        feed_stream(pf, [page * 0x1000 for page in range(50)])
+        assert len(pf._dhb._data) <= 4
+
+
+class TestBop:
+    def test_learns_best_offset(self):
+        pf = BopPrefetcher()
+        # Stride of 2 lines; completed prefetches train the RR table.
+        # The learning round needs ~840 triggers to saturate a score.
+        addrs = [i * 128 for i in range(2000)]
+        for addr in addrs:
+            event = make_event(addr=addr, hit=False)
+            requests = pf.on_access(event)
+            for r in requests or []:
+                pf.on_fill(r.line, 1, prefetched=True)
+        assert pf._best_offset % 2 == 0  # multiple of the 2-line stride
+
+    def test_turns_off_on_random(self):
+        import random
+        rng = random.Random(3)
+        pf = BopPrefetcher()
+        for _ in range(3000):
+            addr = rng.randrange(1 << 22) * 64
+            event = make_event(addr=addr, hit=False)
+            requests = pf.on_access(event)
+            for r in requests or []:
+                pf.on_fill(r.line, 1, prefetched=True)
+        assert not pf._prefetching_on
+
+    def test_prefetch_on_prefetched_hit(self):
+        pf = BopPrefetcher()
+        event = make_event(addr=0x2000, hit=True, served_by_prefetch=True)
+        assert pf.on_access(event) is not None
+
+    def test_no_trigger_on_plain_hit(self):
+        pf = BopPrefetcher()
+        assert pf.on_access(make_event(addr=0x2000, hit=True)) is None
+
+    def test_rr_table_bounded(self):
+        pf = BopPrefetcher(rr_entries=8)
+        for i in range(100):
+            pf.on_fill(i, 1, prefetched=True)
+        assert len(pf._rr) <= 8
+
+
+class TestFdp:
+    def test_stream_training_and_prefetch(self):
+        pf = FdpPrefetcher()
+        requests = feed_stream(pf, [i * 64 for i in range(20)])
+        assert requests
+        distance, degree = pf.aggressiveness
+        assert distance >= 4 and degree >= 1
+
+    def test_aggressiveness_drops_on_poor_accuracy(self):
+        pf = FdpPrefetcher(start_aggressiveness=3)
+        level_before = pf._level
+        # Issue many prefetches, never report a hit, cross the interval.
+        feed_stream(pf, [i * 64 for i in range(3000)])
+        assert pf._level <= level_before
+
+    def test_aggressiveness_rises_on_good_accuracy(self):
+        pf = FdpPrefetcher(start_aggressiveness=0)
+        for i in range(3000):
+            event = make_event(addr=i * 64, hit=False)
+            requests = pf.on_access(event)
+            for r in requests or []:
+                pf.on_prefetch_hit(r.line, 1)
+        assert pf._level > 0
+
+    def test_downward_stream(self):
+        pf = FdpPrefetcher()
+        requests = feed_stream(pf, [0x100000 - i * 64 for i in range(20)])
+        assert requests
+        assert all(r.line <= 0x100000 >> 6 for r in requests)
+
+    def test_stream_table_bounded(self):
+        pf = FdpPrefetcher(streams=4)
+        for i in range(20):
+            feed_stream(pf, [i * 0x100000], pc=i)
+        assert len(pf._streams) <= 4
+
+
+class TestSms:
+    def test_pattern_recorded_and_replayed(self):
+        pf = SmsPrefetcher(active_entries=2)
+        # Touch regions with a fixed 3-line pattern from the same PC and
+        # trigger offset; regions must be touched twice to open a
+        # generation (filter table).
+        pattern_offsets = [0, 3, 7]
+        for region in range(8):
+            base = region * 2048
+            for offset in pattern_offsets:
+                for _ in range(2):
+                    pf.on_access(make_event(pc=0x40, addr=base + offset * 64,
+                                            hit=False))
+        # A new region triggered by the same (pc, offset) key replays.
+        requests = pf.on_access(make_event(pc=0x40, addr=0x100000,
+                                           hit=False))
+        if requests:  # pattern learned
+            lines = requested_lines(requests)
+            base_line = 0x100000 >> 6
+            assert base_line + 3 in lines or base_line + 7 in lines
+
+    def test_single_line_generations_not_stored(self):
+        pf = SmsPrefetcher(active_entries=1)
+        for region in range(10):
+            pf.on_access(make_event(pc=0x40, addr=region * 4096, hit=False))
+            pf.on_access(make_event(pc=0x40, addr=region * 4096, hit=False))
+        assert not pf._pht
+
+    def test_filter_requires_second_touch(self):
+        pf = SmsPrefetcher()
+        pf.on_access(make_event(pc=0x40, addr=0, hit=False))
+        assert not pf._active
+        pf.on_access(make_event(pc=0x40, addr=64, hit=False))
+        assert pf._active
+
+
+class TestAmpm:
+    def test_stride_pattern_match(self):
+        pf = AmpmPrefetcher(degree=2)
+        requests = feed_stream(pf, [i * 64 for i in range(8)])
+        assert requests
+        # t-1 and t-2 accessed => t+1 predicted.
+        assert all(r.line <= 16 for r in requests)
+
+    def test_stride_2_pattern(self):
+        pf = AmpmPrefetcher()
+        requests = feed_stream(pf, [i * 128 for i in range(8)])
+        lines = requested_lines(requests)
+        assert lines
+        assert all(line % 2 == 0 for line in lines)
+
+    def test_no_duplicate_prefetches_per_zone(self):
+        pf = AmpmPrefetcher()
+        requests = feed_stream(pf, [i * 64 for i in range(30)])
+        lines = [r.line for r in requests]
+        assert len(lines) == len(set(lines))
+
+    def test_maps_bounded(self):
+        pf = AmpmPrefetcher(maps=4)
+        feed_stream(pf, [i * 4096 for i in range(40)])
+        assert len(pf._zones) <= 4
+
+    def test_cross_zone_check(self):
+        # Accesses near a zone boundary should not crash and may use the
+        # neighbor zone's map.
+        pf = AmpmPrefetcher()
+        feed_stream(pf, [4096 - 128, 4096 - 64, 4096, 4096 + 64])

@@ -1,0 +1,130 @@
+"""Unit tests for the stride, next-line, and GHB PC/DC baselines."""
+
+from conftest import feed_stream, make_event, requested_lines
+
+from repro.baselines.ghb import GhbPcDcPrefetcher
+from repro.baselines.nextline import NextLinePrefetcher
+from repro.baselines.stride import StridePrefetcher
+
+
+class TestStride:
+    def test_learns_constant_stride(self):
+        pf = StridePrefetcher(degree=2)
+        requests = feed_stream(pf, [i * 64 for i in range(10)])
+        lines = requested_lines(requests)
+        assert lines  # prefetches issued after confidence builds
+        # Targets are strictly ahead of the trigger addresses.
+        assert all(line >= 3 for line in lines)
+
+    def test_no_prefetch_on_random(self):
+        import random
+        rng = random.Random(0)
+        pf = StridePrefetcher()
+        requests = feed_stream(
+            pf, [rng.randrange(1 << 20) * 64 for _ in range(50)]
+        )
+        assert requests == []
+
+    def test_distinct_pcs_tracked_separately(self):
+        pf = StridePrefetcher(degree=1)
+        a = feed_stream(pf, [i * 64 for i in range(8)], pc=0x10)
+        b = feed_stream(pf, [0x900000 + i * 128 for i in range(8)], pc=0x20)
+        assert requested_lines(a).isdisjoint(requested_lines(b))
+
+    def test_table_capacity_evicts_lru(self):
+        pf = StridePrefetcher(table_entries=2)
+        feed_stream(pf, [0], pc=0x10)
+        feed_stream(pf, [64], pc=0x20)
+        feed_stream(pf, [128], pc=0x30)  # evicts pc 0x10
+        assert len(pf._table) == 2
+        assert 0x10 not in pf._table
+
+    def test_negative_stride(self):
+        pf = StridePrefetcher(degree=1)
+        requests = feed_stream(
+            pf, [0x10000 - i * 64 for i in range(10)]
+        )
+        assert requests
+        assert all(r.line < 0x10000 >> 6 for r in requests)
+
+    def test_zero_stride_ignored(self):
+        pf = StridePrefetcher()
+        requests = feed_stream(pf, [0x1000] * 20)
+        assert requests == []
+
+    def test_storage_bits_positive(self):
+        assert StridePrefetcher().storage_bits > 0
+
+    def test_reset_clears_state(self):
+        pf = StridePrefetcher()
+        feed_stream(pf, [i * 64 for i in range(10)])
+        pf.reset()
+        assert len(pf._table) == 0
+
+
+class TestNextLine:
+    def test_prefetches_next_line_on_miss(self):
+        pf = NextLinePrefetcher(degree=1)
+        requests = pf.on_access(make_event(addr=0x1000, hit=False))
+        assert requested_lines(requests) == {(0x1000 >> 6) + 1}
+
+    def test_no_prefetch_on_hit_by_default(self):
+        pf = NextLinePrefetcher()
+        assert pf.on_access(make_event(addr=0x1000, hit=True)) is None
+
+    def test_degree(self):
+        pf = NextLinePrefetcher(degree=3)
+        requests = pf.on_access(make_event(addr=0, hit=False))
+        assert requested_lines(requests) == {1, 2, 3}
+
+    def test_all_accesses_mode(self):
+        pf = NextLinePrefetcher(on_miss_only=False)
+        assert pf.on_access(make_event(addr=0x1000, hit=True))
+
+
+class TestGhbPcDc:
+    def test_constant_stride_replay(self):
+        pf = GhbPcDcPrefetcher(degree=2)
+        requests = feed_stream(pf, [i * 128 for i in range(12)])
+        assert requests
+        # Deltas of 2 lines: predictions continue the pattern.
+        lines = requested_lines(requests)
+        assert all(line % 2 == 0 for line in lines)
+
+    def test_delta_pair_correlation(self):
+        # Repeating delta pattern +1, +3 lines: the correlator should
+        # recover it.
+        pf = GhbPcDcPrefetcher(degree=2)
+        addrs = [0]
+        for i in range(16):
+            addrs.append(addrs[-1] + (64 if i % 2 == 0 else 192))
+        requests = feed_stream(pf, addrs)
+        assert requests
+
+    def test_hits_do_not_train(self):
+        pf = GhbPcDcPrefetcher()
+        requests = feed_stream(
+            pf, [i * 64 for i in range(20)], hit_after=0
+        )
+        assert requests == []
+
+    def test_short_history_no_prediction(self):
+        pf = GhbPcDcPrefetcher()
+        assert feed_stream(pf, [0, 64, 128]) == []
+
+    def test_ghb_wraps_without_error(self):
+        pf = GhbPcDcPrefetcher(ghb_entries=16)
+        feed_stream(pf, [i * 64 for i in range(100)])
+
+    def test_index_table_bounded(self):
+        pf = GhbPcDcPrefetcher(index_entries=4)
+        for pc in range(10):
+            feed_stream(pf, [pc * 0x10000], pc=pc)
+        assert len(pf._index) <= 4
+
+    def test_reset(self):
+        pf = GhbPcDcPrefetcher()
+        feed_stream(pf, [i * 64 for i in range(20)])
+        pf.reset()
+        assert pf._sequence == 0
+        assert len(pf._index) == 0

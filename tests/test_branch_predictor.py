@@ -1,0 +1,138 @@
+"""Tests for the branch predictors and their core integration."""
+
+import dataclasses
+
+import pytest
+
+from repro.engine.branch import (
+    GsharePredictor,
+    LoopPredictor,
+    StaticPredictor,
+    make_predictor,
+)
+from repro.engine.config import SystemConfig
+
+
+class TestStatic:
+    def test_backward_taken(self):
+        predictor = StaticPredictor()
+        assert predictor.predict(pc=100, target_pc=50)
+        assert not predictor.predict(pc=100, target_pc=200)
+
+
+class TestLoopPredictor:
+    def feed_loop(self, predictor, pc, trip_count, repetitions):
+        for _ in range(repetitions):
+            for i in range(trip_count):
+                taken = i < trip_count - 1
+                predictor.update(pc, taken)
+
+    def test_learns_fixed_trip_count(self):
+        predictor = LoopPredictor()
+        self.feed_loop(predictor, pc=0x40, trip_count=5, repetitions=4)
+        # 5th iteration predicted not-taken, earlier ones taken.
+        for i in range(4):
+            assert predictor.predict(0x40) is True
+            predictor.update(0x40, True)
+        assert predictor.predict(0x40) is False
+
+    def test_no_prediction_before_confidence(self):
+        predictor = LoopPredictor(confidence_threshold=2)
+        self.feed_loop(predictor, pc=0x40, trip_count=5, repetitions=1)
+        assert predictor.predict(0x40) is None
+
+    def test_changing_trip_count_resets(self):
+        predictor = LoopPredictor()
+        self.feed_loop(predictor, pc=0x40, trip_count=5, repetitions=3)
+        self.feed_loop(predictor, pc=0x40, trip_count=9, repetitions=1)
+        assert predictor.predict(0x40) is None
+
+    def test_table_bounded(self):
+        predictor = LoopPredictor(entries=4)
+        for pc in range(20):
+            predictor.update(pc, True)
+        assert len(predictor._table) <= 4
+
+
+class TestGshare:
+    def test_learns_biased_branch(self):
+        predictor = GsharePredictor()
+        for _ in range(20):
+            predictor.update(0x80, 0x40, True)
+        assert predictor.predict(0x80, 0x40)
+
+    def test_learns_alternating_with_history(self):
+        predictor = GsharePredictor(history_bits=8)
+        # Alternating pattern becomes predictable via global history.
+        correct = 0
+        taken = True
+        for i in range(400):
+            prediction = predictor.predict(0x80, 0x40)
+            if prediction == taken:
+                correct += 1
+            predictor.update(0x80, 0x40, taken)
+            taken = not taken
+        assert correct > 300  # static BTFN would get ~50%
+
+    def test_loop_exit_predicted(self):
+        predictor = GsharePredictor()
+        for _ in range(6):
+            for i in range(7):
+                predictor.update(0x80, 0x40, i < 6)
+        for i in range(6):
+            assert predictor.predict(0x80, 0x40) is True
+            predictor.update(0x80, 0x40, True)
+        assert predictor.predict(0x80, 0x40) is False
+
+    def test_factory(self):
+        assert make_predictor("static").name == "static"
+        assert make_predictor("gshare").name == "gshare"
+        with pytest.raises(ValueError):
+            make_predictor("tage9000")
+
+
+class TestCoreIntegration:
+    def test_gshare_not_worse_on_loops(self, strided_trace):
+        from repro.engine.system import simulate
+        static_config = SystemConfig()
+        gshare_config = dataclasses.replace(
+            static_config,
+            core=dataclasses.replace(static_config.core,
+                                     branch_predictor="gshare"),
+        )
+        static_result = simulate(strided_trace, config=static_config)
+        gshare_result = simulate(strided_trace, config=gshare_config)
+        assert (
+            gshare_result.core.mispredicts
+            <= static_result.core.mispredicts + 2
+        )
+
+    def test_gshare_beats_static_on_alternating(self):
+        from repro.engine.system import simulate
+        from repro.isa import Assembler, Machine
+
+        asm = Assembler()
+        asm.movi("r1", 0)
+        asm.movi("r2", 4000)
+        loop = asm.label()
+        asm.andi("r3", "r1", 1)
+        skip = asm.future_label()
+        asm.beq("r3", "r0", skip)
+        asm.addi("r4", "r4", 1)
+        asm.place(skip)
+        asm.addi("r1", "r1", 1)
+        asm.blt("r1", "r2", loop)
+        asm.halt()
+        trace = Machine(max_instructions=100_000).run(asm.assemble())
+
+        static_config = SystemConfig()
+        gshare_config = dataclasses.replace(
+            static_config,
+            core=dataclasses.replace(static_config.core,
+                                     branch_predictor="gshare"),
+        )
+        static_result = simulate(trace, config=static_config)
+        gshare_result = simulate(trace, config=gshare_config)
+        assert gshare_result.core.mispredicts < \
+            static_result.core.mispredicts / 2
+        assert gshare_result.cycles < static_result.cycles

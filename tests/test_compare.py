@@ -1,0 +1,73 @@
+"""Tests for the result-diff / regression-detection utilities."""
+
+import pytest
+
+from repro.analysis.compare import (
+    Movement,
+    SuiteDiff,
+    diff,
+    diff_suite,
+    render,
+)
+from repro.engine.system import simulate
+from repro.prefetcher_registry import make_prefetcher
+
+
+class TestDiff:
+    def test_diff_same_workload(self, strided_trace):
+        before = simulate(strided_trace)
+        after = simulate(strided_trace, make_prefetcher("tpc"))
+        result_diff = diff(before, after)
+        assert result_diff.speedup > 1.0
+        assert result_diff.movement() is Movement.IMPROVED
+        assert result_diff.misses_after < result_diff.misses_before
+
+    def test_identical_runs_unchanged(self, strided_trace):
+        a = simulate(strided_trace)
+        b = simulate(strided_trace)
+        assert diff(a, b).movement() is Movement.UNCHANGED
+
+    def test_workload_mismatch_rejected(self, strided_trace, chain_trace):
+        a = simulate(strided_trace)
+        b = simulate(chain_trace)
+        with pytest.raises(ValueError):
+            diff(a, b)
+
+
+class TestSuiteDiff:
+    def build(self, strided_trace, chain_trace):
+        before = {
+            "strided": simulate(strided_trace),
+            "chain": simulate(chain_trace),
+        }
+        after = {
+            "strided": simulate(strided_trace, make_prefetcher("tpc")),
+            "chain": simulate(chain_trace, make_prefetcher("tpc")),
+        }
+        # keys are workload names inside the results
+        before = {r.workload: r for r in before.values()}
+        after = {r.workload: r for r in after.values()}
+        return diff_suite(before, after)
+
+    def test_geomean_and_buckets(self, strided_trace, chain_trace):
+        suite_diff = self.build(strided_trace, chain_trace)
+        assert suite_diff.geomean_speedup > 1.0
+        buckets = suite_diff.by_movement()
+        assert len(buckets[Movement.IMPROVED]) >= 1
+        assert not suite_diff.has_regressions
+
+    def test_render(self, strided_trace, chain_trace):
+        out = render(self.build(strided_trace, chain_trace))
+        assert "geomean speedup" in out
+        assert "regressions: 0" in out
+
+    def test_common_keys_only(self, strided_trace):
+        a = simulate(strided_trace)
+        suite_diff = diff_suite({a.workload: a, "ghost": a},
+                                {a.workload: a})
+        assert len(suite_diff.diffs) == 1
+
+    def test_empty_suite(self):
+        suite_diff = SuiteDiff(diffs=[])
+        assert suite_diff.geomean_speedup == 0.0
+        assert not suite_diff.has_regressions

@@ -1,0 +1,168 @@
+"""Tests for the coordinator, composite, and shunt prefetchers."""
+
+from conftest import build_aop_trace, make_event
+
+from repro.core.base import Prefetcher, PrefetchRequest
+from repro.core.composite import ShuntPrefetcher, make_shunt, make_tpc
+from repro.core.coordinator import Coordinator
+from repro.engine.system import simulate
+from repro.prefetcher_registry import make_prefetcher
+
+
+class FakeComponent(Prefetcher):
+    """Scripted component for coordinator tests."""
+
+    def __init__(self, name, claimed_pcs=(), request_line=None,
+                 always_observe=False):
+        self.name = name
+        self.claimed = set(claimed_pcs)
+        self.request_line = request_line
+        self.always_observe = always_observe
+        self.seen = []
+
+    def on_access(self, event):
+        self.seen.append(event.pc)
+        if self.request_line is not None:
+            return [PrefetchRequest(self.request_line, 1, self.name)]
+        return None
+
+    def claims(self, pc):
+        return pc in self.claimed
+
+
+class TestCoordinator:
+    def test_priority_order_claim_gates_lower(self):
+        first = FakeComponent("first", claimed_pcs={0x10})
+        second = FakeComponent("second")
+        coordinator = Coordinator([first, second])
+        coordinator.route(make_event(pc=0x10))
+        assert first.seen == [0x10]
+        assert second.seen == []
+
+    def test_always_observe_sees_claimed(self):
+        first = FakeComponent("first", claimed_pcs={0x10})
+        second = FakeComponent("second", always_observe=True)
+        third = FakeComponent("third")
+        coordinator = Coordinator([first, second, third])
+        coordinator.route(make_event(pc=0x10))
+        assert second.seen == [0x10]
+        assert third.seen == []
+
+    def test_unclaimed_flows_to_all(self):
+        first = FakeComponent("first")
+        second = FakeComponent("second")
+        coordinator = Coordinator([first, second])
+        coordinator.route(make_event(pc=0x42))
+        assert first.seen == [0x42]
+        assert second.seen == [0x42]
+
+    def test_requests_merged_from_observers(self):
+        first = FakeComponent("first", claimed_pcs={0x10}, request_line=100)
+        second = FakeComponent("second", always_observe=True,
+                               request_line=200)
+        coordinator = Coordinator([first, second])
+        requests = coordinator.route(make_event(pc=0x10))
+        assert {r.line for r in requests} == {100, 200}
+
+    def test_extras_round_robin(self):
+        extra_a = FakeComponent("a")
+        extra_b = FakeComponent("b")
+        coordinator = Coordinator([FakeComponent("main")],
+                                  extras=[extra_a, extra_b])
+        coordinator.route(make_event(pc=0x1))
+        coordinator.route(make_event(pc=0x2))
+        coordinator.route(make_event(pc=0x3))
+        assert extra_a.seen and extra_b.seen
+        # Ownership is sticky.
+        coordinator.route(make_event(pc=0x1))
+        assert extra_a.seen.count(0x1) + extra_b.seen.count(0x1) == 2
+        assert extra_a.seen.count(0x1) in (0, 2)
+
+    def test_extras_not_offered_claimed_pcs(self):
+        main = FakeComponent("main", claimed_pcs={0x10})
+        extra = FakeComponent("x")
+        coordinator = Coordinator([main], extras=[extra])
+        coordinator.route(make_event(pc=0x10))
+        assert extra.seen == []
+
+    def test_prefetch_hit_rebinds_owner(self):
+        extra_a = FakeComponent("a")
+        extra_b = FakeComponent("b")
+        coordinator = Coordinator([FakeComponent("main")],
+                                  extras=[extra_a, extra_b])
+        # pc 0x5 assigned round-robin to a first...
+        coordinator.route(make_event(pc=0x5))
+        # ...but a b-prefetched line served it: b takes over.
+        coordinator.route(make_event(pc=0x5, hit=True,
+                                     served_by_prefetch=True,
+                                     serving_component="b"))
+        coordinator.route(make_event(pc=0x5))
+        assert extra_b.seen.count(0x5) >= 2
+
+
+class TestComposite:
+    def test_tpc_has_three_components(self):
+        tpc = make_tpc()
+        assert [c.name for c in tpc.components] == ["t2", "p1", "c1"]
+
+    def test_incremental_variants(self):
+        assert len(make_tpc(components="t").components) == 1
+        assert len(make_tpc(components="tp").components) == 2
+        assert len(make_tpc(components="tpc").components) == 3
+
+    def test_invalid_components_rejected(self):
+        import pytest
+        with pytest.raises(ValueError):
+            make_tpc(components="pc")
+
+    def test_t2_boost_wired_to_p1(self):
+        tpc = make_tpc()
+        t2, p1 = tpc.components[0], tpc.components[1]
+        assert t2.boosted_pcs is p1.pointer_trigger_pcs
+        tpc.reset()
+        t2, p1 = tpc.components[0], tpc.components[1]
+        assert t2.boosted_pcs is p1.pointer_trigger_pcs
+
+    def test_storage_is_sum_of_components(self):
+        tpc = make_tpc()
+        assert tpc.storage_bits == sum(
+            c.storage_bits for c in tpc.components
+        )
+
+    def test_extras_in_name(self):
+        tpc = make_tpc(extras=[make_prefetcher("sms")])
+        assert "sms" in tpc.name
+
+    def test_memory_image_forwarded(self):
+        tpc = make_tpc()
+        memory = {0: 42}
+        tpc.set_memory(memory)
+        assert tpc.components[1]._memory is memory  # P1
+
+
+class TestShunt:
+    def test_shunt_merges_all_requests(self):
+        a = FakeComponent("a", request_line=1)
+        b = FakeComponent("b", request_line=2)
+        shunt = ShuntPrefetcher([a, b])
+        requests = shunt.on_access(make_event(pc=0x1))
+        assert {r.line for r in requests} == {1, 2}
+
+    def test_make_shunt_contains_tpc(self):
+        shunt = make_shunt([make_prefetcher("sms")])
+        names = [p.name for p in shunt.prefetchers]
+        assert names[0] == "tpc"
+        assert "sms" in names
+
+    def test_composite_beats_shunt_on_aop(self):
+        trace = build_aop_trace(count=3000)
+        composite = make_tpc(extras=[make_prefetcher("sms")])
+        shunt = make_shunt([make_prefetcher("sms")])
+        composite_result = simulate(trace, composite)
+        shunt_result = simulate(trace, shunt)
+        # Division of labor should never lose badly to shunting; typically
+        # it issues fewer or equal prefetches for the same coverage.
+        assert (
+            composite_result.prefetch.issued
+            <= shunt_result.prefetch.issued * 1.1
+        )

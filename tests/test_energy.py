@@ -1,0 +1,53 @@
+"""Tests for the first-order energy model."""
+
+import pytest
+
+from repro.analysis.energy import EnergyBreakdown, estimate, net_benefit
+from repro.engine.system import simulate
+from repro.prefetcher_registry import make_prefetcher
+
+
+class TestEnergyModel:
+    def test_breakdown_components_positive(self, strided_trace):
+        result = simulate(strided_trace)
+        breakdown = estimate(result)
+        assert breakdown.static_uj > 0
+        assert breakdown.cache_uj > 0
+        assert breakdown.dram_uj > 0
+        assert breakdown.total_uj == pytest.approx(
+            breakdown.static_uj + breakdown.cache_uj + breakdown.dram_uj
+            + breakdown.prefetcher_uj
+        )
+
+    def test_storage_leakage_scales(self, strided_trace):
+        result = simulate(strided_trace)
+        small = estimate(result, prefetcher_storage_bits=8 * 1024)
+        large = estimate(result, prefetcher_storage_bits=8 * 1024 * 100)
+        assert large.prefetcher_uj > small.prefetcher_uj
+
+    def test_good_prefetcher_saves_energy(self, strided_trace):
+        """The paper's Sec. I claim on its favorable case: an accurate
+        prefetcher's runtime savings dwarf its own energy cost."""
+        baseline = simulate(strided_trace)
+        tpc = make_prefetcher("tpc")
+        result = simulate(strided_trace, tpc)
+        assert result.cycles < baseline.cycles
+        assert net_benefit(result, baseline, tpc.storage_bits) > 0
+
+    def test_useless_prefetching_costs_energy(self, chain_trace):
+        """A prefetcher that sprays traffic without reducing runtime is a
+        net energy loss."""
+        from repro.baselines.nextline import NextLinePrefetcher
+        baseline = simulate(chain_trace)
+        # Next-line on a scattered chain: almost pure waste.
+        result = simulate(chain_trace, NextLinePrefetcher(degree=4))
+        if result.cycles >= baseline.cycles * 0.99:
+            assert net_benefit(result, baseline, 0) <= 0
+
+    def test_energy_experiment_small(self):
+        from repro.experiments import energy_check
+        rows = energy_check.run(apps=["spec.libquantum"],
+                                prefetchers=["tpc"])
+        assert rows[0].wins == 1
+        assert rows[0].average_saving_pct > 0
+        assert "net-win" in energy_check.render(rows)

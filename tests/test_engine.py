@@ -1,0 +1,190 @@
+"""Tests for the OoO timing model and the multicore harness."""
+
+import pytest
+
+from repro.engine.config import SystemConfig
+from repro.engine.multicore import simulate_multicore
+from repro.engine.ooo import OoOCore
+from repro.engine.system import simulate
+from repro.isa import Assembler, Machine
+from repro.memory.hierarchy import Hierarchy
+from repro.core.base import NullPrefetcher
+
+
+def run_trace(trace, config=None):
+    config = config or SystemConfig()
+    hierarchy = Hierarchy(config)
+    core = OoOCore(trace, hierarchy, NullPrefetcher(), config.core)
+    return core.run(), hierarchy
+
+
+def small_program(body):
+    asm = Assembler()
+    body(asm)
+    asm.halt()
+    return Machine(max_instructions=100_000).run(asm.assemble())
+
+
+class TestPipelineWidth:
+    def test_independent_alu_ipc_near_width(self):
+        def body(asm):
+            asm.movi("r1", 0)
+            asm.movi("r2", 5000)
+            loop = asm.label()
+            # Independent ALU ops on distinct registers.
+            asm.movi("r3", 1)
+            asm.movi("r4", 2)
+            asm.addi("r1", "r1", 1)
+            asm.blt("r1", "r2", loop)
+
+        trace = small_program(body)
+        stats, _ = run_trace(trace)
+        assert stats.ipc > 2.0
+
+    def test_dependent_chain_ipc_near_one(self):
+        def body(asm):
+            asm.movi("r1", 0)
+            asm.movi("r2", 10000)
+            loop = asm.label()
+            asm.addi("r3", "r3", 1)   # serial dependency
+            asm.addi("r3", "r3", 1)
+            asm.addi("r3", "r3", 1)
+            asm.addi("r1", "r1", 1)
+            asm.blt("r1", "r2", loop)
+
+        trace = small_program(body)
+        stats, _ = run_trace(trace)
+        # 5 instructions per iteration, 3 serial cycles: IPC ~1.67, well
+        # below the 4-wide machine's peak.
+        assert stats.ipc < 2.0
+
+
+class TestMemoryBehavior:
+    def test_load_latency_reflected_in_cycles(self, strided_trace):
+        stats, hierarchy = run_trace(strided_trace)
+        assert stats.loads > 0
+        assert stats.average_load_latency > 3  # misses mixed in
+        assert hierarchy.l1d.stats.demand_misses > 0
+
+    def test_mlp_overlaps_independent_misses(self):
+        # Independent loads to distinct lines should overlap: total time
+        # far less than misses * latency.
+        def body(asm):
+            asm.movi("r1", 0x100000)
+            asm.movi("r2", 0x100000 + 4000 * 64)
+            loop = asm.label()
+            asm.load("r3", "r1", 0)
+            asm.addi("r1", "r1", 64)
+            asm.blt("r1", "r2", loop)
+
+        trace = small_program(body)
+        stats, hierarchy = run_trace(trace)
+        misses = hierarchy.l1d.stats.demand_misses
+        assert misses >= 3900
+        serial_cycles = misses * 150
+        assert stats.cycles < serial_cycles / 3
+
+    def test_dependent_misses_serialize(self):
+        # A pointer chain cannot overlap its misses.
+        import random
+        rng = random.Random(4)
+        asm = Assembler()
+        nodes = 2000
+        addrs = [0x200000 + i * 64 for i in range(nodes)]
+        rng.shuffle(addrs)
+        for i in range(nodes - 1):
+            asm.data(addrs[i], addrs[i + 1])
+        asm.data(addrs[-1], 0)
+        asm.movi("r1", addrs[0])
+        loop = asm.label()
+        asm.load("r1", "r1", 0)
+        asm.bne("r1", "r0", loop)
+        asm.halt()
+        trace = Machine(max_instructions=100_000).run(asm.assemble())
+        stats, hierarchy = run_trace(trace)
+        misses = hierarchy.l1d.stats.demand_misses
+        assert stats.cycles > misses * 50  # mostly serialized
+
+
+class TestBranches:
+    def test_loop_branches_predicted(self):
+        def body(asm):
+            asm.movi("r1", 0)
+            asm.movi("r2", 1000)
+            loop = asm.label()
+            asm.addi("r1", "r1", 1)
+            asm.blt("r1", "r2", loop)
+
+        trace = small_program(body)
+        stats, _ = run_trace(trace)
+        # Backward-taken prediction: only the final fall-through mispredicts.
+        assert stats.mispredicts == 1
+
+    def test_alternating_branch_penalized(self):
+        def body(asm):
+            asm.movi("r1", 0)
+            asm.movi("r2", 2000)
+            asm.movi("r5", 2)
+            loop = asm.label()
+            asm.andi("r3", "r1", 1)
+            skip = asm.future_label()
+            asm.beq("r3", "r0", skip)    # forward, taken every other time
+            asm.addi("r4", "r4", 1)
+            asm.place(skip)
+            asm.addi("r1", "r1", 1)
+            asm.blt("r1", "r2", loop)
+
+        trace = small_program(body)
+        stats, _ = run_trace(trace)
+        assert stats.mispredicts > 500
+
+
+class TestRob:
+    def test_smaller_rob_never_faster(self, strided_trace):
+        big = SystemConfig()
+        import dataclasses
+        small = dataclasses.replace(
+            big, core=dataclasses.replace(big.core, rob_entries=16)
+        )
+        stats_big, _ = run_trace(strided_trace, big)
+        stats_small, _ = run_trace(strided_trace, small)
+        assert stats_small.cycles >= stats_big.cycles
+
+
+class TestSimulateApi:
+    def test_simulate_defaults(self, strided_trace):
+        result = simulate(strided_trace)
+        assert result.prefetcher == "none"
+        assert result.workload == strided_trace.name
+        assert result.ipc > 0
+        assert result.l1_mpki > 0
+
+    def test_speedup_over_self_is_one(self, strided_trace):
+        result = simulate(strided_trace)
+        assert result.speedup_over(result) == pytest.approx(1.0)
+
+
+class TestMulticore:
+    def test_four_cores_complete(self, strided_trace):
+        traces = [strided_trace] * 4
+        result = simulate_multicore(traces)
+        assert len(result.per_core) == 4
+        for core in result.per_core:
+            assert core.core.instructions == len(strided_trace)
+
+    def test_shared_l3_contention_slows_cores(self, strided_trace):
+        alone = simulate(strided_trace)
+        shared = simulate_multicore([strided_trace] * 4)
+        # Sharing bandwidth can only hurt (or equal).
+        for core in shared.per_core:
+            assert core.cycles >= alone.cycles * 0.95
+
+    def test_weighted_speedup_of_identical_runs(self, strided_trace):
+        shared = simulate_multicore([strided_trace] * 2)
+        alone = [simulate(strided_trace), simulate(strided_trace)]
+        ws = shared.weighted_speedup(alone)
+        assert 0 < ws <= 2.0 + 1e-9
+
+    def test_prefetcher_count_validation(self, strided_trace):
+        with pytest.raises(ValueError):
+            simulate_multicore([strided_trace], [NullPrefetcher()] * 2)

@@ -1,0 +1,69 @@
+"""Smoke tests: every example script imports and its main() runs on a
+reduced scale (monkeypatched where the full scale would be slow)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesImport:
+    @pytest.mark.parametrize("name", [
+        "quickstart",
+        "graph_analytics",
+        "pointer_chasing",
+        "custom_component",
+        "multicore_mix",
+        "render_figures",
+    ])
+    def test_importable(self, name):
+        module = load_example(name)
+        assert hasattr(module, "main")
+
+
+class TestExampleLogicSmallScale:
+    def test_custom_component_prefetcher_behaves(self):
+        module = load_example("custom_component")
+        from conftest import make_event
+
+        prefetcher = module.ReverseSweepPrefetcher(degree=2)
+        requests = None
+        for i in range(5):
+            requests = prefetcher.on_access(
+                make_event(addr=(100 - i) * 64, hit=False)
+            )
+        assert requests
+        assert all(r.line < 96 for r in requests)
+
+    def test_custom_component_workload_builds(self):
+        module = load_example("custom_component")
+        trace = module.reverse_sweep_workload()
+        assert len(trace) > 1000
+
+    def test_quickstart_main_runs(self, capsys):
+        module = load_example("quickstart")
+        module.main()
+        out = capsys.readouterr().out
+        assert "tpc" in out and "speedup" in out
+
+    def test_pointer_chasing_build_helper(self):
+        module = load_example("pointer_chasing")
+        from repro.workloads import builders
+
+        trace = module.build(
+            "tiny",
+            lambda asm, alloc: builders.linked_list(asm, alloc, nodes=200),
+        )
+        assert trace.stats().loads == 400

@@ -1,0 +1,135 @@
+"""Failure injection / fuzzing: every prefetcher must survive arbitrary
+access streams and only ever emit well-formed requests."""
+
+from hypothesis import given, settings, strategies as st
+
+from conftest import make_event
+
+from repro.prefetcher_registry import available_prefetchers, make_prefetcher
+
+# A stream of (pc choice, address, hit, value) tuples.  Addresses include
+# 0, line/page boundaries, and huge values; values include pointer-like
+# and garbage numbers.
+events = st.tuples(
+    st.integers(0, 3),                                   # pc selector
+    st.one_of(
+        st.integers(0, 1 << 44),
+        st.sampled_from([0, 63, 64, 4095, 4096, (1 << 40) - 1]),
+    ),
+    st.booleans(),
+    st.integers(0, 1 << 44),
+)
+
+
+def drive(prefetcher, stream):
+    pcs = [0x100, 0x104, 0x2000, 0x2004]
+    issued = []
+    for i, (pc_index, addr, hit, value) in enumerate(stream):
+        event = make_event(
+            pc=pcs[pc_index], addr=addr, cycle=i * 3, hit=hit, value=value
+        )
+        prefetcher.observe_access(event)
+        requests = prefetcher.on_access(event)
+        if requests:
+            issued.extend(requests)
+        if i % 7 == 0:
+            prefetcher.on_fill(addr >> 6, 1, prefetched=bool(i % 2))
+        if i % 11 == 0:
+            prefetcher.on_prefetch_hit(addr >> 6, 1)
+    return issued
+
+
+class TestFuzzAllPrefetchers:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(events, max_size=120))
+    def test_requests_always_well_formed(self, stream):
+        for name in available_prefetchers():
+            prefetcher = make_prefetcher(name)
+            if prefetcher.wants_memory_image:
+                prefetcher.set_memory({})
+            for request in drive(prefetcher, stream):
+                assert request.line >= 0, name
+                assert request.target_level in (1, 2), name
+                assert request.component is None or isinstance(
+                    request.component, str
+                ), name
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(events, max_size=80))
+    def test_reset_midstream_is_safe(self, stream):
+        for name in ["tpc", "spp", "bop", "fdp"]:
+            prefetcher = make_prefetcher(name)
+            if prefetcher.wants_memory_image:
+                prefetcher.set_memory({})
+            half = len(stream) // 2
+            drive(prefetcher, stream[:half])
+            prefetcher.reset()
+            if prefetcher.wants_memory_image:
+                prefetcher.set_memory({})
+            drive(prefetcher, stream[half:])
+
+
+class TestInstructionStreamFuzz:
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.tuples(
+        st.integers(0, 6),           # opclass
+        st.integers(0, 31),          # dst
+        st.integers(-1, 31),         # src1
+        st.integers(-1, 31),         # src2
+        st.booleans(),               # taken
+    ), max_size=150))
+    def test_tpc_survives_arbitrary_instruction_stream(self, instructions):
+        from repro.isa.trace import TraceRecord
+        tpc = make_prefetcher("tpc")
+        tpc.set_memory({})
+        for i, (opc, dst, src1, src2, taken) in enumerate(instructions):
+            record = TraceRecord(
+                pc=0x1000 + (i % 9) * 4,
+                opc=opc,
+                addr=(i * 37) % (1 << 20),
+                dst=dst,
+                src1=src1,
+                src2=src2,
+                taken=taken,
+                target_pc=0x1000 + ((i * 13) % 40),
+            )
+            tpc.observe_instruction(record, i)
+
+
+class TestDegenerateWorkloads:
+    def test_empty_memory_image_chain(self):
+        """P1 chain prefetching with a missing memory image must not
+        crash or emit negative lines."""
+        from repro.core.p1 import P1Prefetcher, _ChainState
+        p1 = P1Prefetcher()
+        p1.set_memory({})
+        p1._chains[0x10] = _ChainState(offset=0)
+        requests = []
+        event = make_event(pc=0x10, addr=0x4000, value=0x5000, hit=False)
+        p1._chain_prefetch(event, p1._chains[0x10], requests)
+        for request in requests:
+            assert request.line >= 0
+
+    def test_single_instruction_trace(self):
+        from repro.engine.system import simulate
+        from repro.isa import Assembler, Machine
+        asm = Assembler()
+        asm.halt()
+        trace = Machine().run(asm.assemble())
+        result = simulate(trace, make_prefetcher("tpc"))
+        assert result.core.instructions == 0
+
+    def test_store_only_workload(self):
+        from repro.engine.system import simulate
+        from repro.isa import Assembler, Machine
+        asm = Assembler()
+        asm.movi("r1", 0x1000)
+        asm.movi("r2", 0x1000 + 500 * 64)
+        loop = asm.label()
+        asm.store("r3", "r1", 0)
+        asm.addi("r1", "r1", 64)
+        asm.blt("r1", "r2", loop)
+        asm.halt()
+        trace = Machine().run(asm.assemble())
+        result = simulate(trace, make_prefetcher("tpc"))
+        assert result.core.stores == 500

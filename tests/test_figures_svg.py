@@ -1,0 +1,71 @@
+"""Tests for the SVG figure pipeline helpers."""
+
+from repro.experiments import figures_svg
+from repro.experiments.scatter import ScatterPoint, ScatterSeries
+
+
+class TestScatterConversion:
+    def test_series_converted(self):
+        series = [
+            ScatterSeries(
+                prefetcher="tpc",
+                points=[
+                    ScatterPoint("tpc", "app1", 0.9, 0.95, 10.0),
+                    ScatterPoint("tpc", "app2", 0.8, 0.85, 5.0),
+                ],
+            )
+        ]
+        converted = figures_svg._scatter_series(series)
+        assert converted[0].label == "tpc"
+        assert converted[0].points == [(0.9, 0.95, 10.0), (0.8, 0.85, 5.0)]
+
+    def test_generate_writes_files(self, tmp_path, monkeypatch):
+        # Stub out the heavy experiment runs with canned results.
+        from repro.experiments import fig01, fig08, fig09, fig10, fig15
+        from repro.experiments import fig16
+
+        def fake_scatter(runner=None, apps=None, prefetchers=None):
+            return [
+                ScatterSeries(
+                    prefetcher="x",
+                    points=[ScatterPoint("x", "a", 0.5, 0.5, 1.0)],
+                )
+            ]
+
+        class FakeGrid:
+            prefetchers = ["x"]
+
+            def geomean(self, p):
+                return 1.5
+
+        from repro.experiments.fig09 import TrafficRow
+        from repro.experiments.fig15 import Fig15Row
+        from repro.experiments.fig16 import Fig16Row
+
+        monkeypatch.setattr(fig01, "run", fake_scatter)
+        monkeypatch.setattr(fig10, "run", fake_scatter)
+        monkeypatch.setattr(fig08, "run", lambda runner=None: FakeGrid())
+        monkeypatch.setattr(
+            fig09, "run",
+            lambda runner=None: [TrafficRow("x", 1.1, 1.0, 1.3)],
+        )
+        monkeypatch.setattr(
+            fig15, "run",
+            lambda runner=None: [
+                Fig15Row("x", "composite", 1.02, 1.0, 1.1),
+                Fig15Row("x", "shunt", 0.97, 0.9, 1.0),
+            ],
+        )
+        monkeypatch.setattr(
+            fig16, "run",
+            lambda runner=None: [
+                Fig16Row("tpc", "L1", 1.4, 1.0, 2.0),
+                Fig16Row("tpc", "L2", 1.3, 1.0, 1.9),
+                Fig16Row("tpc", "stratified", 1.45, 1.0, 2.0),
+            ],
+        )
+        written = figures_svg.generate(str(tmp_path))
+        assert len(written) == 6
+        for path in written:
+            content = open(path).read()
+            assert content.startswith("<svg")

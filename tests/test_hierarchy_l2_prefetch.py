@@ -1,0 +1,86 @@
+"""Deeper hierarchy tests: L2-targeted prefetches, per-component
+attempted-line tracking, and L2 usefulness accounting."""
+
+import pytest
+
+from repro.engine.config import SystemConfig
+from repro.memory.hierarchy import Hierarchy
+
+
+@pytest.fixture
+def hierarchy():
+    return Hierarchy(SystemConfig())
+
+
+class TestL2Prefetch:
+    def test_l2_prefetch_useful_on_l1_miss(self, hierarchy):
+        line = 0x9000 >> 6
+        hierarchy.prefetch(line, now=0, target_level=2, component="C1")
+        result = hierarchy.demand_access(0x9000, now=10_000)
+        assert not result.l1_hit
+        assert result.hit_level == 2
+        assert result.served_by_prefetch
+        assert result.prefetch_component == "C1"
+        assert hierarchy.l2.stats.useful_prefetches == 1
+        assert hierarchy.l1d.stats.useful_prefetches == 0
+
+    def test_l2_prefetch_cheaper_than_dram_pricier_than_l1(self, hierarchy):
+        # Cold miss latency.
+        cold = hierarchy.demand_access(0x9000, now=0)
+        cold_latency = cold.ready_time
+        # L2-prefetched line: between L1-hit and DRAM latency.
+        line = 0xA000 >> 6
+        hierarchy.prefetch(line, now=0, target_level=2)
+        warm = hierarchy.demand_access(0xA000, now=10_000)
+        warm_latency = warm.ready_time - 10_000
+        assert warm_latency < cold_latency
+        assert warm_latency > hierarchy.l1d.hit_latency
+
+    def test_issued_counters_split_by_level(self, hierarchy):
+        hierarchy.prefetch(1, now=0, target_level=1)
+        hierarchy.prefetch(2, now=0, target_level=2)
+        hierarchy.prefetch(3, now=0, target_level=2)
+        assert hierarchy.prefetch_stats.issued_to_l1 == 1
+        assert hierarchy.prefetch_stats.issued_to_l2 == 2
+
+
+class TestPerComponentAttempts:
+    def test_attempted_by_component_tracked(self, hierarchy):
+        hierarchy.prefetch(1, now=0, component="T2")
+        hierarchy.prefetch(2, now=0, component="T2")
+        hierarchy.prefetch(3, now=0, component="C1", target_level=2)
+        assert hierarchy.attempted_by_component["T2"] == {1, 2}
+        assert hierarchy.attempted_by_component["C1"] == {3}
+
+    def test_filtered_attempts_still_recorded(self, hierarchy):
+        hierarchy.prefetch(1, now=0, component="T2")
+        hierarchy.prefetch(1, now=1, component="T2")  # filtered duplicate
+        assert hierarchy.attempted_by_component["T2"] == {1}
+        assert hierarchy.prefetch_stats.filtered == 1
+
+    def test_untagged_prefetch_not_in_component_map(self, hierarchy):
+        hierarchy.prefetch(9, now=0, component=None)
+        assert "T2" not in hierarchy.attempted_by_component
+        assert 9 in hierarchy.attempted_prefetch_lines
+
+
+class TestL2Pollution:
+    def test_l2_pollution_detected(self):
+        import dataclasses
+        config = SystemConfig()
+        config = dataclasses.replace(
+            config,
+            l1d=dataclasses.replace(config.l1d, size_bytes=64, ways=1),
+            l2=dataclasses.replace(config.l2, size_bytes=2 * 64, ways=2),
+        )
+        hierarchy = Hierarchy(config)
+        t = hierarchy.demand_access(0, now=0).ready_time
+        # A second demand line pushes line 0 out of the 1-line L1 (both
+        # in reality and in the shadow), leaving it resident in L2.
+        t = hierarchy.demand_access(64 * 1024, now=t).ready_time
+        # An L2-targeted prefetch displaces line 0 from the 2-way L2.
+        hierarchy.prefetch(4096, now=t, target_level=2, component="C1")
+        hierarchy.demand_access(0, now=t + 1)
+        # Real L2 miss + shadow-L2 hit => prefetch-induced L2 miss.
+        assert hierarchy.pollution_misses_l2 == 1
+        assert hierarchy.pollution_misses_l1 == 0

@@ -1,0 +1,287 @@
+"""Unit tests for the micro-ISA functional machine."""
+
+import pytest
+
+from repro.isa import Assembler, Machine, MachineError, OpClass
+from repro.isa.program import AssemblyError
+
+
+def run(asm: Assembler, **kwargs):
+    machine = Machine(**kwargs)
+    return machine.run(asm.assemble())
+
+
+class TestArithmetic:
+    def test_movi_and_add(self):
+        asm = Assembler()
+        asm.movi("r1", 5)
+        asm.movi("r2", 7)
+        asm.add("r3", "r1", "r2")
+        asm.store("r3", "r0", 0x100)
+        asm.halt()
+        trace = run(asm)
+        assert trace.memory[0x100] == 12
+
+    def test_sub_mul(self):
+        asm = Assembler()
+        asm.movi("r1", 10)
+        asm.movi("r2", 3)
+        asm.sub("r3", "r1", "r2")
+        asm.mul("r4", "r3", "r2")
+        asm.store("r4", "r0", 0x100)
+        asm.halt()
+        trace = run(asm)
+        assert trace.memory[0x100] == 21
+
+    def test_signed_wraparound(self):
+        asm = Assembler()
+        asm.movi("r1", (1 << 63) - 1)
+        asm.addi("r1", "r1", 1)
+        asm.store("r1", "r0", 0x100)
+        asm.halt()
+        trace = run(asm)
+        assert trace.memory[0x100] == -(1 << 63)
+
+    def test_shifts_and_logic(self):
+        asm = Assembler()
+        asm.movi("r1", 0b1100)
+        asm.shli("r2", "r1", 2)
+        asm.shri("r3", "r1", 2)
+        asm.andi("r4", "r1", 0b0100)
+        asm.store("r2", "r0", 0x100)
+        asm.store("r3", "r0", 0x108)
+        asm.store("r4", "r0", 0x110)
+        asm.halt()
+        trace = run(asm)
+        assert trace.memory[0x100] == 0b110000
+        assert trace.memory[0x108] == 0b11
+        assert trace.memory[0x110] == 0b0100
+
+    def test_xor_mov(self):
+        asm = Assembler()
+        asm.movi("r1", 0xFF)
+        asm.movi("r2", 0x0F)
+        asm.xor("r3", "r1", "r2")
+        asm.mov("r4", "r3")
+        asm.store("r4", "r0", 0x100)
+        asm.halt()
+        trace = run(asm)
+        assert trace.memory[0x100] == 0xF0
+
+
+class TestMemory:
+    def test_load_returns_initialized_data(self):
+        asm = Assembler()
+        asm.data(0x200, [11, 22, 33])
+        asm.movi("r1", 0x200)
+        asm.load("r2", "r1", 8)
+        asm.store("r2", "r0", 0x100)
+        asm.halt()
+        trace = run(asm)
+        assert trace.memory[0x100] == 22
+
+    def test_uninitialized_load_is_zero(self):
+        asm = Assembler()
+        asm.movi("r1", 0x9000)
+        asm.load("r2", "r1", 0)
+        asm.store("r2", "r0", 0x100)
+        asm.halt()
+        trace = run(asm)
+        assert trace.memory[0x100] == 0
+
+    def test_load_records_value_and_address(self):
+        asm = Assembler()
+        asm.data(0x300, 42)
+        asm.movi("r1", 0x300)
+        asm.load("r2", "r1", 0)
+        asm.halt()
+        trace = run(asm)
+        loads = [r for r in trace.records if r.is_load]
+        assert len(loads) == 1
+        assert loads[0].addr == 0x300
+        assert loads[0].value == 42
+
+    def test_negative_address_raises(self):
+        asm = Assembler()
+        asm.movi("r1", -8)
+        asm.load("r2", "r1", 0)
+        asm.halt()
+        with pytest.raises(MachineError):
+            run(asm)
+
+    def test_data_misaligned_rejected(self):
+        asm = Assembler()
+        with pytest.raises(AssemblyError):
+            asm.data(0x101, 5)
+
+
+class TestControlFlow:
+    def test_counted_loop(self):
+        asm = Assembler()
+        asm.movi("r1", 0)     # i
+        asm.movi("r2", 10)    # n
+        asm.movi("r3", 0)     # sum
+        loop = asm.label("loop")
+        asm.add("r3", "r3", "r1")
+        asm.addi("r1", "r1", 1)
+        asm.blt("r1", "r2", loop)
+        asm.store("r3", "r0", 0x100)
+        asm.halt()
+        trace = run(asm)
+        assert trace.memory[0x100] == 45
+
+    def test_backward_branch_recorded(self):
+        asm = Assembler()
+        asm.movi("r1", 0)
+        asm.movi("r2", 3)
+        loop = asm.label()
+        asm.addi("r1", "r1", 1)
+        asm.blt("r1", "r2", loop)
+        asm.halt()
+        trace = run(asm)
+        backward = [r for r in trace.records if r.is_backward_branch]
+        assert len(backward) == 2  # taken twice, falls through once
+
+    def test_forward_branch(self):
+        asm = Assembler()
+        skip = asm.future_label("skip")
+        asm.movi("r1", 1)
+        asm.movi("r2", 1)
+        asm.beq("r1", "r2", skip)
+        asm.movi("r3", 99)  # skipped
+        asm.place(skip)
+        asm.store("r3", "r0", 0x100)
+        asm.halt()
+        trace = run(asm)
+        assert trace.memory[0x100] == 0
+
+    def test_jmp(self):
+        asm = Assembler()
+        end = asm.future_label("end")
+        asm.jmp(end)
+        asm.movi("r1", 99)
+        asm.place(end)
+        asm.store("r1", "r0", 0x100)
+        asm.halt()
+        trace = run(asm)
+        assert trace.memory[0x100] == 0
+
+    def test_unplaced_label_raises(self):
+        asm = Assembler()
+        ghost = asm.future_label("ghost")
+        asm.jmp(ghost)
+        asm.halt()
+        with pytest.raises(AssemblyError):
+            asm.assemble()
+
+    def test_duplicate_label_raises(self):
+        asm = Assembler()
+        asm.label("dup")
+        with pytest.raises(AssemblyError):
+            asm.label("dup")
+
+
+class TestCallReturn:
+    def test_call_ret_roundtrip(self):
+        asm = Assembler()
+        func = asm.future_label("func")
+        done = asm.future_label("done")
+        asm.movi("r1", 5)
+        asm.call(func)
+        asm.store("r2", "r0", 0x100)
+        asm.jmp(done)
+        asm.place(func)
+        asm.muli("r2", "r1", 2)
+        asm.ret()
+        asm.place(done)
+        asm.halt()
+        trace = run(asm)
+        assert trace.memory[0x100] == 10
+
+    def test_ras_top_recorded_inside_call(self):
+        asm = Assembler()
+        func = asm.future_label("func")
+        asm.call(func)
+        asm.halt()
+        asm.place(func)
+        asm.movi("r1", 1)
+        asm.ret()
+        trace = run(asm)
+        inside = [r for r in trace.records if r.opc == OpClass.ALU]
+        assert len(inside) == 1
+        assert inside[0].ras_top != 0  # return PC pushed by the call
+
+    def test_ret_without_call_raises(self):
+        asm = Assembler()
+        asm.ret()
+        with pytest.raises(MachineError):
+            run(asm)
+
+    def test_nested_calls(self):
+        asm = Assembler()
+        outer = asm.future_label("outer")
+        inner = asm.future_label("inner")
+        asm.call(outer)
+        asm.store("r1", "r0", 0x100)
+        asm.halt()
+        asm.place(outer)
+        asm.call(inner)
+        asm.addi("r1", "r1", 1)
+        asm.ret()
+        asm.place(inner)
+        asm.movi("r1", 10)
+        asm.ret()
+        trace = run(asm)
+        assert trace.memory[0x100] == 11
+
+
+class TestLimitsAndStats:
+    def test_truncation_at_limit(self):
+        asm = Assembler()
+        loop = asm.label()
+        asm.addi("r1", "r1", 1)
+        asm.jmp(loop)
+        trace = run(asm, max_instructions=100, truncate=True)
+        assert len(trace) == 100
+
+    def test_no_truncate_raises(self):
+        asm = Assembler()
+        loop = asm.label()
+        asm.addi("r1", "r1", 1)
+        asm.jmp(loop)
+        with pytest.raises(MachineError):
+            run(asm, max_instructions=100, truncate=False)
+
+    def test_empty_program_raises(self):
+        asm = Assembler()
+        with pytest.raises(MachineError):
+            run(asm)
+
+    def test_stats(self):
+        asm = Assembler()
+        asm.data(0x200, [1, 2, 3, 4])
+        asm.movi("r1", 0x200)
+        asm.movi("r2", 0x220)
+        loop = asm.label()
+        asm.load("r3", "r1", 0)
+        asm.store("r3", "r1", 0x100)
+        asm.addi("r1", "r1", 8)
+        asm.blt("r1", "r2", loop)
+        asm.halt()
+        trace = run(asm)
+        stats = trace.stats()
+        assert stats.loads == 4
+        assert stats.stores == 4
+        assert stats.branches == 4
+        assert stats.taken_branches == 3
+        assert stats.memory_accesses == 8
+
+    def test_memory_footprint(self):
+        asm = Assembler()
+        asm.movi("r1", 0)
+        asm.load("r2", "r1", 0)
+        asm.load("r2", "r1", 32)   # same 64B line
+        asm.load("r2", "r1", 64)   # next line
+        asm.halt()
+        trace = run(asm)
+        assert trace.memory_footprint(64) == {0, 1}

@@ -1,0 +1,122 @@
+"""Tests for the ISB component and the adaptive coordinator."""
+
+from conftest import feed_stream, make_event
+
+from repro.baselines.isb import IsbPrefetcher
+from repro.core.adaptive import AdaptiveCoordinator, make_adaptive_tpc
+from repro.core.base import Prefetcher, PrefetchRequest
+
+
+class TestIsb:
+    def test_linearizes_repeating_sequence(self):
+        pf = IsbPrefetcher(degree=1)
+        sequence = [0x40, 0x900, 0x17, 0x333, 0x71] * 4
+        requests = feed_stream(pf, [line * 64 for line in sequence])
+        lines = {r.line for r in requests}
+        assert lines
+        assert lines <= set(sequence)
+
+    def test_predicts_successor_after_training(self):
+        pf = IsbPrefetcher(degree=1)
+        for _ in range(3):
+            pf.on_access(make_event(addr=0x10000, hit=False))
+            pf.on_access(make_event(addr=0x90000, hit=False))
+            pf.on_access(make_event(addr=0x30000, hit=False))
+        requests = pf.on_access(make_event(addr=0x10000, hit=False))
+        assert requests and requests[0].line == 0x90000 >> 6
+
+    def test_pc_localized_streams(self):
+        pf = IsbPrefetcher(degree=1)
+        # Interleaved accesses from two PCs form two separate streams.
+        for _ in range(4):
+            pf.on_access(make_event(pc=0xA, addr=0x10000, hit=False))
+            pf.on_access(make_event(pc=0xB, addr=0x50000, hit=False))
+            pf.on_access(make_event(pc=0xA, addr=0x20000, hit=False))
+            pf.on_access(make_event(pc=0xB, addr=0x60000, hit=False))
+        requests = pf.on_access(make_event(pc=0xA, addr=0x10000, hit=False))
+        assert requests and requests[0].line == 0x20000 >> 6
+
+    def test_capacity_bounded(self):
+        pf = IsbPrefetcher(capacity=16)
+        feed_stream(pf, [i * 6400 for i in range(200)])
+        assert len(pf._ps) <= 16
+        assert len(pf._sp) <= 16 + 1
+
+    def test_hits_ignored(self):
+        pf = IsbPrefetcher()
+        assert pf.on_access(make_event(addr=0x1000, hit=True)) is None
+
+    def test_registered(self):
+        from repro import make_prefetcher
+        assert make_prefetcher("isb").name == "isb"
+
+
+class _Scripted(Prefetcher):
+    def __init__(self, name, line=None, always_observe=False):
+        self.name = name
+        self.line = line
+        self.always_observe = always_observe
+        self.seen = 0
+
+    def on_access(self, event):
+        self.seen += 1
+        if self.line is not None:
+            return [PrefetchRequest(self.line, 1, self.name.upper())]
+        return None
+
+
+class TestAdaptiveCoordinator:
+    def test_initial_owner_is_first(self):
+        a = _Scripted("a", line=1)
+        b = _Scripted("b", line=2)
+        coordinator = AdaptiveCoordinator([a, b])
+        requests = coordinator.route(make_event(pc=0x10))
+        assert {r.line for r in requests} == {1}
+        assert coordinator.owner_of(0x10) == "a"
+
+    def test_serving_component_takes_ownership(self):
+        a = _Scripted("a")
+        b = _Scripted("b", line=2)
+        coordinator = AdaptiveCoordinator([a, b], window=4)
+        for i in range(5):
+            coordinator.route(
+                make_event(pc=0x10, hit=True, served_by_prefetch=True,
+                           serving_component="B")
+            )
+        assert coordinator.owner_of(0x10) == "b"
+
+    def test_missing_owner_demoted(self):
+        a = _Scripted("a")          # issues nothing, covers nothing
+        b = _Scripted("b", line=2)
+        coordinator = AdaptiveCoordinator([a, b], window=4,
+                                          miss_tolerance=0.3)
+        for _ in range(5):
+            coordinator.route(make_event(pc=0x10, hit=False))
+        assert coordinator.owner_of(0x10) == "b"
+
+    def test_always_observe_components_always_fed(self):
+        a = _Scripted("a")
+        b = _Scripted("b")
+        b.always_observe = True
+        coordinator = AdaptiveCoordinator([a, b])
+        for _ in range(3):
+            coordinator.route(make_event(pc=0x10, hit=True))
+        assert b.seen == 3
+
+    def test_make_adaptive_tpc(self):
+        composite = make_adaptive_tpc()
+        assert composite.name == "tpc-adaptive"
+        assert isinstance(composite.coordinator, AdaptiveCoordinator)
+        composite.reset()  # must not blow up with the swapped coordinator
+
+    def test_adaptive_tpc_matches_tpc_on_streaming(self):
+        from repro.engine.system import simulate
+        from repro.workloads import get_workload
+        trace = get_workload("npb.ep").trace()
+        baseline = simulate(trace)
+        from repro import make_prefetcher
+        fixed = simulate(trace, make_prefetcher("tpc"))
+        adaptive = simulate(trace, make_prefetcher("tpc-adaptive"))
+        assert abs(
+            fixed.speedup_over(baseline) - adaptive.speedup_over(baseline)
+        ) < 0.1

@@ -1,0 +1,151 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+
+from repro.memory.cache import Cache
+
+
+def small_cache(ways=2, sets=4):
+    # size = sets * ways * 64
+    return Cache("T", sets * ways * 64, ways, 64, hit_latency=3)
+
+
+class TestGeometry:
+    def test_set_count_power_of_two_enforced(self):
+        with pytest.raises(ValueError):
+            Cache("bad", 3 * 64, 1, 64)
+
+    def test_set_index_masks_low_bits(self):
+        cache = small_cache(sets=4)
+        assert cache.set_index(0) == 0
+        assert cache.set_index(5) == 1
+        assert cache.set_index(7) == 3
+
+    def test_table1_l1_geometry(self):
+        l1 = Cache("L1D", 64 * 1024, 4, 64)
+        assert l1.num_sets == 256
+        assert l1.ways == 4
+
+
+class TestLookupFill:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        assert cache.lookup(0x10, now=0) is None
+        cache.fill(0x10, fill_time=5)
+        hit = cache.lookup(0x10, now=10)
+        assert hit is not None
+        assert hit.ready_time == 10
+
+    def test_in_flight_fill_delays_ready_time(self):
+        cache = small_cache()
+        cache.fill(0x10, fill_time=100)
+        hit = cache.lookup(0x10, now=50)
+        assert hit.ready_time == 100
+
+    def test_refill_lowers_fill_time_only(self):
+        cache = small_cache()
+        cache.fill(0x10, fill_time=100)
+        cache.fill(0x10, fill_time=50)
+        assert cache.lookup(0x10, now=0).ready_time == 50
+        cache.fill(0x10, fill_time=200)  # must not raise it again
+        assert cache.lookup(0x10, now=0).ready_time == 50
+
+    def test_probe_has_no_side_effects(self):
+        cache = small_cache(ways=1, sets=1)
+        cache.fill(0xA0, 0)
+        assert cache.probe(0xA0)
+        assert not cache.probe(0xB0)
+        assert cache.occupancy() == 1
+
+
+class TestLruEviction:
+    def test_lru_victim_selected(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.fill(1, 0)
+        cache.fill(2, 0)
+        cache.lookup(1, now=5)           # touch 1, so 2 is LRU
+        evicted = cache.fill(3, 0)
+        assert evicted is not None
+        assert evicted.line_addr == 2
+        assert cache.probe(1) and cache.probe(3) and not cache.probe(2)
+
+    def test_eviction_only_within_set(self):
+        cache = small_cache(ways=1, sets=4)
+        cache.fill(0, 0)
+        cache.fill(1, 0)
+        assert cache.fill(2, 0) is None   # different sets, no conflict
+        assert cache.occupancy() == 3
+
+    def test_dirty_eviction_counts_writeback(self):
+        cache = small_cache(ways=1, sets=1)
+        cache.fill(1, 0)
+        cache.lookup(1, now=0, is_write=True)
+        evicted = cache.fill(2, 0)
+        assert evicted.dirty
+        assert cache.stats.writebacks == 1
+        assert cache.stats.evictions == 1
+
+    def test_clean_eviction_no_writeback(self):
+        cache = small_cache(ways=1, sets=1)
+        cache.fill(1, 0)
+        cache.fill(2, 0)
+        assert cache.stats.writebacks == 0
+        assert cache.stats.evictions == 1
+
+
+class TestPrefetchMetadata:
+    def test_first_use_of_prefetch_flag(self):
+        cache = small_cache()
+        cache.fill(7, 0, prefetched=True, component="T2")
+        first = cache.lookup(7, now=1)
+        assert first.was_prefetched and first.first_use_of_prefetch
+        assert first.component == "T2"
+        second = cache.lookup(7, now=2)
+        assert second.was_prefetched and not second.first_use_of_prefetch
+
+    def test_unused_prefetch_eviction_counted(self):
+        cache = small_cache(ways=1, sets=1)
+        cache.fill(1, 0, prefetched=True, component="C1")
+        cache.fill(2, 0)
+        assert cache.stats.prefetch_evicted_unused == 1
+
+    def test_used_prefetch_eviction_not_counted(self):
+        cache = small_cache(ways=1, sets=1)
+        cache.fill(1, 0, prefetched=True)
+        cache.lookup(1, now=1)
+        cache.fill(2, 0)
+        assert cache.stats.prefetch_evicted_unused == 0
+
+    def test_prefetched_lines_in_set(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.fill(1, 0, prefetched=True, component="P1")
+        cache.fill(2, 0)
+        lines = cache.prefetched_lines_in_set(0)
+        assert [l.line_addr for l in lines] == [1]
+
+    def test_prefetch_fill_counted(self):
+        cache = small_cache()
+        cache.fill(1, 0, prefetched=True)
+        cache.fill(2, 0, prefetched=False)
+        assert cache.stats.prefetch_fills == 1
+
+
+class TestInvalidate:
+    def test_invalidate_removes_line(self):
+        cache = small_cache()
+        cache.fill(9, 0)
+        assert cache.invalidate(9)
+        assert not cache.probe(9)
+        assert not cache.invalidate(9)
+
+
+class TestStats:
+    def test_miss_rate(self):
+        cache = small_cache()
+        cache.stats.demand_accesses = 10
+        cache.stats.demand_misses = 3
+        assert cache.stats.miss_rate == pytest.approx(0.3)
+
+    def test_miss_rate_zero_accesses(self):
+        cache = small_cache()
+        assert cache.stats.miss_rate == 0.0

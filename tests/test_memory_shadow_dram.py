@@ -1,0 +1,139 @@
+"""Unit tests for the shadow tag store and the DRAM model."""
+
+import pytest
+
+from repro.memory.dram import Dram, DramConfig, DropPolicy
+from repro.memory.shadow import ShadowTagStore
+
+
+class TestShadowTags:
+    def test_miss_then_hit(self):
+        shadow = ShadowTagStore(4, 2)
+        assert not shadow.access(0x10)
+        assert shadow.access(0x10)
+
+    def test_lru_eviction(self):
+        shadow = ShadowTagStore(1, 2)
+        shadow.access(1)
+        shadow.access(2)
+        shadow.access(1)     # 1 becomes MRU
+        shadow.access(3)     # evicts 2
+        assert shadow.probe(1) and shadow.probe(3)
+        assert not shadow.probe(2)
+
+    def test_probe_no_state_change(self):
+        shadow = ShadowTagStore(1, 1)
+        shadow.access(1)
+        shadow.probe(2)
+        assert shadow.probe(1)
+
+    def test_sets_independent(self):
+        shadow = ShadowTagStore(2, 1)
+        shadow.access(0)   # set 0
+        shadow.access(1)   # set 1
+        assert shadow.probe(0) and shadow.probe(1)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            ShadowTagStore(3, 2)
+
+    def test_occupancy_bounded(self):
+        shadow = ShadowTagStore(2, 2)
+        for line in range(100):
+            shadow.access(line)
+        assert shadow.occupancy() <= 4
+
+
+class TestDramTiming:
+    def test_row_hit_faster_than_conflict(self):
+        dram = Dram(DramConfig(channels=1, ranks_per_channel=1,
+                               banks_per_rank=1, lines_per_row=4))
+        first = dram.read(0, now=0)
+        # Same row: row hit.
+        second = dram.read(1, now=first)
+        hit_latency = second - first
+        # Different row on the same bank: conflict.
+        third = dram.read(100, now=second)
+        conflict_latency = third - second
+        assert conflict_latency > hit_latency
+        assert dram.stats.row_hits >= 1
+        assert dram.stats.row_conflicts >= 1
+
+    def test_first_access_opens_row(self):
+        dram = Dram()
+        dram.read(0, now=0)
+        assert dram.stats.row_empty == 1
+
+    def test_bank_parallelism(self):
+        config = DramConfig(channels=1, ranks_per_channel=1, banks_per_rank=8)
+        dram = Dram(config)
+        # Two requests to different banks overlap except for bus transfer.
+        t1 = dram.read(0, now=0)
+        t2 = dram.read(1, now=0)
+        serialized = 2 * t1
+        assert t2 < serialized
+
+    def test_reads_counted_as_traffic(self):
+        dram = Dram()
+        dram.read(0, now=0)
+        dram.read(64, now=0)
+        dram.write(128, now=0)
+        assert dram.stats.reads == 2
+        assert dram.stats.writes == 1
+        assert dram.stats.total_traffic == 3
+
+
+class TestDramQueue:
+    def small_queue(self, policy):
+        return Dram(DramConfig(channels=1, queue_capacity=2,
+                               drop_policy=policy))
+
+    def test_demand_never_dropped(self):
+        dram = self.small_queue(DropPolicy.RANDOM)
+        for i in range(10):
+            assert dram.read(i * 2, now=0) is not None
+        assert dram.stats.demand_queue_stalls > 0
+
+    def test_prefetch_dropped_when_full(self):
+        dram = self.small_queue(DropPolicy.RANDOM)
+        results = [
+            dram.read(i * 2, now=0, is_prefetch=True, component="T2")
+            for i in range(10)
+        ]
+        assert dram.stats.dropped_prefetches > 0
+        # Some prefetch must have been dropped (returned None) or a queued
+        # one cancelled; either way the count is positive.
+        assert results.count(None) + dram.stats.dropped_prefetches > 0
+
+    def test_low_priority_policy_prefers_dropping_c1(self):
+        dram = self.small_queue(DropPolicy.LOW_PRIORITY_FIRST)
+        # Fill the queue with C1 prefetches.
+        dram.read(0, now=0, is_prefetch=True, component="C1")
+        dram.read(2, now=0, is_prefetch=True, component="C1")
+        # Incoming high-priority prefetch displaces a queued C1.
+        result = dram.read(4, now=0, is_prefetch=True, component="T2")
+        assert result is not None
+        assert dram.stats.dropped_prefetches == 1
+
+    def test_low_priority_incoming_c1_dropped(self):
+        dram = self.small_queue(DropPolicy.LOW_PRIORITY_FIRST)
+        dram.read(0, now=0, is_prefetch=True, component="T2")
+        dram.read(2, now=0, is_prefetch=True, component="T2")
+        result = dram.read(4, now=0, is_prefetch=True, component="C1")
+        assert result is None
+
+    def test_queue_drains_over_time(self):
+        dram = self.small_queue(DropPolicy.RANDOM)
+        completion = dram.read(0, now=0)
+        assert dram.queue_occupancy(0, now=0) == 1
+        assert dram.queue_occupancy(0, now=completion + 1) == 0
+
+
+class TestAddressMapping:
+    def test_adjacent_lines_interleave_channels(self):
+        dram = Dram(DramConfig(channels=2))
+        assert dram._map(0)[0] != dram._map(1)[0]
+
+    def test_same_line_same_bank(self):
+        dram = Dram()
+        assert dram._map(12345) == dram._map(12345)

@@ -1,0 +1,89 @@
+"""Deeper multicore tests: scheduling fairness, shared-resource stats,
+heterogeneous prefetchers, and drop-policy plumbing."""
+
+import pytest
+
+from conftest import build_chain_trace, build_strided_trace
+
+from repro.engine.config import EXPERIMENT_CONFIG
+from repro.engine.multicore import simulate_multicore
+from repro.engine.system import simulate
+from repro.prefetcher_registry import make_prefetcher
+
+
+@pytest.fixture(scope="module")
+def small_traces():
+    return [
+        build_strided_trace(elements=3000, name="s0"),
+        build_chain_trace(nodes=1500, name="c0"),
+    ]
+
+
+class TestScheduling:
+    def test_all_cores_finish(self, small_traces):
+        result = simulate_multicore(small_traces)
+        for trace, core in zip(small_traces, result.per_core):
+            assert core.core.instructions == len(trace)
+
+    def test_core_results_labeled(self, small_traces):
+        result = simulate_multicore(small_traces)
+        assert [r.workload for r in result.per_core] == ["s0", "c0"]
+
+    def test_deterministic(self, small_traces):
+        a = simulate_multicore(small_traces)
+        b = simulate_multicore(small_traces)
+        assert [r.cycles for r in a.per_core] == \
+            [r.cycles for r in b.per_core]
+
+
+class TestSharedResources:
+    def test_dram_traffic_is_shared_total(self, small_traces):
+        result = simulate_multicore(small_traces)
+        # Every per-core view exposes the same shared DRAM stats object.
+        assert result.per_core[0].dram is result.per_core[1].dram
+        assert result.dram_traffic == result.per_core[0].dram.total_traffic
+
+    def test_shared_l3_sized_per_core(self, small_traces):
+        result = simulate_multicore(small_traces, config=EXPERIMENT_CONFIG)
+        # Table I: 2 MB/core — the shared L3 stats are per-run shared.
+        assert result.per_core[0].l3 is result.per_core[1].l3
+
+    def test_private_l1_stats_independent(self, small_traces):
+        result = simulate_multicore(small_traces)
+        assert result.per_core[0].l1d is not result.per_core[1].l1d
+
+
+class TestHeterogeneousPrefetchers:
+    def test_mixed_prefetchers_per_core(self, small_traces):
+        prefetchers = [make_prefetcher("tpc"), make_prefetcher("none")]
+        result = simulate_multicore(small_traces, prefetchers)
+        assert result.per_core[0].prefetch.issued > 0
+        assert result.per_core[1].prefetch.issued == 0
+
+    def test_prefetching_core_improves_itself(self, small_traces):
+        without = simulate_multicore(small_traces)
+        with_tpc = simulate_multicore(
+            small_traces,
+            [make_prefetcher("tpc"), make_prefetcher("none")],
+        )
+        assert with_tpc.per_core[0].cycles <= without.per_core[0].cycles
+
+    def test_alone_vs_shared_ipc(self, small_traces):
+        shared = simulate_multicore(small_traces)
+        for trace, shared_core in zip(small_traces, shared.per_core):
+            alone = simulate(trace)
+            assert shared_core.ipc <= alone.ipc * 1.01
+
+
+class TestWeightedSpeedup:
+    def test_weighted_speedup_bounds(self, small_traces):
+        shared = simulate_multicore(small_traces)
+        alone = [simulate(t) for t in small_traces]
+        ws = shared.weighted_speedup(alone)
+        assert 0 < ws <= len(small_traces) + 1e-9
+
+    def test_total_instructions(self, small_traces):
+        result = simulate_multicore(small_traces)
+        assert result.total_instructions == sum(
+            len(t) for t in small_traces
+        )

@@ -1,0 +1,109 @@
+"""Tests for the prefetcher registry, system config, and public API."""
+
+import dataclasses
+
+import pytest
+
+import repro
+from repro.engine.config import (
+    DEFAULT_CONFIG,
+    EXPERIMENT_CONFIG,
+    CacheConfig,
+    SystemConfig,
+)
+from repro.memory.dram import DropPolicy
+from repro.prefetcher_registry import (
+    PAPER_MONOLITHIC,
+    available_prefetchers,
+    make_prefetcher,
+)
+
+
+class TestRegistry:
+    def test_all_names_instantiable(self):
+        for name in available_prefetchers():
+            prefetcher = make_prefetcher(name)
+            assert prefetcher is not None
+            prefetcher.reset()
+
+    def test_paper_monolithic_subset(self):
+        assert set(PAPER_MONOLITHIC) <= set(available_prefetchers())
+        assert len(PAPER_MONOLITHIC) == 7
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown prefetcher"):
+            make_prefetcher("markov9000")
+
+    def test_kwargs_forwarded(self):
+        prefetcher = make_prefetcher("stride", degree=7)
+        assert prefetcher.degree == 7
+
+    def test_tpc_names(self):
+        assert make_prefetcher("tpc").name == "tpc"
+        assert make_prefetcher("t2").name == "t2"
+
+    def test_instances_independent(self):
+        a = make_prefetcher("sms")
+        b = make_prefetcher("sms")
+        assert a is not b
+        assert a._pht is not b._pht
+
+
+class TestSystemConfig:
+    def test_default_matches_table1(self):
+        assert DEFAULT_CONFIG.core.width == 4
+        assert DEFAULT_CONFIG.core.rob_entries == 192
+        assert DEFAULT_CONFIG.l1d.size_bytes == 64 * 1024
+        assert DEFAULT_CONFIG.l2.size_bytes == 256 * 1024
+        assert DEFAULT_CONFIG.l3.size_bytes == 2 * 1024 * 1024
+        assert DEFAULT_CONFIG.dram.channels == 2
+
+    def test_scaled_down_preserves_ratios(self):
+        scaled = DEFAULT_CONFIG.scaled_down(8)
+        assert scaled.l1d.size_bytes == DEFAULT_CONFIG.l1d.size_bytes // 8
+        assert scaled.l2.size_bytes == DEFAULT_CONFIG.l2.size_bytes // 8
+        assert scaled.l1d.ways == DEFAULT_CONFIG.l1d.ways
+        assert scaled.core == DEFAULT_CONFIG.core
+
+    def test_scaled_down_floors_at_one_set(self):
+        tiny = SystemConfig(
+            l1d=CacheConfig(4 * 64, 4, latency=3)
+        ).scaled_down(100)
+        assert tiny.l1d.size_bytes >= tiny.l1d.ways * tiny.l1d.line_bytes
+
+    def test_with_drop_policy(self):
+        config = DEFAULT_CONFIG.with_drop_policy(
+            DropPolicy.LOW_PRIORITY_FIRST
+        )
+        assert config.dram.drop_policy is DropPolicy.LOW_PRIORITY_FIRST
+        assert DEFAULT_CONFIG.dram.drop_policy is DropPolicy.RANDOM
+
+    def test_with_l3_size(self):
+        config = DEFAULT_CONFIG.with_l3_size(1024 * 1024)
+        assert config.l3.size_bytes == 1024 * 1024
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DEFAULT_CONFIG.core.width = 8
+
+    def test_experiment_config_is_scaled(self):
+        assert (
+            EXPERIMENT_CONFIG.l1d.size_bytes
+            < DEFAULT_CONFIG.l1d.size_bytes
+        )
+
+
+class TestPublicApi:
+    def test_lazy_exports(self):
+        assert callable(repro.simulate)
+        assert callable(repro.make_prefetcher)
+        assert repro.SystemConfig is SystemConfig
+        assert repro.SimulationResult is not None
+        assert "tpc" in repro.available_prefetchers()
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+    def test_version(self):
+        assert repro.__version__

@@ -1,0 +1,42 @@
+"""Tests for the sensitivity-sweep experiment module."""
+
+from repro.experiments import sensitivity
+
+
+class TestSensitivity:
+    def test_l3_sweep_small(self):
+        points = sensitivity.run_l3_sweep(
+            apps=["spec.libquantum"], prefetchers=["tpc"],
+            sizes_kb=[64, 256],
+        )
+        assert len(points) == 2
+        assert all(p.parameter == "l3_kb" for p in points)
+        assert all(p.speedup > 0.9 for p in points)
+
+    def test_bigger_l3_reduces_baseline_misses(self):
+        from repro.engine.config import EXPERIMENT_CONFIG
+        from repro.engine.system import simulate
+        from repro.workloads import get_workload
+
+        trace = get_workload("spec.sjeng").trace()
+        small = simulate(
+            trace, config=EXPERIMENT_CONFIG.with_l3_size(64 * 1024)
+        )
+        big = simulate(
+            trace, config=EXPERIMENT_CONFIG.with_l3_size(1024 * 1024)
+        )
+        assert big.l3.demand_misses <= small.l3.demand_misses
+
+    def test_mshr_sweep_small(self):
+        points = sensitivity.run_mshr_sweep(
+            apps=["spec.libquantum"], prefetchers=["tpc"], counts=[4, 32]
+        )
+        by_count = {p.value: p.speedup for p in points}
+        # Starved MSHRs cannot beat plentiful ones for the prefetcher.
+        assert by_count[32] >= by_count[4] - 0.05
+
+    def test_render(self):
+        points = sensitivity.run_l3_sweep(
+            apps=["npb.ep"], prefetchers=["tpc"], sizes_kb=[256]
+        )
+        assert "l3_kb" in sensitivity.render(points)

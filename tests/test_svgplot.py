@@ -1,0 +1,61 @@
+"""Tests for the dependency-free SVG renderer."""
+
+import pytest
+
+from repro.analysis.svgplot import ScatterSeries, bars_svg, scatter_svg
+
+
+class TestScatterSvg:
+    def series(self):
+        return [
+            ScatterSeries("tpc", [(0.9, 0.95, 100.0), (0.8, 0.85, 50.0)]),
+            ScatterSeries("bop", [(0.7, 0.5, 200.0)]),
+        ]
+
+    def test_valid_svg_document(self):
+        svg = scatter_svg(self.series(), title="t")
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert svg.count("<circle") >= 5  # 3 dots + 2 summary rings
+
+    def test_labels_present(self):
+        svg = scatter_svg(self.series())
+        assert "tpc" in svg and "bop" in svg
+
+    def test_title_escaped(self):
+        svg = scatter_svg(self.series(), title="a < b & c")
+        assert "a &lt; b &amp; c" in svg
+
+    def test_summary_weighted(self):
+        series = ScatterSeries("x", [(0.0, 0.0, 1.0), (1.0, 1.0, 3.0)])
+        assert series.summary() == (0.75, 0.75)
+
+    def test_empty_series_ok(self):
+        svg = scatter_svg([ScatterSeries("empty", [])])
+        assert "</svg>" in svg
+
+    def test_parses_as_xml(self):
+        import xml.etree.ElementTree as ET
+        ET.fromstring(scatter_svg(self.series(), title="ok"))
+
+
+class TestBarsSvg:
+    def test_bars_and_ibeams(self):
+        svg = bars_svg(
+            {"tpc": 1.5, "bop": 1.2},
+            ranges={"tpc": (1.0, 2.0), "bop": (0.9, 1.6)},
+        )
+        assert svg.count("<rect") >= 3  # background + 2 bars
+        assert "stroke-dasharray" in svg  # baseline marker
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bars_svg({})
+
+    def test_parses_as_xml(self):
+        import xml.etree.ElementTree as ET
+        ET.fromstring(bars_svg({"a": 1.0}))
+
+    def test_no_baseline(self):
+        svg = bars_svg({"a": 1.0}, baseline=None)
+        assert "stroke-dasharray" not in svg

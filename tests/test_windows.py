@@ -1,0 +1,56 @@
+"""Tests for windowed prefetch observation."""
+
+from repro.analysis.windows import Window, WindowRecorder
+from repro.engine.system import simulate
+from repro.prefetcher_registry import make_prefetcher
+
+
+class TestWindowMath:
+    def test_useful_fraction(self):
+        window = Window(index=0, issued=4, useful=3)
+        assert window.useful_fraction == 0.75
+
+    def test_useful_fraction_zero_issued(self):
+        assert Window(index=0).useful_fraction == 0.0
+
+    def test_net_credit(self):
+        window = Window(index=0, issued=4, useful=3, pollution=1.0)
+        assert window.net_credit == 2.0
+
+
+class TestRecorder:
+    def test_windows_advance(self):
+        recorder = WindowRecorder(window_events=4)
+        for line in range(10):
+            recorder.on_prefetch_issued(line, "T2")
+        assert len(recorder.windows) >= 2
+        assert recorder.total_issued() == 10
+
+    def test_attempted_lines_per_window(self):
+        recorder = WindowRecorder(window_events=100)
+        recorder.on_prefetch_issued(1, "T2")
+        recorder.on_prefetch_issued(2, "T2")
+        assert recorder.windows[0].attempted_lines == {1, 2}
+
+    def test_integrated_with_simulation(self, strided_trace):
+        recorder = WindowRecorder(window_events=512)
+        simulate(strided_trace, make_prefetcher("t2"), tracker=recorder)
+        assert recorder.total_issued() > 0
+        assert len(recorder.windows) >= 2
+        # Steady state: the late windows should be nearly all useful.
+        steady = recorder.windows[len(recorder.windows) // 2]
+        assert steady.useful_fraction > 0.7 or steady.issued == 0
+
+    def test_warmup_measured(self, strided_trace):
+        recorder = WindowRecorder(window_events=256)
+        simulate(strided_trace, make_prefetcher("t2"), tracker=recorder)
+        warmup = recorder.warmup_windows(threshold=0.5)
+        assert warmup < len(recorder.windows)
+
+    def test_series_shape(self):
+        recorder = WindowRecorder(window_events=2)
+        recorder.on_prefetch_issued(1, "T2")
+        recorder.on_useful(1, "T2", 1)
+        series = recorder.series()
+        assert series[0][0] == 0
+        assert all(0.0 <= fraction <= 1.0 for _, fraction in series)

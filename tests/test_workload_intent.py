@@ -1,0 +1,94 @@
+"""Ground-truth cross-checks: each suite workload exhibits the access
+pattern its family is supposed to (validated through the offline
+classifier, the same lens Fig. 13 uses)."""
+
+import pytest
+
+from repro.analysis.classify import Category, OfflineClassifier
+from repro.workloads import get_workload
+
+_classifiers = {}
+
+
+def classify(name):
+    if name not in _classifiers:
+        trace = get_workload(name).trace()
+        classifier = OfflineClassifier(trace)
+        counts = classifier.category_counts(trace.memory_footprint())
+        total = sum(counts.values()) or 1
+        _classifiers[name] = (
+            classifier,
+            {c: counts[c] / total for c in Category},
+        )
+    return _classifiers[name]
+
+
+class TestStreamingWorkloads:
+    @pytest.mark.parametrize("name", [
+        "spec.libquantum", "spec.milc", "spec.lbm", "spec.bwaves",
+        "npb.mg", "starbench.rgbyuv",
+    ])
+    def test_mostly_lhf(self, name):
+        _, fractions = classify(name)
+        assert fractions[Category.LHF] > 0.8, (name, fractions)
+
+
+class TestPointerWorkloads:
+    @pytest.mark.parametrize("name", [
+        "spec.mcf", "spec.sjeng", "npb.is",
+    ])
+    def test_substantial_hhf(self, name):
+        _, fractions = classify(name)
+        assert fractions[Category.HHF] > 0.3, (name, fractions)
+
+
+class TestRegionWorkloads:
+    @pytest.mark.parametrize("name", [
+        "spec.h264ref", "starbench.rotate",
+    ])
+    def test_substantial_spatial_locality(self, name):
+        # Region sweeps are strided *within* regions, so the classifier
+        # may label them LHF or MHF — but not HHF.
+        _, fractions = classify(name)
+        assert fractions[Category.HHF] < 0.3, (name, fractions)
+
+
+class TestGraphWorkloads:
+    @pytest.mark.parametrize("name", [
+        "crono.bfs_google", "crono.sssp_twitter",
+    ])
+    def test_mixed_pattern(self, name):
+        """Graph traversals are the paper's mixed case: a strided
+        offsets walk plus irregular gathers — neither category should
+        take everything."""
+        _, fractions = classify(name)
+        assert fractions[Category.LHF] < 0.95, (name, fractions)
+        assert fractions[Category.LHF] + fractions[Category.MHF] > 0.05
+
+    def test_road_network_more_local_than_social(self):
+        _, road = classify("crono.cc_california")
+        _, social = classify("crono.sssp_twitter")
+        assert road[Category.HHF] <= social[Category.HHF] + 0.05
+
+
+class TestComputeWorkloads:
+    @pytest.mark.parametrize("name", ["npb.ep", "starbench.md5",
+                                      "spec.gamess"])
+    def test_small_footprint(self, name):
+        trace = get_workload(name).trace()
+        footprint_kb = len(trace.memory_footprint()) * 64 / 1024
+        assert footprint_kb < 64, (name, footprint_kb)
+
+
+class TestStridedPcDetection:
+    def test_strided_pcs_found_in_stream_apps(self):
+        classifier, _ = classify("spec.libquantum")
+        assert classifier.strided_pcs
+
+    def test_chain_load_not_strided(self):
+        classifier, _ = classify("spec.mcf")
+        trace = get_workload("spec.mcf").trace()
+        # The pointer loads dominate; most load PCs must be non-strided.
+        load_pcs = {r.pc for r in trace.records if r.is_load}
+        strided = load_pcs & classifier.strided_pcs
+        assert len(strided) < len(load_pcs)

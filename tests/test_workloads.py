@@ -1,0 +1,211 @@
+"""Tests for the workload builders, suites, graphs, and mixes."""
+
+import pytest
+
+from repro.isa import Assembler, Machine
+from repro.isa.instructions import OpClass
+from repro.workloads import all_suites, get_suite, get_workload
+from repro.workloads import builders, graphs
+from repro.workloads.builders import Allocator
+from repro.workloads.mixes import MIX_WIDTH, mix_names, mix_workloads
+from repro.workloads.registry import Workload
+
+
+def run_kernel(emit, max_instructions=100_000):
+    asm = Assembler()
+    alloc = Allocator()
+    emit(asm, alloc)
+    asm.halt()
+    return Machine(max_instructions=max_instructions).run(asm.assemble())
+
+
+class TestAllocator:
+    def test_non_overlapping(self):
+        alloc = Allocator()
+        a = alloc.alloc(100)
+        b = alloc.alloc(100)
+        assert b >= a + 100
+
+    def test_alignment(self):
+        alloc = Allocator(align=4096)
+        alloc.alloc(1)
+        assert alloc.alloc(1) % 4096 == 0
+
+
+class TestBuilders:
+    def test_strided_loop_addresses(self):
+        trace = run_kernel(lambda asm, alloc: builders.strided_loop(
+            asm, alloc, elements=100, stride=8))
+        loads = [r.addr for r in trace.records if r.opc == OpClass.LOAD]
+        assert len(loads) == 100
+        deltas = {b - a for a, b in zip(loads, loads[1:])}
+        assert deltas == {8}
+
+    def test_strided_loop_passes(self):
+        trace = run_kernel(lambda asm, alloc: builders.strided_loop(
+            asm, alloc, elements=50, passes=3))
+        loads = [r for r in trace.records if r.opc == OpClass.LOAD]
+        assert len(loads) == 150
+
+    def test_multi_stream_counts(self):
+        trace = run_kernel(lambda asm, alloc: builders.multi_stream(
+            asm, alloc, elements=100, streams=3))
+        stats = trace.stats()
+        assert stats.loads == 200      # streams-1 loads
+        assert stats.stores == 100     # last stream stored
+
+    def test_multi_stream_bounds(self):
+        with pytest.raises(ValueError):
+            run_kernel(lambda asm, alloc: builders.multi_stream(
+                asm, alloc, elements=10, streams=7))
+
+    def test_stencil_rows_streams_one_row_apart(self):
+        trace = run_kernel(lambda asm, alloc: builders.stencil_rows(
+            asm, alloc, rows=4, cols=32))
+        stats = trace.stats()
+        assert stats.loads == 3 * 4 * 32
+        assert stats.stores == 4 * 32
+
+    def test_linked_list_terminates(self):
+        trace = run_kernel(lambda asm, alloc: builders.linked_list(
+            asm, alloc, nodes=500))
+        loads = [r for r in trace.records if r.opc == OpClass.LOAD]
+        assert len(loads) == 2 * 500   # payload + next per node
+
+    def test_linked_list_layouts_differ(self):
+        sequential = run_kernel(lambda asm, alloc: builders.linked_list(
+            asm, alloc, nodes=200, layout="sequential"))
+        scattered = run_kernel(lambda asm, alloc: builders.linked_list(
+            asm, alloc, nodes=200, layout="scattered"))
+        # Next-pointer loads carry address-like values; payload loads
+        # carry small counters.
+        seq_next = [r.value for r in sequential.records
+                    if r.opc == OpClass.LOAD and r.value >= 0x100000]
+        sca_next = [r.value for r in scattered.records
+                    if r.opc == OpClass.LOAD and r.value >= 0x100000]
+        seq_sorted = all(a < b for a, b in zip(seq_next, seq_next[1:]))
+        sca_sorted = all(a < b for a, b in zip(sca_next, sca_next[1:]))
+        assert seq_sorted and not sca_sorted
+
+    def test_linked_list_bad_layout(self):
+        with pytest.raises(ValueError):
+            run_kernel(lambda asm, alloc: builders.linked_list(
+                asm, alloc, nodes=10, layout="bogus"))
+
+    def test_array_of_pointers_dependence(self):
+        trace = run_kernel(lambda asm, alloc: builders.array_of_pointers(
+            asm, alloc, count=100, field_offset=16))
+        loads = [r for r in trace.records if r.opc == OpClass.LOAD]
+        # Alternating pointer load / field load; field addr = ptr value+16.
+        for pointer, field in zip(loads[::2], loads[1::2]):
+            assert field.addr == pointer.value + 16
+
+    def test_region_sweep_covers_regions(self):
+        trace = run_kernel(lambda asm, alloc: builders.region_sweep(
+            asm, alloc, regions=10, region_bytes=1024, step=64))
+        loads = [r for r in trace.records if r.opc == OpClass.LOAD]
+        # 1 index load + 16 sweeps per region
+        assert len(loads) == 10 * 17
+
+    def test_random_gather_stays_in_table(self):
+        trace = run_kernel(lambda asm, alloc: builders.random_gather(
+            asm, alloc, lookups=50, table_bytes=4096))
+        gathers = [r for r in trace.records
+                   if r.opc == OpClass.LOAD][1::2]
+        span = max(r.addr for r in gathers) - min(r.addr for r in gathers)
+        assert span < 4096 + 64
+
+    def test_index_gather_locality_window(self):
+        trace = run_kernel(lambda asm, alloc: builders.index_gather(
+            asm, alloc, elements=200, table_elements=10000,
+            locality_window=4))
+        gathers = [r for r in trace.records if r.opc == OpClass.LOAD][1::2]
+        addrs = [r.addr for r in gathers]
+        # Window-local indices advance roughly monotonically.
+        assert addrs[-1] > addrs[0]
+
+    def test_csr_traversal_runs(self):
+        offsets, neighbors = graphs.road_graph(side=6)
+        trace = run_kernel(lambda asm, alloc: builders.csr_traversal(
+            asm, alloc, offsets=offsets, neighbors=neighbors))
+        stats = trace.stats()
+        # 2 offset loads per node + 2 loads per edge endpoint.
+        assert stats.loads >= 2 * (len(offsets) - 1)
+
+
+class TestGraphs:
+    def test_csr_shape(self):
+        offsets, neighbors = graphs.web_graph(nodes=100, edges_per_node=3)
+        assert offsets[0] == 0
+        assert offsets[-1] == len(neighbors)
+        assert all(a <= b for a, b in zip(offsets, offsets[1:]))
+        assert all(0 <= n < 100 for n in neighbors)
+
+    def test_road_graph_grid(self):
+        offsets, neighbors = graphs.road_graph(side=5)
+        assert len(offsets) == 26
+        degrees = [b - a for a, b in zip(offsets, offsets[1:])]
+        assert max(degrees) <= 4
+
+    def test_deterministic(self):
+        a = graphs.social_graph(nodes=50, edges_per_node=4, seed=1)
+        b = graphs.social_graph(nodes=50, edges_per_node=4, seed=1)
+        assert a == b
+
+
+class TestRegistry:
+    def test_all_suites_present(self):
+        suites = all_suites()
+        assert set(suites) == {"spec", "crono", "starbench", "npb"}
+        assert len(suites["spec"]) >= 20
+
+    def test_lookup_by_name(self):
+        workload = get_workload("spec.mcf")
+        assert workload.suite == "spec"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            get_workload("spec.nonexistent")
+
+    def test_unknown_suite_raises(self):
+        with pytest.raises(ValueError):
+            get_suite("parsec")
+
+    def test_trace_cached(self):
+        workload = get_workload("npb.ep")
+        assert workload.trace() is workload.trace()
+
+    def test_traces_within_simpoint(self):
+        for name in ["spec.libquantum", "crono.bfs_google"]:
+            workload = get_workload(name)
+            assert len(workload.trace()) <= workload.simpoint
+
+    def test_duplicate_registration_rejected(self):
+        from repro.workloads.registry import register
+        workload = get_workload("npb.ep")
+        with pytest.raises(ValueError):
+            register(Workload(name="npb.ep", suite="npb",
+                              build=workload.build))
+
+    def test_every_workload_has_memory_traffic(self):
+        # Each registered workload must actually exercise the memory
+        # system (a prefetching study needs memory accesses).
+        for suite, workloads in all_suites().items():
+            for workload in workloads:
+                stats = workload.trace().stats()
+                assert stats.loads > 1000, workload.name
+
+
+class TestMixes:
+    def test_mix_shape(self):
+        mixes = mix_names(count=5)
+        assert len(mixes) == 5
+        assert all(len(m) == MIX_WIDTH for m in mixes)
+        assert all(len(set(m)) == MIX_WIDTH for m in mixes)
+
+    def test_mixes_deterministic(self):
+        assert mix_names(count=3) == mix_names(count=3)
+
+    def test_mix_workloads_resolve(self):
+        for mix in mix_workloads(count=2):
+            assert all(w.trace() for w in mix)
