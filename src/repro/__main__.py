@@ -4,6 +4,9 @@ Commands
 --------
 ``simulate``   run one workload under one prefetcher and print the stats
 ``compare``    run one workload under several prefetchers side by side
+``profile``    one run with full telemetry: lifecycle trace, time series,
+               Chrome trace, and a run manifest (docs/observability.md)
+``events``     filter/summarize a JSONL lifecycle trace file
 ``workloads``  list the registered workloads
 ``prefetchers`` list the registered prefetchers
 ``report``     regenerate every table/figure (see experiments.report_all)
@@ -18,12 +21,11 @@ from repro.analysis.report import format_table
 
 
 def _cmd_simulate(args) -> None:
-    from repro import make_prefetcher, simulate
-    from repro.workloads import get_workload
+    from repro.experiments.runner import ExperimentRunner
 
-    trace = get_workload(args.workload).trace()
-    baseline = simulate(trace)
-    result = simulate(trace, make_prefetcher(args.prefetcher))
+    runner = ExperimentRunner()
+    baseline = runner.baseline(args.workload)
+    result = runner.run(args.workload, args.prefetcher)
     rows = [
         ("instructions", result.core.instructions),
         ("cycles", result.cycles),
@@ -41,14 +43,15 @@ def _cmd_simulate(args) -> None:
 
 
 def _cmd_compare(args) -> None:
-    from repro import make_prefetcher, simulate
-    from repro.workloads import get_workload
+    from repro.experiments.runner import ExperimentRunner
 
-    trace = get_workload(args.workload).trace()
-    baseline = simulate(trace)
+    # The runner memoizes on (workload, spec, tag): the no-prefetch
+    # baseline is simulated once, not once per compared prefetcher.
+    runner = ExperimentRunner()
+    baseline = runner.baseline(args.workload)
     rows = []
     for name in args.prefetchers:
-        result = simulate(trace, make_prefetcher(name))
+        result = runner.run(args.workload, name)
         rows.append(
             (
                 name,
@@ -64,6 +67,87 @@ def _cmd_compare(args) -> None:
          "traffic"],
         rows,
     ))
+
+
+def _cmd_profile(args) -> None:
+    from repro.experiments.runner import ExperimentRunner
+    from repro.telemetry import Telemetry, TimeSeriesSampler, write_manifest
+
+    sampler = TimeSeriesSampler(interval=args.sample_interval)
+    telemetry = Telemetry(record_events=not args.counters_only,
+                          sampler=sampler)
+    runner = ExperimentRunner()
+    result = runner.run_profiled(args.workload, args.prefetcher, telemetry)
+
+    mismatches = telemetry.reconcile(result.prefetch)
+    rows = [
+        ("instructions", result.core.instructions),
+        ("cycles", result.cycles),
+        ("IPC", round(result.ipc, 3)),
+        ("events recorded", len(telemetry.events)),
+        ("samples", len(sampler.samples)),
+        ("reconciliation", "ok" if not mismatches else f"FAIL {mismatches}"),
+    ]
+    rows += telemetry.summary_rows()
+    print(format_table(["metric", "value"], rows))
+
+    if args.trace:
+        count = telemetry.write_jsonl(args.trace)
+        print(f"wrote {count} lifecycle events to {args.trace}")
+    if args.chrome:
+        count = telemetry.write_chrome(args.chrome)
+        print(f"wrote {count} trace events to {args.chrome} "
+              f"(load in about://tracing or ui.perfetto.dev)")
+    if args.svg and sampler.samples:
+        with open(args.svg, "w", encoding="utf-8") as fh:
+            fh.write(sampler.to_svg(
+                title=f"{args.workload} / {args.prefetcher}"
+            ))
+        print(f"wrote time-series chart to {args.svg}")
+    if args.runs_dir:
+        path = write_manifest(result.manifest, args.runs_dir)
+        print(f"wrote manifest to {path}")
+    if mismatches:
+        sys.exit(1)
+
+
+def _cmd_events(args) -> None:
+    from repro.telemetry import filter_events, read_jsonl, summarize
+
+    filters = dict(
+        kind=args.kind,
+        component=args.component,
+        level=args.level,
+        pc=int(args.pc, 0) if args.pc else None,
+        line=int(args.line, 0) if args.line else None,
+        min_cycle=args.min_cycle,
+        max_cycle=args.max_cycle,
+    )
+    events = filter_events(read_jsonl(args.trace), **filters)
+
+    if args.list:
+        shown = 0
+        for event in events:
+            print(
+                f"{event['cycle']:>12}  {event['kind']:<16} "
+                f"{event['component'] or '-':<10} L{event['level']} "
+                f"line={event['line']:#x} pc={event['pc']:#x}"
+            )
+            shown += 1
+            if args.limit and shown >= args.limit:
+                break
+        if not shown:
+            print("no matching events")
+        return
+
+    summary = summarize(events)
+    rows = [("total", summary["total"]),
+            ("first cycle", summary["first_cycle"]),
+            ("last cycle", summary["last_cycle"])]
+    rows += [(f"kind {k}", v) for k, v in summary["by_kind"].items()]
+    rows += [(f"component {k}", v)
+             for k, v in summary["by_component"].items()]
+    print(format_table(["metric", "value"], rows))
 
 
 def _cmd_workloads(args) -> None:
@@ -112,6 +196,59 @@ def main(argv: list[str] | None = None) -> None:
         default=["none", "bop", "spp", "sms", "tpc"],
     )
     compare_parser.set_defaults(func=_cmd_compare)
+
+    profile_parser = commands.add_parser(
+        "profile",
+        help="run with telemetry: lifecycle trace, time series, manifest",
+    )
+    profile_parser.add_argument("workload")
+    profile_parser.add_argument("prefetcher", nargs="?", default="tpc")
+    profile_parser.add_argument(
+        "--trace", default=None, metavar="OUT.jsonl",
+        help="write the lifecycle event trace as JSON Lines",
+    )
+    profile_parser.add_argument(
+        "--chrome", default=None, metavar="OUT.json",
+        help="write a Chrome trace_event file for about://tracing",
+    )
+    profile_parser.add_argument(
+        "--svg", default=None, metavar="OUT.svg",
+        help="write the sampled time series as an SVG line chart",
+    )
+    profile_parser.add_argument(
+        "--runs-dir", default=None, metavar="DIR",
+        help="write runs/<id>/manifest.json under DIR",
+    )
+    profile_parser.add_argument(
+        "--sample-interval", type=int, default=8192, metavar="N",
+        help="instructions per time-series sample (default 8192)",
+    )
+    profile_parser.add_argument(
+        "--counters-only", action="store_true",
+        help="keep counters and samples but not the per-event list",
+    )
+    profile_parser.set_defaults(func=_cmd_profile)
+
+    events_parser = commands.add_parser(
+        "events", help="filter/summarize a JSONL lifecycle trace"
+    )
+    events_parser.add_argument("trace", help="JSONL file from profile --trace")
+    events_parser.add_argument("--kind", default=None,
+                               help="e.g. issued, first_use, dropped_mshr")
+    events_parser.add_argument("--component", default=None,
+                               help="e.g. T2, P1, C1")
+    events_parser.add_argument("--pc", default=None,
+                               help="trigger PC (0x... accepted)")
+    events_parser.add_argument("--line", default=None,
+                               help="line address (0x... accepted)")
+    events_parser.add_argument("--level", type=int, default=None)
+    events_parser.add_argument("--min-cycle", type=int, default=None)
+    events_parser.add_argument("--max-cycle", type=int, default=None)
+    events_parser.add_argument("--list", action="store_true",
+                               help="print matching events, not a summary")
+    events_parser.add_argument("--limit", type=int, default=50,
+                               help="max events to list (0 = no limit)")
+    events_parser.set_defaults(func=_cmd_events)
 
     workloads_parser = commands.add_parser(
         "workloads", help="list registered workloads"

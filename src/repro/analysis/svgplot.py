@@ -192,3 +192,52 @@ def bars_svg(values: dict[str, float], *, title: str = "",
         )
     parts.append("</svg>")
     return "\n".join(parts)
+
+
+def lines_svg(series: dict[str, list[tuple[float, float]]], *,
+              title: str = "", x_label: str = "", y_label: str = "",
+              x_range: tuple[float, float] | None = None,
+              y_range: tuple[float, float] | None = None) -> str:
+    """Render (x, y) series as polylines — time-series telemetry charts.
+
+    Ranges default to the data's bounding box (y padded down to 0 when
+    all values are nonnegative, the natural baseline for rates/counts).
+    """
+    points = [p for s in series.values() for p in s]
+    if not points:
+        raise ValueError("lines_svg needs at least one point")
+    if x_range is None:
+        xs = [x for x, _ in points]
+        x_range = (min(xs), max(xs) or 1.0)
+    if y_range is None:
+        ys = [y for _, y in points]
+        low, high = min(ys), max(ys)
+        if low >= 0.0:
+            low = 0.0
+        if high <= low:
+            high = low + 1.0
+        y_range = (low, high * 1.05 if high > 0 else high)
+    if x_range[1] <= x_range[0]:
+        x_range = (x_range[0], x_range[0] + 1.0)
+    parts = ['<svg xmlns="http://www.w3.org/2000/svg" '
+             f'width="{_WIDTH}" height="{_HEIGHT}">']
+    parts += _axes(x_label, y_label, x_range, y_range, title)
+    for index, (label, data) in enumerate(series.items()):
+        color = _color(index)
+        if data:
+            coords = " ".join(
+                f"{px:.1f},{py:.1f}"
+                for px, py in (_project(x, y, x_range, y_range)
+                               for x, y in data)
+            )
+            parts.append(
+                f'<polyline points="{coords}" fill="none" '
+                f'stroke="{color}" stroke-width="1.5"/>'
+            )
+        parts.append(
+            f'<text x="{_WIDTH - 20}" y="{40 + 16 * index}" '
+            f'text-anchor="end" font-size="12" fill="{color}" '
+            f'font-family="sans-serif">{_escape(label)}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -105,3 +105,31 @@ class WindowRecorder:
             if window.issued > 0 and window.useful_fraction >= threshold:
                 return i
         return len(self.windows)
+
+
+def windows_from_events(events, window_events: int = 2048
+                        ) -> list[Window]:
+    """Rebuild per-window prefetch activity from a telemetry trace.
+
+    Accepts the stream a :class:`repro.telemetry.Telemetry` hub recorded
+    (live ``LifecycleEvent`` objects or dicts loaded back from JSONL via
+    :func:`repro.telemetry.read_jsonl`), so the windowed analyses above
+    run off a saved trace file without re-simulating.  Only the three
+    kinds the tracker protocol sees are replayed: ``issued``,
+    ``first_use``, and ``pollution_hit``.
+    """
+    recorder = WindowRecorder(window_events)
+    for event in events:
+        if isinstance(event, dict):
+            kind, line = event["kind"], event.get("line", -1)
+            component, level = event.get("component"), event.get("level", 0)
+        else:
+            kind, line = event.kind, event.line
+            component, level = event.component, event.level
+        if kind == "issued":
+            recorder.on_prefetch_issued(line, component)
+        elif kind == "first_use":
+            recorder.on_useful(line, component, level)
+        elif kind == "pollution_hit":
+            recorder.on_pollution(level, [(line, component)])
+    return recorder.windows

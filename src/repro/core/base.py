@@ -168,6 +168,16 @@ class Prefetcher:
         return False
 
     @property
+    def component_tag(self) -> str:
+        """The tag this prefetcher stamps on its requests.
+
+        T2/P1/C1 tag requests with "T2"/"P1"/"C1" while their registry
+        names are lowercase; telemetry joins events by this tag, so it
+        must match ``PrefetchRequest.component``.  Defaults to ``name``.
+        """
+        return self.name
+
+    @property
     def storage_bits(self) -> int:
         """Hardware storage cost in bits (Table II)."""
         return 0

@@ -50,6 +50,7 @@ class _InstructionEntry:
 
 class C1Prefetcher(Prefetcher):
     name = "c1"
+    component_tag = "C1"
 
     def __init__(self, rm_entries: int = 16, im_entries: int = 16,
                  dense_line_threshold: int = DENSE_LINE_THRESHOLD,

@@ -21,6 +21,7 @@ the instruction going forward").
 from __future__ import annotations
 
 from repro.core.base import AccessEvent, Prefetcher, PrefetchRequest
+from repro.telemetry.events import TRAINED
 
 
 class Coordinator:
@@ -33,10 +34,15 @@ class Coordinator:
         self._extra_owner: dict[int, int] = {}   # pc -> index into extras
         self._round_robin = 0
         self._extra_names = {p.name: i for i, p in enumerate(self.extras)}
+        self.telemetry = None
+        """Optional telemetry hub; when set, the first claim of a PC by a
+        specialized component emits a ``trained`` lifecycle event."""
+        self._trained_pcs: set[int] = set()
 
     def reset(self) -> None:
         self._extra_owner.clear()
         self._round_robin = 0
+        self._trained_pcs.clear()
 
     # ------------------------------------------------------------------
     def route(self, event: AccessEvent) -> list[PrefetchRequest] | None:
@@ -57,6 +63,12 @@ class Coordinator:
                 requests.extend(result)
             if not claimed and component.claims(event.pc):
                 claimed = True
+                telemetry = self.telemetry
+                if telemetry is not None and event.pc not in self._trained_pcs:
+                    self._trained_pcs.add(event.pc)
+                    telemetry.emit(TRAINED, event.cycle, line=event.line,
+                                   component=component.component_tag,
+                                   pc=event.pc)
         if claimed or requests:
             return requests or None
         if not self.extras:

@@ -92,6 +92,7 @@ class _ChainState:
 
 class P1Prefetcher(Prefetcher):
     name = "p1"
+    component_tag = "P1"
     needs_instruction_stream = True
     wants_memory_image = True
     always_observe = True

@@ -80,11 +80,26 @@ class OoOCore:
         self._last_commit_time = 0
         self._commits_at_time = 0
         self._feed_instructions = prefetcher.needs_instruction_stream
+        self._telemetry = None
+        self._sampler = None
         from repro.engine.branch import make_predictor
 
         self._branch_predictor = make_predictor(
             self.config.branch_predictor
         )
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Wire a :class:`repro.telemetry.Telemetry` hub to this core.
+
+        Binds the hub's sampler (if any) to this core + hierarchy so the
+        retire loop can drive it.  Attaching never changes timing: the
+        sampler only reads state.
+        """
+        self._telemetry = telemetry
+        sampler = telemetry.sampler
+        if sampler is not None:
+            sampler.bind(self, self.hierarchy, telemetry)
+        self._sampler = sampler
 
     # ------------------------------------------------------------------
     @property
@@ -191,12 +206,15 @@ class OoOCore:
 
         self.stats.instructions += 1
         self.stats.cycles = commit
+        sampler = self._sampler
+        if sampler is not None:
+            sampler.on_instruction()
         return True
 
     # ------------------------------------------------------------------
     def _do_load(self, record, issue: int) -> int:
         result = self.hierarchy.demand_access(record.addr, issue,
-                                              is_write=False)
+                                              is_write=False, pc=record.pc)
         latency = result.ready_time - issue
         self.stats.loads += 1
         self.stats.load_latency_total += latency
@@ -227,7 +245,7 @@ class OoOCore:
 
     def _do_store(self, record, issue: int) -> None:
         result = self.hierarchy.demand_access(record.addr, issue,
-                                              is_write=True)
+                                              is_write=True, pc=record.pc)
         self.stats.stores += 1
         event = AccessEvent(
             cycle=issue,
@@ -260,7 +278,8 @@ class OoOCore:
         for request in requests:
             issued = hierarchy.prefetch(request.line, event.cycle,
                                         target_level=request.target_level,
-                                        component=request.component)
+                                        component=request.component,
+                                        pc=event.pc)
             if issued:
                 prefetcher.on_fill(request.line, request.target_level,
                                    prefetched=True)

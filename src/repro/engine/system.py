@@ -12,6 +12,7 @@ from repro.isa.trace import Trace
 from repro.memory.cache import CacheStats
 from repro.memory.dram import DramStats
 from repro.memory.hierarchy import Hierarchy, PrefetchStats
+from repro.telemetry.manifest import RunManifest, build_manifest
 
 
 @dataclass
@@ -32,6 +33,9 @@ class SimulationResult:
     attempted_by_component: dict = field(default_factory=dict)
     pollution_misses_l1: int = 0
     pollution_misses_l2: int = 0
+    manifest: RunManifest | None = None
+    """Provenance stamp (config tag, prefetcher spec, git SHA, counter
+    snapshot); see :mod:`repro.telemetry.manifest`."""
 
     @property
     def cycles(self) -> int:
@@ -66,7 +70,8 @@ class SimulationResult:
 
 def simulate(trace: Trace, prefetcher: Prefetcher | None = None,
              config: SystemConfig | None = None,
-             tracker=None) -> SimulationResult:
+             tracker=None, telemetry=None, config_tag: str = "",
+             spec: str | None = None) -> SimulationResult:
     """Simulate one trace on a single-core system.
 
     Parameters
@@ -79,6 +84,14 @@ def simulate(trace: Trace, prefetcher: Prefetcher | None = None,
     tracker:
         Optional credit tracker (see :mod:`repro.analysis.credit`) attached
         to the hierarchy for per-prefetch pollution accounting.
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry` hub.  When given it is
+        wired to the hierarchy, the DRAM controller, the core, and (for
+        composites) the coordinator; when ``None`` the simulation runs the
+        exact seed code path.
+    config_tag / spec:
+        Provenance strings recorded in the result's manifest (the
+        experiment runner passes its cache tag and stable spec key).
     """
     prefetcher = prefetcher if prefetcher is not None else NullPrefetcher()
     config = config or EXPERIMENT_CONFIG
@@ -89,8 +102,15 @@ def simulate(trace: Trace, prefetcher: Prefetcher | None = None,
     if tracker is not None:
         hierarchy.tracker = tracker
     core = OoOCore(trace, hierarchy, prefetcher, config.core)
+    if telemetry is not None:
+        hierarchy.telemetry = telemetry
+        hierarchy.dram.telemetry = telemetry
+        coordinator = getattr(prefetcher, "coordinator", None)
+        if coordinator is not None:
+            coordinator.telemetry = telemetry
+        core.attach_telemetry(telemetry)
     core_stats = core.run()
-    return SimulationResult(
+    result = SimulationResult(
         workload=trace.name,
         prefetcher=prefetcher.name,
         core=core_stats,
@@ -106,3 +126,7 @@ def simulate(trace: Trace, prefetcher: Prefetcher | None = None,
         pollution_misses_l1=hierarchy.pollution_misses_l1,
         pollution_misses_l2=hierarchy.pollution_misses_l2,
     )
+    result.manifest = build_manifest(result, spec=spec,
+                                     config_tag=config_tag,
+                                     telemetry=telemetry)
+    return result

@@ -4,10 +4,15 @@ Most figures reuse the same (workload, prefetcher) simulations — e.g. the
 no-prefetch baseline of every workload appears in every metric — so the
 runner memoizes :class:`~repro.engine.system.SimulationResult` objects
 keyed by workload, prefetcher spec, and configuration tag.
+
+With ``runs_dir`` set, every fresh (non-cached) simulation also writes a
+provenance manifest to ``<runs_dir>/<run_id>/manifest.json`` (see
+:mod:`repro.telemetry.manifest`).
 """
 
 from __future__ import annotations
 
+import hashlib
 from typing import Callable
 
 from repro.core.base import Prefetcher
@@ -21,13 +26,33 @@ PrefetcherSpec = str | Callable[[], Prefetcher]
 
 
 def spec_key(spec: PrefetcherSpec) -> str:
-    """Stable cache key for a prefetcher spec."""
+    """Stable cache key for a prefetcher spec.
+
+    Resolution order: registry name as-is, an explicit ``cache_key``
+    attribute, then the factory's ``__name__``.  Anonymous factories
+    (lambdas, partials) fall back to a descriptor of what they *build* —
+    class, display name, and storage budget — hashed into a short
+    digest.  The previous fallback was ``repr(spec)``, which embeds the
+    object id: two textually identical lambdas never cache-hit, and
+    manifest keys changed on every process run.
+    """
     if isinstance(spec, str):
         return spec
-    name = getattr(spec, "cache_key", None)
-    if name is not None:
+    key = getattr(spec, "cache_key", None)
+    if key is not None:
+        return key
+    name = getattr(spec, "__name__", "")
+    if name and name != "<lambda>":
         return name
-    return getattr(spec, "__name__", repr(spec))
+    built = spec()
+    descriptor = (
+        type(built).__module__,
+        type(built).__qualname__,
+        built.name,
+        built.storage_bits,
+    )
+    digest = hashlib.sha1(repr(descriptor).encode()).hexdigest()[:10]
+    return f"{built.name}@{digest}"
 
 
 def build_prefetcher(spec: PrefetcherSpec) -> Prefetcher:
@@ -37,11 +62,23 @@ def build_prefetcher(spec: PrefetcherSpec) -> Prefetcher:
 
 
 class ExperimentRunner:
-    """Caches single-core simulation results."""
+    """Caches single-core simulation results.
 
-    def __init__(self, config: SystemConfig | None = None) -> None:
+    ``runs_dir`` (optional) turns on manifest serialization: each fresh
+    simulation writes ``<runs_dir>/<run_id>/manifest.json``.
+    """
+
+    def __init__(self, config: SystemConfig | None = None,
+                 runs_dir=None) -> None:
         self.config = config or EXPERIMENT_CONFIG
+        self.runs_dir = runs_dir
         self._cache: dict[tuple[str, str, str], SimulationResult] = {}
+
+    def _record(self, result: SimulationResult) -> None:
+        if self.runs_dir is not None and result.manifest is not None:
+            from repro.telemetry.manifest import write_manifest
+
+            write_manifest(result.manifest, self.runs_dir)
 
     def run(self, workload: str, prefetcher: PrefetcherSpec = "none",
             tag: str = "") -> SimulationResult:
@@ -51,8 +88,10 @@ class ExperimentRunner:
         if cached is not None:
             return cached
         trace = get_workload(workload).trace()
-        result = simulate(trace, build_prefetcher(prefetcher), self.config)
+        result = simulate(trace, build_prefetcher(prefetcher), self.config,
+                          config_tag=tag, spec=key[1])
         self._cache[key] = result
+        self._record(result)
         return result
 
     def run_tracked(self, workload: str, prefetcher: PrefetcherSpec,
@@ -61,7 +100,17 @@ class ExperimentRunner:
         tracker is a side output)."""
         trace = get_workload(workload).trace()
         return simulate(trace, build_prefetcher(prefetcher), self.config,
-                        tracker=tracker)
+                        tracker=tracker, spec=spec_key(prefetcher))
+
+    def run_profiled(self, workload: str, prefetcher: PrefetcherSpec,
+                     telemetry) -> SimulationResult:
+        """Simulate with a telemetry hub attached (never cached: the
+        event stream and counter snapshot are per-run side outputs)."""
+        trace = get_workload(workload).trace()
+        result = simulate(trace, build_prefetcher(prefetcher), self.config,
+                          telemetry=telemetry, spec=spec_key(prefetcher))
+        self._record(result)
+        return result
 
     def baseline(self, workload: str) -> SimulationResult:
         return self.run(workload, "none")

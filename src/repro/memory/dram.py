@@ -18,6 +18,8 @@ import enum
 import random
 from dataclasses import dataclass
 
+from repro.telemetry import events as ev
+
 
 class DropPolicy(enum.Enum):
     """What the controller does when the queue is full and a prefetch
@@ -88,6 +90,10 @@ class Dram:
         self._bus_free = [0] * cfg.channels
         self._queues: list[list[_QueueEntry]] = [[] for _ in range(cfg.channels)]
         self._rng = random.Random(cfg.seed)
+        self.telemetry = None
+        """Optional telemetry hub; emits controller-internal lifecycle
+        events (queue stalls, queued-victim drops) that the hierarchy
+        cannot observe.  ``None`` keeps the seed code path."""
 
     # ------------------------------------------------------------------
     # Address mapping
@@ -127,6 +133,9 @@ class Dram:
             # Stall the demand until the earliest queued request completes.
             earliest = min(entry.completion for entry in queue)
             self.stats.demand_queue_stalls += 1
+            if self.telemetry is not None:
+                self.telemetry.emit(ev.DRAM_QUEUE_STALL, now,
+                                    dur=earliest - now)
             self._drain(queue, earliest)
             return earliest, True
 
@@ -142,8 +151,12 @@ class Dram:
                 self.stats.dropped_prefetches += 1
                 return now, False
             if low:
-                queue.remove(low[0])
+                victim = low[0]
+                queue.remove(victim)
                 self.stats.dropped_prefetches += 1
+                if self.telemetry is not None:
+                    self.telemetry.emit(ev.DRAM_DROP_VICTIM, now,
+                                        component=victim.component)
                 return now, True
             self.stats.dropped_prefetches += 1
             return now, False
@@ -222,3 +235,10 @@ class Dram:
         """Pending requests on ``channel`` at cycle ``now`` (for tests)."""
         self._drain(self._queues[channel], now)
         return len(self._queues[channel])
+
+    def queue_depth(self, now: int) -> int:
+        """Pending requests across all channels (telemetry sampling)."""
+        return sum(
+            self.queue_occupancy(channel, now)
+            for channel in range(self.config.channels)
+        )

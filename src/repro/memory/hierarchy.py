@@ -30,6 +30,7 @@ if TYPE_CHECKING:  # avoid a circular import with repro.engine.config
     from repro.engine.config import SystemConfig
 from repro.memory.dram import Dram
 from repro.memory.shadow import ShadowTagStore
+from repro.telemetry import events as ev
 
 LINE_SHIFT = 6
 LINE_BYTES = 64
@@ -124,6 +125,10 @@ class Hierarchy:
         self.shadow_l2 = ShadowTagStore(self.l2.num_sets, self.l2.ways)
         self.prefetch_stats = PrefetchStats()
         self.tracker = None
+        self.telemetry = None
+        """Optional :class:`repro.telemetry.Telemetry` hub.  Every emit
+        site below is guarded by ``is not None`` so a run without
+        telemetry executes the exact pre-telemetry code path."""
         self.miss_lines_l1: Counter = Counter()
         self.miss_lines_l2: Counter = Counter()
         self.attempted_prefetch_lines: set[int] = set()
@@ -137,13 +142,18 @@ class Hierarchy:
     # Demand path
     # ------------------------------------------------------------------
     def demand_access(self, addr: int, now: int,
-                      is_write: bool = False) -> AccessResult:
-        """One demand load/store; returns when the data is ready."""
+                      is_write: bool = False, pc: int = -1) -> AccessResult:
+        """One demand load/store; returns when the data is ready.
+
+        ``pc`` (when the caller knows it) only tags telemetry events; it
+        never affects timing.
+        """
         line = addr >> LINE_SHIFT
         l1 = self.l1d
         l1.stats.demand_accesses += 1
         hit = l1.lookup(line, now, is_write=is_write)
         shadow_l1_hit = self.shadow_l1.access(line)
+        telemetry = self.telemetry
 
         if hit is not None:
             l1.stats.demand_hits += 1
@@ -154,6 +164,9 @@ class Hierarchy:
                     l1.stats.late_prefetch_hits += 1
                 if self.tracker is not None:
                     self.tracker.on_useful(line, hit.component, 1)
+                if telemetry is not None:
+                    telemetry.emit(ev.FIRST_USE, now, line=line,
+                                   component=hit.component, level=1, pc=pc)
             elif hit.ready_time > now and not hit.was_prefetched:
                 l1.stats.mshr_merges += 1
             return AccessResult(
@@ -174,9 +187,12 @@ class Hierarchy:
                 self.tracker.on_pollution(
                     1, self._prefetch_victims(l1, line)
                 )
+            if telemetry is not None:
+                telemetry.emit(ev.POLLUTION_HIT, now, line=line, level=1,
+                               pc=pc)
         t = self._l1_mshrs.acquire_demand(now) + l1.hit_latency
         fill_time, hit_level, served, component = self._access_l2(
-            line, t, shadow_l1_hit, is_write
+            line, t, shadow_l1_hit, is_write, pc
         )
         self._fill_l1(line, fill_time, is_write)
         self._l1_mshrs.register(fill_time)
@@ -190,7 +206,8 @@ class Hierarchy:
         )
 
     def _access_l2(self, line: int, now: int, shadow_l1_hit: bool,
-                   is_write: bool) -> tuple[int, int, bool, str | None]:
+                   is_write: bool, pc: int = -1
+                   ) -> tuple[int, int, bool, str | None]:
         """L2 leg of a demand miss: returns (data ready, level, served-by-
         prefetch, component)."""
         l2 = self.l2
@@ -199,6 +216,7 @@ class Hierarchy:
         shadow_l2_hit = True
         if not shadow_l1_hit:
             shadow_l2_hit = self.shadow_l2.access(line)
+        telemetry = self.telemetry
 
         if hit is not None:
             l2.stats.demand_hits += 1
@@ -209,6 +227,9 @@ class Hierarchy:
                     l2.stats.late_prefetch_hits += 1
                 if self.tracker is not None:
                     self.tracker.on_useful(line, hit.component, 2)
+                if telemetry is not None:
+                    telemetry.emit(ev.FIRST_USE, now, line=line,
+                                   component=hit.component, level=2, pc=pc)
             ready = max(now, hit.ready_time) + l2.hit_latency
             return ready, 2, served, hit.component
 
@@ -220,15 +241,18 @@ class Hierarchy:
                 self.tracker.on_pollution(
                     2, self._prefetch_victims(l2, line)
                 )
+            if telemetry is not None:
+                telemetry.emit(ev.POLLUTION_HIT, now, line=line, level=2,
+                               pc=pc)
         t = self._l2_mshrs.acquire_demand(now) + l2.hit_latency
         fill_time, hit_level = self._access_l3(line, t, is_prefetch=False,
-                                               component=None)
+                                               component=None, pc=pc)
         self._fill_l2(line, fill_time)
         self._l2_mshrs.register(fill_time)
         return fill_time, hit_level, False, None
 
     def _access_l3(self, line: int, now: int, is_prefetch: bool,
-                   component: str | None) -> tuple[int, int]:
+                   component: str | None, pc: int = -1) -> tuple[int, int]:
         """L3 leg: returns (data ready time, hit level).  For dropped
         prefetch reads, returns (-1, 4)."""
         l3 = self.l3
@@ -240,6 +264,10 @@ class Hierarchy:
                 l3.stats.demand_hits += 1
                 if hit.first_use_of_prefetch:
                     l3.stats.useful_prefetches += 1
+                    if self.telemetry is not None:
+                        self.telemetry.emit(ev.FIRST_USE, now, line=line,
+                                            component=hit.component,
+                                            level=3, pc=pc)
             return max(now, hit.ready_time) + l3.hit_latency, 3
         if not is_prefetch:
             l3.stats.demand_misses += 1
@@ -260,22 +288,40 @@ class Hierarchy:
                  component: str | None = None) -> None:
         evicted = self.l1d.fill(line, fill_time, prefetched=prefetched,
                                 component=component, dirty=dirty)
-        if evicted is not None and evicted.dirty:
-            self._writeback_to_l2(evicted, fill_time)
+        if evicted is not None:
+            if self.telemetry is not None and evicted.prefetched \
+                    and not evicted.used:
+                self.telemetry.emit(ev.EVICTED_UNUSED, fill_time,
+                                    line=evicted.line_addr,
+                                    component=evicted.component, level=1)
+            if evicted.dirty:
+                self._writeback_to_l2(evicted, fill_time)
 
     def _fill_l2(self, line: int, fill_time: int, prefetched: bool = False,
                  component: str | None = None, dirty: bool = False) -> None:
         evicted = self.l2.fill(line, fill_time, prefetched=prefetched,
                                component=component, dirty=dirty)
-        if evicted is not None and evicted.dirty:
-            self._writeback_to_l3(evicted, fill_time)
+        if evicted is not None:
+            if self.telemetry is not None and evicted.prefetched \
+                    and not evicted.used:
+                self.telemetry.emit(ev.EVICTED_UNUSED, fill_time,
+                                    line=evicted.line_addr,
+                                    component=evicted.component, level=2)
+            if evicted.dirty:
+                self._writeback_to_l3(evicted, fill_time)
 
     def _fill_l3(self, line: int, fill_time: int, prefetched: bool = False,
                  component: str | None = None, dirty: bool = False) -> None:
         evicted = self.l3.fill(line, fill_time, prefetched=prefetched,
                                component=component, dirty=dirty)
-        if evicted is not None and evicted.dirty:
-            self.dram.write(evicted.line_addr, fill_time)
+        if evicted is not None:
+            if self.telemetry is not None and evicted.prefetched \
+                    and not evicted.used:
+                self.telemetry.emit(ev.EVICTED_UNUSED, fill_time,
+                                    line=evicted.line_addr,
+                                    component=evicted.component, level=3)
+            if evicted.dirty:
+                self.dram.write(evicted.line_addr, fill_time)
 
     def _writeback_to_l2(self, evicted: EvictionInfo, now: int) -> None:
         self._fill_l2(evicted.line_addr, now, dirty=True)
@@ -287,12 +333,13 @@ class Hierarchy:
     # Prefetch path
     # ------------------------------------------------------------------
     def prefetch(self, line: int, now: int, target_level: int = 1,
-                 component: str | None = None) -> bool:
+                 component: str | None = None, pc: int = -1) -> bool:
         """Prefetch one line into ``target_level`` (1 or 2).
 
         Returns True if a prefetch was actually issued (not filtered or
         dropped).  Every call records the line in the attempted-prefetch
-        footprint (the paper's ``PFP``) regardless of outcome.
+        footprint (the paper's ``PFP``) regardless of outcome.  ``pc`` is
+        the triggering instruction, for telemetry tagging only.
         """
         if target_level not in (1, 2):
             raise ValueError(f"prefetch target must be 1 or 2, got {target_level}")
@@ -303,13 +350,22 @@ class Hierarchy:
                 per_component = self.attempted_by_component[component] = set()
             per_component.add(line)
         stats = self.prefetch_stats
+        telemetry = self.telemetry
         target = self.l1d if target_level == 1 else self.l2
         if target.probe(line):
             stats.filtered += 1
+            if telemetry is not None:
+                telemetry.emit(ev.FILTERED, now, line=line,
+                               component=component, level=target_level,
+                               pc=pc)
             return False
         mshrs = self._l1_mshrs if target_level == 1 else self._l2_mshrs
         if not mshrs.try_acquire_prefetch(now):
             stats.dropped_mshr += 1
+            if telemetry is not None:
+                telemetry.emit(ev.DROPPED_MSHR, now, line=line,
+                               component=component, level=target_level,
+                               pc=pc)
             return False
 
         # Locate the data below the target level.
@@ -322,6 +378,10 @@ class Hierarchy:
             )
             if fill_time < 0:
                 stats.dropped_dram += 1
+                if telemetry is not None:
+                    telemetry.emit(ev.DROPPED_DRAM, now, line=line,
+                                   component=component, level=target_level,
+                                   pc=pc)
                 return False
             self._fill_l2(line, fill_time, prefetched=True,
                           component=component)
@@ -337,6 +397,12 @@ class Hierarchy:
         mshrs.register(fill_time)
         if self.tracker is not None:
             self.tracker.on_prefetch_issued(line, component)
+        if telemetry is not None:
+            telemetry.emit(ev.ISSUED, now, line=line, component=component,
+                           level=target_level, pc=pc,
+                           dur=max(fill_time - now, 0))
+            telemetry.emit(ev.FILLED, fill_time, line=line,
+                           component=component, level=target_level, pc=pc)
         return True
 
     # ------------------------------------------------------------------
@@ -349,6 +415,12 @@ class Hierarchy:
             (l.line_addr, l.component)
             for l in cache.prefetched_lines_in_set(set_index)
         ]
+
+    def mshr_occupancy(self, level: int, now: int) -> int:
+        """In-flight misses at L1 (``level=1``) or L2 (``level=2``) at
+        cycle ``now`` (telemetry sampling / tests)."""
+        mshrs = self._l1_mshrs if level == 1 else self._l2_mshrs
+        return mshrs.occupancy(now)
 
     @property
     def dram_traffic(self) -> int:

@@ -1,0 +1,58 @@
+"""``repro.telemetry`` — observability for the simulation stack.
+
+Three capabilities, all zero-overhead when not attached:
+
+* **Lifecycle tracing** — :class:`Telemetry` collects named counters and
+  per-prefetch lifecycle events (trained / issued / filtered /
+  dropped_mshr / dropped_dram / filled / first_use / evicted_unused /
+  pollution_hit) emitted by the hierarchy, the core, the DRAM
+  controller, and the TPC coordinator; exportable as JSONL and Chrome
+  ``trace_event`` JSON.
+* **Time-series sampling** — :class:`TimeSeriesSampler` snapshots IPC,
+  MPKI, MSHR occupancy, DRAM queue depth, and per-component accuracy
+  every N instructions.
+* **Run manifests** — :class:`RunManifest` provenance stamps
+  (workload, prefetcher spec, config tag, git SHA, counter snapshot)
+  serialized under ``runs/<run_id>/manifest.json``.
+
+See ``docs/observability.md`` for the full schema and CLI walkthrough.
+"""
+
+from repro.telemetry import events
+from repro.telemetry.chrome import chrome_trace, write_chrome
+from repro.telemetry.events import KINDS, LifecycleEvent
+from repro.telemetry.hub import Telemetry
+from repro.telemetry.manifest import (
+    RunManifest,
+    build_manifest,
+    current_git_sha,
+    read_manifest,
+    write_manifest,
+)
+from repro.telemetry.sampler import Sample, TimeSeriesSampler
+from repro.telemetry.trace_io import (
+    filter_events,
+    read_jsonl,
+    summarize,
+    write_jsonl,
+)
+
+__all__ = [
+    "events",
+    "KINDS",
+    "LifecycleEvent",
+    "Telemetry",
+    "TimeSeriesSampler",
+    "Sample",
+    "RunManifest",
+    "build_manifest",
+    "write_manifest",
+    "read_manifest",
+    "current_git_sha",
+    "chrome_trace",
+    "write_chrome",
+    "write_jsonl",
+    "read_jsonl",
+    "filter_events",
+    "summarize",
+]

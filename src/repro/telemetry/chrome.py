@@ -1,0 +1,82 @@
+"""Chrome ``trace_event`` export for about://tracing / Perfetto.
+
+Maps the lifecycle trace onto the trace-viewer model:
+
+* one process (pid 0) per simulated core,
+* one thread per prefetcher component (plus one for untagged events),
+  named via ``M``etadata events,
+* ``issued`` events become complete (``X``) slices whose duration is the
+  issue-to-fill latency — the viewer then shows prefetch memory-level
+  parallelism directly,
+* every other kind becomes an instant (``i``) event.
+
+Cycles are written as microseconds (1 cycle = 1 us): absolute time is
+meaningless in trace-viewer space and this keeps the UI zoomable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.telemetry.events import ISSUED
+
+_UNTAGGED = "(untagged)"
+
+
+def chrome_trace(events: Iterable) -> dict:
+    """Build the ``{"traceEvents": [...]}`` object from an event stream."""
+    tids: dict[str, int] = {}
+    trace_events: list[dict] = []
+
+    def tid_for(component: str | None) -> int:
+        name = component if component is not None else _UNTAGGED
+        tid = tids.get(name)
+        if tid is None:
+            tid = tids[name] = len(tids) + 1
+            trace_events.append({
+                "ph": "M", "name": "thread_name", "pid": 0, "tid": tid,
+                "args": {"name": name},
+            })
+        return tid
+
+    for event in events:
+        if isinstance(event, dict):
+            kind, cycle = event["kind"], event["cycle"]
+            component, level = event.get("component"), event.get("level", 0)
+            line, pc = event.get("line", -1), event.get("pc", -1)
+            dur = event.get("dur", 0)
+        else:
+            kind, cycle = event.kind, event.cycle
+            component, level = event.component, event.level
+            line, pc, dur = event.line, event.pc, event.dur
+        args = {"level": level}
+        if line != -1:
+            args["line"] = f"{line:#x}"
+        if pc != -1:
+            args["pc"] = f"{pc:#x}"
+        record = {
+            "name": kind,
+            "cat": "prefetch",
+            "pid": 0,
+            "tid": tid_for(component),
+            "ts": cycle,
+            "args": args,
+        }
+        if kind == ISSUED:
+            record["ph"] = "X"
+            record["dur"] = max(dur, 1)
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        trace_events.append(record)
+
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome(events: Iterable, path) -> int:
+    """Write a Chrome trace JSON file; returns the trace-event count."""
+    trace = chrome_trace(events)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh, separators=(",", ":"))
+    return len(trace["traceEvents"])

@@ -1,0 +1,107 @@
+r"""Prefetch lifecycle event vocabulary.
+
+Every prefetch the system attempts moves through a small state machine;
+the telemetry layer records each transition as one event so a trace can
+be replayed, filtered, and reconciled against the aggregate counters:
+
+```
+           trained                    (coordinator claims the trigger PC)
+              |
+            issued ----------------.  (hierarchy accepted the request)
+           /  |   \                 \
+    filtered  |  dropped_mshr   dropped_dram
+              v
+            filled                    (data arrived at the target level)
+           /  |   \
+   first_use  |  evicted_unused
+              v
+        pollution_hit                 (a shadow-tag miss blamed on prefetching)
+```
+
+``filtered`` / ``dropped_mshr`` / ``dropped_dram`` are terminal outcomes
+of an *attempt* (the request never becomes a fill); ``first_use`` /
+``evicted_unused`` are terminal outcomes of a *fill*.  ``pollution_hit``
+is attributed to the demand access that missed because prefetched lines
+crowded the set, not to a single prefetch.
+
+Two controller-internal kinds round out the DRAM picture:
+``dram_queue_stall`` (a demand request waited for a full channel queue)
+and ``dram_drop_victim`` (the controller evicted an already-queued
+prefetch to admit a new request, Sec. V-C1's low-priority-first policy).
+
+Events are plain slotted objects — millions may be recorded per run —
+tagged with component, cache level, trigger PC, line address, and cycle.
+"""
+
+from __future__ import annotations
+
+TRAINED = "trained"
+ISSUED = "issued"
+FILTERED = "filtered"
+DROPPED_MSHR = "dropped_mshr"
+DROPPED_DRAM = "dropped_dram"
+FILLED = "filled"
+FIRST_USE = "first_use"
+EVICTED_UNUSED = "evicted_unused"
+POLLUTION_HIT = "pollution_hit"
+DRAM_QUEUE_STALL = "dram_queue_stall"
+DRAM_DROP_VICTIM = "dram_drop_victim"
+
+KINDS = (
+    TRAINED,
+    ISSUED,
+    FILTERED,
+    DROPPED_MSHR,
+    DROPPED_DRAM,
+    FILLED,
+    FIRST_USE,
+    EVICTED_UNUSED,
+    POLLUTION_HIT,
+    DRAM_QUEUE_STALL,
+    DRAM_DROP_VICTIM,
+)
+
+TERMINAL_ATTEMPT_KINDS = (FILTERED, DROPPED_MSHR, DROPPED_DRAM)
+TERMINAL_FILL_KINDS = (FIRST_USE, EVICTED_UNUSED)
+
+
+class LifecycleEvent:
+    """One lifecycle transition.
+
+    ``line`` and ``pc`` are ``-1`` when unknown (e.g. the DRAM controller
+    does not see trigger PCs); ``level`` is 0 when the event is not tied
+    to a cache level; ``dur`` is nonzero only for ``issued`` events, where
+    it is the issue-to-fill latency in cycles (drives the Chrome trace's
+    duration bars).
+    """
+
+    __slots__ = ("kind", "cycle", "line", "component", "level", "pc", "dur")
+
+    def __init__(self, kind: str, cycle: int, line: int = -1,
+                 component: str | None = None, level: int = 0,
+                 pc: int = -1, dur: int = 0) -> None:
+        self.kind = kind
+        self.cycle = cycle
+        self.line = line
+        self.component = component
+        self.level = level
+        self.pc = pc
+        self.dur = dur
+
+    def as_dict(self) -> dict:
+        """JSONL schema: one flat object, fixed key set."""
+        return {
+            "kind": self.kind,
+            "cycle": self.cycle,
+            "line": self.line,
+            "component": self.component,
+            "level": self.level,
+            "pc": self.pc,
+            "dur": self.dur,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LifecycleEvent({self.kind}, cycle={self.cycle}, "
+            f"line={self.line:#x}, {self.component}, L{self.level})"
+        )

@@ -1,0 +1,149 @@
+"""The telemetry hub: named counters plus a structured event sink.
+
+One :class:`Telemetry` object is shared by every emitter in a simulation
+(hierarchy, core, DRAM controller, coordinator).  The design contract is
+*zero overhead when absent*: emitters hold ``telemetry = None`` by
+default and guard every emission with an ``is not None`` check, so a run
+without telemetry executes the exact seed code path and produces
+bit-identical timing.
+
+Counters are free-form names; :meth:`emit` maintains two automatically
+for every event — ``<kind>`` and ``<kind>.<component>`` — which is what
+the reconciliation check and the per-component accuracy sampler consume.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import TYPE_CHECKING, Iterable
+
+from repro.telemetry.events import (
+    DROPPED_DRAM,
+    DROPPED_MSHR,
+    FILTERED,
+    ISSUED,
+    LifecycleEvent,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.sampler import TimeSeriesSampler
+
+
+class Telemetry:
+    """Hub collecting counters, lifecycle events, and samples for one run.
+
+    Parameters
+    ----------
+    record_events:
+        When False, only counters (and the sampler, if any) are kept —
+        for long runs where the per-event list would be too large.
+    sampler:
+        Optional :class:`~repro.telemetry.sampler.TimeSeriesSampler`;
+        the core binds and drives it when the telemetry is attached.
+    """
+
+    def __init__(self, *, record_events: bool = True,
+                 sampler: "TimeSeriesSampler | None" = None) -> None:
+        self.counters: Counter = Counter()
+        self.events: list[LifecycleEvent] = []
+        self.record_events = record_events
+        self.sampler = sampler
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, cycle: int, *, line: int = -1,
+             component: str | None = None, level: int = 0,
+             pc: int = -1, dur: int = 0) -> None:
+        """Record one lifecycle transition (see :mod:`.events`)."""
+        counters = self.counters
+        counters[kind] += 1
+        if component is not None:
+            counters[kind + "." + component] += 1
+        if self.record_events:
+            self.events.append(
+                LifecycleEvent(kind, cycle, line, component, level, pc, dur)
+            )
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Bump a named counter outside the event vocabulary."""
+        self.counters[name] += amount
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def count(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        """Counter state as a plain sorted dict (manifest serialization)."""
+        return dict(sorted(self.counters.items()))
+
+    def components(self) -> list[str]:
+        """Component tags seen so far (from ``issued.<component>`` keys)."""
+        prefix = ISSUED + "."
+        return sorted(
+            key[len(prefix):] for key in self.counters if key.startswith(prefix)
+        )
+
+    def reconcile(self, prefetch_stats) -> dict[str, tuple[int, int]]:
+        """Check event counts against hierarchy ``PrefetchStats``.
+
+        Returns ``{kind: (event_count, stats_count)}`` for every kind
+        that disagrees; an empty dict means the trace and the aggregate
+        counters tell the same story.
+        """
+        expected = {
+            ISSUED: prefetch_stats.issued,
+            FILTERED: prefetch_stats.filtered,
+            DROPPED_MSHR: prefetch_stats.dropped_mshr,
+            DROPPED_DRAM: prefetch_stats.dropped_dram,
+        }
+        return {
+            kind: (self.count(kind), stat)
+            for kind, stat in expected.items()
+            if self.count(kind) != stat
+        }
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def write_jsonl(self, path) -> int:
+        """Write the event list as JSON Lines; returns the event count."""
+        from repro.telemetry.trace_io import write_jsonl
+
+        return write_jsonl(self.events, path)
+
+    def write_chrome(self, path) -> int:
+        """Write a Chrome ``trace_event`` file for about://tracing."""
+        from repro.telemetry.chrome import write_chrome
+
+        return write_chrome(self.events, path)
+
+    def summary_rows(self) -> list[tuple[str, int]]:
+        """(counter, value) rows for the CLI table, kinds first."""
+        snap = self.snapshot()
+        plain = [(k, v) for k, v in snap.items() if "." not in k]
+        tagged = [(k, v) for k, v in snap.items() if "." in k]
+        return plain + tagged
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Telemetry({len(self.events)} events, "
+            f"{len(self.counters)} counters)"
+        )
+
+
+def summarize_events(events: Iterable) -> dict:
+    """Aggregate an event stream (objects or JSONL dicts); see trace_io."""
+    from repro.telemetry.trace_io import summarize
+
+    return summarize(events)
+
+
+def dump_counters(counters: dict, path) -> None:
+    """Write a counter snapshot as pretty JSON (debug helper)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(dict(sorted(counters.items())), fh, indent=2)
+        fh.write("\n")

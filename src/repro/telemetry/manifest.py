@@ -1,0 +1,133 @@
+"""Run manifests: provenance stamps for every simulation result.
+
+A manifest answers "what exactly produced this number" months later:
+workload, prefetcher (both display name and the runner's stable spec
+key), configuration tag, the git SHA of the tree that ran, headline
+metrics, and — when telemetry was attached — the full counter snapshot.
+
+``simulate()`` stamps one onto every ``SimulationResult``; the
+experiment runner and the ``profile`` CLI verb additionally serialize
+them to ``runs/<run_id>/manifest.json``.  The run id is a content hash,
+so re-running an identical configuration lands in the same directory
+instead of littering one per invocation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+
+MANIFEST_VERSION = 1
+
+_GIT_SHA_SENTINEL = "unresolved"
+_git_sha_cache: str | None = _GIT_SHA_SENTINEL
+
+
+def current_git_sha() -> str | None:
+    """HEAD commit of the repo containing this file; ``None`` outside git.
+
+    Resolved by one subprocess call per process, then cached — manifests
+    are stamped on every ``simulate()`` call.
+    """
+    global _git_sha_cache
+    if _git_sha_cache == _GIT_SHA_SENTINEL:
+        try:
+            _git_sha_cache = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=Path(__file__).resolve().parent,
+                capture_output=True, text=True, timeout=10, check=True,
+            ).stdout.strip() or None
+        except (OSError, subprocess.SubprocessError):
+            _git_sha_cache = None
+    return _git_sha_cache
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", text).strip("-") or "run"
+
+
+@dataclass
+class RunManifest:
+    """Everything needed to identify and audit one simulation run."""
+
+    workload: str
+    prefetcher: str
+    spec: str                      # the runner's stable cache key
+    config_tag: str
+    git_sha: str | None
+    metrics: dict = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
+    version: int = MANIFEST_VERSION
+
+    @property
+    def run_id(self) -> str:
+        """Deterministic id: slugged identity + content digest."""
+        payload = json.dumps(self.as_dict(with_id=False), sort_keys=True)
+        digest = hashlib.sha1(payload.encode()).hexdigest()[:10]
+        return f"{_slug(self.workload)}__{_slug(self.spec)}__{digest}"
+
+    def as_dict(self, with_id: bool = True) -> dict:
+        record = {
+            "version": self.version,
+            "workload": self.workload,
+            "prefetcher": self.prefetcher,
+            "spec": self.spec,
+            "config_tag": self.config_tag,
+            "git_sha": self.git_sha,
+            "metrics": self.metrics,
+            "counters": self.counters,
+        }
+        if with_id:
+            record["run_id"] = self.run_id
+        return record
+
+
+def build_manifest(result, *, spec: str | None = None, config_tag: str = "",
+                   telemetry=None) -> RunManifest:
+    """Stamp a :class:`~repro.engine.system.SimulationResult`.
+
+    ``result`` is duck-typed (avoids an import cycle with the engine).
+    """
+    return RunManifest(
+        workload=result.workload,
+        prefetcher=result.prefetcher,
+        spec=spec if spec is not None else result.prefetcher,
+        config_tag=config_tag,
+        git_sha=current_git_sha(),
+        metrics={
+            "instructions": result.core.instructions,
+            "cycles": result.cycles,
+            "ipc": round(result.ipc, 4),
+            "l1_mpki": round(result.l1_mpki, 3),
+            "l2_mpki": round(result.l2_mpki, 3),
+            "dram_traffic": result.dram_traffic,
+            "prefetch_issued": result.prefetch.issued,
+            "prefetch_filtered": result.prefetch.filtered,
+            "prefetch_dropped_mshr": result.prefetch.dropped_mshr,
+            "prefetch_dropped_dram": result.prefetch.dropped_dram,
+            "useful_l1": result.l1d.useful_prefetches,
+            "useful_l2": result.l2.useful_prefetches,
+        },
+        counters=telemetry.snapshot() if telemetry is not None else {},
+    )
+
+
+def write_manifest(manifest: RunManifest, runs_dir="runs") -> Path:
+    """Serialize to ``<runs_dir>/<run_id>/manifest.json``; returns the path."""
+    run_dir = Path(runs_dir) / manifest.run_id
+    run_dir.mkdir(parents=True, exist_ok=True)
+    path = run_dir / "manifest.json"
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(manifest.as_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def read_manifest(path) -> dict:
+    """Load a manifest file back as a plain dict."""
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)

@@ -1,0 +1,97 @@
+"""JSONL reading/writing/filtering for lifecycle traces.
+
+The on-disk format is one JSON object per line with the fixed key set of
+:meth:`~repro.telemetry.events.LifecycleEvent.as_dict` — greppable,
+streamable, and diffable.  Readers accept both live ``LifecycleEvent``
+objects and dicts loaded back from disk, so the same filters serve the
+CLI (``python -m repro events``) and in-process analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Iterable, Iterator
+
+
+def _field(event, name: str):
+    if isinstance(event, dict):
+        return event.get(name)
+    return getattr(event, name)
+
+
+def write_jsonl(events: Iterable, path) -> int:
+    """Write events as JSON Lines; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for event in events:
+            record = event if isinstance(event, dict) else event.as_dict()
+            fh.write(json.dumps(record, separators=(",", ":")))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path) -> Iterator[dict]:
+    """Yield event dicts from a JSONL trace file (blank lines skipped)."""
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def filter_events(events: Iterable, *, kind: str | None = None,
+                  component: str | None = None, pc: int | None = None,
+                  line: int | None = None, level: int | None = None,
+                  min_cycle: int | None = None,
+                  max_cycle: int | None = None) -> Iterator:
+    """Lazily filter an event stream on any combination of tags."""
+    for event in events:
+        if kind is not None and _field(event, "kind") != kind:
+            continue
+        if component is not None and _field(event, "component") != component:
+            continue
+        if pc is not None and _field(event, "pc") != pc:
+            continue
+        if line is not None and _field(event, "line") != line:
+            continue
+        if level is not None and _field(event, "level") != level:
+            continue
+        cycle = _field(event, "cycle")
+        if min_cycle is not None and cycle < min_cycle:
+            continue
+        if max_cycle is not None and cycle > max_cycle:
+            continue
+        yield event
+
+
+def summarize(events: Iterable) -> dict:
+    """Aggregate a stream: totals by kind, by component, and cycle span.
+
+    Returns ``{"total", "by_kind", "by_component", "first_cycle",
+    "last_cycle"}``; the Counters are plain dicts sorted by count.
+    """
+    by_kind: Counter = Counter()
+    by_component: Counter = Counter()
+    first = None
+    last = None
+    total = 0
+    for event in events:
+        total += 1
+        by_kind[_field(event, "kind")] += 1
+        component = _field(event, "component")
+        if component is not None:
+            by_component[component] += 1
+        cycle = _field(event, "cycle")
+        if first is None or cycle < first:
+            first = cycle
+        if last is None or cycle > last:
+            last = cycle
+    return {
+        "total": total,
+        "by_kind": dict(by_kind.most_common()),
+        "by_component": dict(by_component.most_common()),
+        "first_cycle": first,
+        "last_cycle": last,
+    }
