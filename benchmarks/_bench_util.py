@@ -1,8 +1,17 @@
 """Helpers for the benchmark harness."""
 
+from repro.bench import append_bench_log
 
-def show(title: str, body: str) -> None:
-    """Print a rendered experiment table (visible with pytest -s and in
-    the captured output of the benchmark log)."""
+
+def show(title: str, body: str, data=None) -> None:
+    """Print a rendered experiment table and append it to the shared
+    bench log (see :func:`repro.bench.append_bench_log`), so the pytest
+    tables and ``repro bench`` reports land in one machine-readable
+    stream.  ``data`` optionally carries the structured rows behind the
+    rendered table."""
     print(f"\n=== {title} ===")
     print(body)
+    record = {"kind": "table", "title": title, "body": body}
+    if data is not None:
+        record["data"] = data
+    append_bench_log(record)

@@ -10,6 +10,12 @@ Commands
 ``workloads``  list the registered workloads
 ``prefetchers`` list the registered prefetchers
 ``report``     regenerate every table/figure (see experiments.report_all)
+``cache``      inspect or clear the on-disk result cache
+``bench``      wall-clock benchmark -> BENCH_simulator.json
+
+``simulate``/``compare``/``profile``/``report`` accept ``--jobs N``
+(parallel fan-out, bit-identical to serial) and ``--cache-dir DIR``
+(persistent result reuse); see docs/performance.md.
 """
 
 from __future__ import annotations
@@ -20,10 +26,17 @@ import sys
 from repro.analysis.report import format_table
 
 
-def _cmd_simulate(args) -> None:
+def _runner_for(args):
     from repro.experiments.runner import ExperimentRunner
 
-    runner = ExperimentRunner()
+    return ExperimentRunner(jobs=getattr(args, "jobs", 1),
+                            cache_dir=getattr(args, "cache_dir", None))
+
+
+def _cmd_simulate(args) -> None:
+    runner = _runner_for(args)
+    runner.prefill([(args.workload, "none"),
+                    (args.workload, args.prefetcher)])
     baseline = runner.baseline(args.workload)
     result = runner.run(args.workload, args.prefetcher)
     rows = [
@@ -43,11 +56,11 @@ def _cmd_simulate(args) -> None:
 
 
 def _cmd_compare(args) -> None:
-    from repro.experiments.runner import ExperimentRunner
-
     # The runner memoizes on (workload, spec, tag): the no-prefetch
     # baseline is simulated once, not once per compared prefetcher.
-    runner = ExperimentRunner()
+    runner = _runner_for(args)
+    runner.prefill([(args.workload, "none")]
+                   + [(args.workload, name) for name in args.prefetchers])
     baseline = runner.baseline(args.workload)
     rows = []
     for name in args.prefetchers:
@@ -70,13 +83,15 @@ def _cmd_compare(args) -> None:
 
 
 def _cmd_profile(args) -> None:
-    from repro.experiments.runner import ExperimentRunner
     from repro.telemetry import Telemetry, TimeSeriesSampler, write_manifest
 
     sampler = TimeSeriesSampler(interval=args.sample_interval)
     telemetry = Telemetry(record_events=not args.counters_only,
                           sampler=sampler)
-    runner = ExperimentRunner()
+    # Profiled runs are never cached (the event stream is the product),
+    # so --jobs/--cache-dir only matter for the runner's other uses; the
+    # flags exist for CLI uniformity.
+    runner = _runner_for(args)
     result = runner.run_profiled(args.workload, args.prefetcher, telemetry)
 
     mismatches = telemetry.reconcile(result.prefetch)
@@ -170,7 +185,41 @@ def _cmd_prefetchers(args) -> None:
 def _cmd_report(args) -> None:
     from repro.experiments import report_all
 
-    report_all.main([args.output] if args.output else [])
+    argv = [args.output] if args.output else []
+    argv += ["--jobs", str(args.jobs)]
+    if args.cache_dir:
+        argv += ["--cache-dir", args.cache_dir]
+    report_all.main(argv)
+
+
+def _cmd_cache(args) -> None:
+    from repro.resultcache import DEFAULT_CACHE_DIR, ResultCache
+
+    cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    if args.action == "clear":
+        removed = cache.clear(stale_only=args.stale)
+        scope = "stale" if args.stale else "all"
+        print(f"removed {removed} entries ({scope}) from {cache.root}")
+        return
+    stats = cache.stats()
+    rows = [
+        ("root", stats["root"]),
+        ("code version", stats["code_version"]),
+        ("entries (current)", stats["entries"]),
+        ("bytes (current)", stats["bytes"]),
+        ("entries (stale)", stats["stale_entries"]),
+        ("bytes (stale)", stats["stale_bytes"]),
+        ("stale versions", ", ".join(stats["stale_versions"]) or "-"),
+    ]
+    rows += [(f"workload {name}", count)
+             for name, count in sorted(stats["by_workload"].items())]
+    print(format_table(["metric", "value"], rows))
+
+
+def _cmd_bench(argv: list[str]) -> None:
+    from repro import bench
+
+    sys.exit(bench.main(argv))
 
 
 def main(argv: list[str] | None = None) -> None:
@@ -180,11 +229,22 @@ def main(argv: list[str] | None = None) -> None:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
+    def add_runner_flags(subparser) -> None:
+        subparser.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="worker processes (0 = one per CPU, default 1 = serial)",
+        )
+        subparser.add_argument(
+            "--cache-dir", default=None, metavar="DIR",
+            help="persistent result cache (e.g. runs/cache)",
+        )
+
     simulate_parser = commands.add_parser(
         "simulate", help="run one workload under one prefetcher"
     )
     simulate_parser.add_argument("workload")
     simulate_parser.add_argument("prefetcher", nargs="?", default="tpc")
+    add_runner_flags(simulate_parser)
     simulate_parser.set_defaults(func=_cmd_simulate)
 
     compare_parser = commands.add_parser(
@@ -195,6 +255,7 @@ def main(argv: list[str] | None = None) -> None:
         "prefetchers", nargs="*",
         default=["none", "bop", "spp", "sms", "tpc"],
     )
+    add_runner_flags(compare_parser)
     compare_parser.set_defaults(func=_cmd_compare)
 
     profile_parser = commands.add_parser(
@@ -227,6 +288,7 @@ def main(argv: list[str] | None = None) -> None:
         "--counters-only", action="store_true",
         help="keep counters and samples but not the per-event list",
     )
+    add_runner_flags(profile_parser)
     profile_parser.set_defaults(func=_cmd_profile)
 
     events_parser = commands.add_parser(
@@ -264,7 +326,36 @@ def main(argv: list[str] | None = None) -> None:
         "report", help="regenerate every table and figure"
     )
     report_parser.add_argument("-o", "--output", default=None)
+    add_runner_flags(report_parser)
     report_parser.set_defaults(func=_cmd_report)
+
+    cache_parser = commands.add_parser(
+        "cache", help="inspect or clear the on-disk result cache"
+    )
+    cache_parser.add_argument("action", choices=["stats", "clear"],
+                              nargs="?", default="stats")
+    cache_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache root (default runs/cache)",
+    )
+    cache_parser.add_argument(
+        "--stale", action="store_true",
+        help="with clear: only entries from other code versions",
+    )
+    cache_parser.set_defaults(func=_cmd_cache)
+
+    commands.add_parser(
+        "bench",
+        help="wall-clock benchmark -> BENCH_simulator.json "
+             "(see repro.bench for flags)",
+    )
+
+    # argparse.REMAINDER does not pass leading optionals through a
+    # subparser, so bench owns its whole argument list directly.
+    argv = argv if argv is not None else sys.argv[1:]
+    if argv[:1] == ["bench"]:
+        _cmd_bench(argv[1:])
+        return
 
     args = parser.parse_args(argv)
     try:

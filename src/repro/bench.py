@@ -1,0 +1,261 @@
+"""Wall-clock benchmark harness behind ``repro bench``.
+
+Times the three layers this repository's performance story rests on and
+writes a machine-readable ``BENCH_simulator.json``:
+
+* **serial** — instructions simulated per second over a fixed
+  (workload x prefetcher) matrix, traces pre-built so the number
+  measures the simulator hot loop and not trace generation;
+* **parallel** — the same matrix through :func:`repro.parallel.run_jobs`
+  at ``--jobs N``, reported as speedup over the serial pass;
+* **cache** — a cold run populating a scratch on-disk result cache vs a
+  warm run reading it back, with the warm run's fresh-simulation count
+  (which must be zero) recorded alongside the times.
+
+``--check BASELINE.json`` turns the run into a regression gate: it fails
+(exit 1) when serial throughput drops more than ``--tolerance`` (default
+30%) below the committed baseline.  The committed baseline in
+``benchmarks/BENCH_baseline.json`` was measured *before* the hot-loop
+optimization, so ``improvement_vs_baseline`` in the output doubles as
+the optimization's scoreboard on comparable hardware.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.engine.config import EXPERIMENT_CONFIG
+
+FULL_WORKLOADS = ["spec.libquantum", "spec.mcf", "spec.milc", "spec.astar"]
+FULL_PREFETCHERS = ["none", "bop", "tpc"]
+QUICK_WORKLOADS = ["spec.libquantum", "spec.mcf"]
+QUICK_PREFETCHERS = ["bop", "tpc"]
+
+DEFAULT_OUTPUT = "BENCH_simulator.json"
+DEFAULT_TOLERANCE = 0.30
+DEFAULT_LOG = "runs/bench_log.jsonl"
+
+
+def append_bench_log(record: dict, path: str | None = None) -> str | None:
+    """Append one timestamped JSON line to the shared bench log.
+
+    This is the single machine-readable channel for everything the
+    benchmark tooling produces: ``repro bench`` reports land here and so
+    do the tables the ``benchmarks/`` pytest harness renders (via
+    ``benchmarks/_bench_util.show``).  The path comes from the
+    ``REPRO_BENCH_LOG`` environment variable (default ``runs/
+    bench_log.jsonl``); setting it to an empty string disables logging.
+    Returns the path written, or ``None`` when disabled.
+    """
+    if path is None:
+        path = os.environ.get("REPRO_BENCH_LOG", DEFAULT_LOG)
+    if not path:
+        return None
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    stamped = {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="seconds"),
+        **record,
+    }
+    with open(path, "a") as handle:
+        handle.write(json.dumps(stamped, sort_keys=True) + "\n")
+    return path
+
+
+def _matrix(quick: bool) -> list[tuple[str, str]]:
+    workloads = QUICK_WORKLOADS if quick else FULL_WORKLOADS
+    prefetchers = QUICK_PREFETCHERS if quick else FULL_PREFETCHERS
+    return [(w, p) for w in workloads for p in prefetchers]
+
+
+def _warm_traces(matrix) -> None:
+    from repro.workloads import get_workload
+
+    for workload in {w for w, _ in matrix}:
+        get_workload(workload).trace()
+
+
+def bench_serial(matrix, config, repeats: int = 2) -> dict:
+    """Time the matrix cell by cell on the canonical simulation path.
+
+    Runs ``repeats`` passes and keeps the fastest — wall-clock noise
+    only ever slows a pass down, so the minimum is the stable estimate
+    (the committed baseline was measured the same way).
+    """
+    from repro.experiments.runner import simulate_spec
+
+    best = None
+    instructions = 0
+    for _ in range(max(repeats, 1)):
+        started = time.perf_counter()
+        instructions = 0
+        for workload, spec in matrix:
+            result = simulate_spec(workload, spec, "", config)
+            instructions += result.core.instructions
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return {
+        "seconds": round(best, 3),
+        "instructions": instructions,
+        "instr_per_sec": round(instructions / best) if best else 0,
+    }
+
+
+def bench_parallel(matrix, config, jobs: int, serial_seconds: float) -> dict:
+    from repro.parallel import run_jobs
+
+    started = time.perf_counter()
+    run_jobs(matrix, config, jobs)
+    elapsed = time.perf_counter() - started
+    return {
+        "jobs": jobs,
+        "seconds": round(elapsed, 3),
+        "speedup_vs_serial": (
+            round(serial_seconds / elapsed, 2) if elapsed else 0.0
+        ),
+    }
+
+
+def bench_cache(matrix, config) -> dict:
+    """Cold run filling a scratch cache, then a warm run reading it."""
+    from repro.experiments.runner import ExperimentRunner
+
+    scratch = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        cold_runner = ExperimentRunner(config, cache_dir=scratch)
+        started = time.perf_counter()
+        for workload, spec in matrix:
+            cold_runner.run(workload, spec)
+        cold = time.perf_counter() - started
+
+        warm_runner = ExperimentRunner(config, cache_dir=scratch)
+        started = time.perf_counter()
+        for workload, spec in matrix:
+            warm_runner.run(workload, spec)
+        warm = time.perf_counter() - started
+        return {
+            "cold_seconds": round(cold, 3),
+            "warm_seconds": round(warm, 3),
+            "warm_fresh_simulations": warm_runner.counters["simulated"],
+            "warm_speedup": round(cold / warm, 1) if warm else 0.0,
+        }
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+def run_bench(quick: bool = False, jobs: int = 0,
+              progress=None) -> dict:
+    from repro.parallel import default_jobs
+
+    def say(line: str) -> None:
+        if progress is not None:
+            progress(line)
+
+    config = EXPERIMENT_CONFIG
+    matrix = _matrix(quick)
+    jobs = jobs or default_jobs()
+
+    say(f"warming {len({w for w, _ in matrix})} traces")
+    _warm_traces(matrix)
+    say(f"serial pass over {len(matrix)} cells")
+    serial = bench_serial(matrix, config)
+    say(f"serial: {serial['instr_per_sec']} instr/sec")
+    say(f"parallel pass at {jobs} jobs")
+    parallel = bench_parallel(matrix, config, jobs, serial["seconds"])
+    say("cache cold/warm passes")
+    cache = bench_cache(matrix, config)
+    return {
+        "quick": quick,
+        "matrix": {
+            "workloads": sorted({w for w, _ in matrix}),
+            "prefetchers": sorted({p for _, p in matrix}),
+            "cells": len(matrix),
+        },
+        "serial": serial,
+        "parallel": parallel,
+        "cache": cache,
+    }
+
+
+def check_regression(report: dict, baseline_path: str,
+                     tolerance: float = DEFAULT_TOLERANCE) -> str | None:
+    """Compare against a committed baseline; returns an error message on
+    a regression beyond ``tolerance``, else ``None`` (and annotates the
+    report with the comparison either way).
+
+    The baseline file stores one serial reference per matrix mode
+    (``quick`` and ``full``), so the CI smoke run and the full bench are
+    each compared against like-for-like numbers.
+    """
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    mode = "quick" if report["quick"] else "full"
+    reference = baseline[mode]["instr_per_sec"]
+    current = report["serial"]["instr_per_sec"]
+    report["baseline"] = {
+        "path": baseline_path,
+        "mode": mode,
+        "instr_per_sec": reference,
+        "improvement_vs_baseline": (
+            round(current / reference, 2) if reference else 0.0
+        ),
+        "tolerance": tolerance,
+    }
+    floor = (1.0 - tolerance) * reference
+    if current < floor:
+        return (
+            f"serial throughput regressed: {current} instr/sec < "
+            f"{floor:.0f} ({(1 - tolerance) * 100:.0f}% of baseline "
+            f"{reference})"
+        )
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="simulator wall-clock benchmark (see docs/performance.md)",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="2x2 matrix instead of the full one")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="parallel-pass workers (0 = one per CPU)")
+    parser.add_argument("-o", "--output", default=DEFAULT_OUTPUT,
+                        help=f"report path (default {DEFAULT_OUTPUT})")
+    parser.add_argument("--check", default=None, metavar="BASELINE.json",
+                        help="fail on regression vs this baseline report")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="allowed fractional regression (default 0.30)")
+    args = parser.parse_args(argv)
+
+    report = run_bench(quick=args.quick, jobs=args.jobs,
+                       progress=lambda line: print(line, file=sys.stderr))
+    error = None
+    if args.check:
+        error = check_regression(report, args.check, args.tolerance)
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    append_bench_log({"kind": "bench", "output": args.output,
+                      "report": report})
+    print(f"wrote {args.output}", file=sys.stderr)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if error:
+        print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

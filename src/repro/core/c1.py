@@ -24,6 +24,8 @@ from __future__ import annotations
 from repro.core.base import AccessEvent, Prefetcher, PrefetchRequest
 
 REGION_LINES = 16
+REGION_SHIFT = 4             # log2(REGION_LINES); line addrs are >= 0, so
+REGION_MASK = REGION_LINES - 1  # shift/mask == floor-div/mod on this path
 DENSE_LINE_THRESHOLD = 6     # "more than six bits set" => dense
 DECIDE_AFTER = 4             # regions before deciding an instruction
 DENSE_PROBABILITY = 0.75     # paper: > 3/4 dense probability
@@ -105,7 +107,7 @@ class C1Prefetcher(Prefetcher):
 
     def _evict_region(self, entry: _RegionEntry) -> None:
         """Region leaves the RM: update every monitored instruction."""
-        dense = bin(entry.line_vector).count("1") > self.dense_line_threshold
+        dense = entry.line_vector.bit_count() > self.dense_line_threshold
         vector = entry.instruction_vector
         for slot in range(self.im_entries):
             if not vector & (1 << slot):
@@ -132,13 +134,20 @@ class C1Prefetcher(Prefetcher):
     def observe_access(self, event: AccessEvent) -> None:
         """Region monitoring sees *every* access (paper Sec. IV-C)."""
         self._clock += 1
-        region = event.line // REGION_LINES
-        offset = event.line % REGION_LINES
+        line = event.line
+        region = line >> REGION_SHIFT
+        offset = line & REGION_MASK
         entry = self._rm.get(region)
         if entry is None:
             if len(self._rm) >= self.rm_entries:
-                victim_region = min(self._rm,
-                                    key=lambda r: self._rm[r].lru)
+                # LRU region; explicit scan (first minimum, like
+                # min(key=)) avoids a lambda call per tracked region.
+                victim_region = None
+                victim_lru = None
+                for tracked, candidate in self._rm.items():
+                    if victim_lru is None or candidate.lru < victim_lru:
+                        victim_lru = candidate.lru
+                        victim_region = tracked
                 self._evict_region(self._rm.pop(victim_region))
             entry = _RegionEntry(region, self._clock)
             self._rm[region] = entry
@@ -147,7 +156,7 @@ class C1Prefetcher(Prefetcher):
 
     def on_access(self, event: AccessEvent):
         pc = event.pc
-        region = event.line // REGION_LINES
+        region = event.line >> REGION_SHIFT
         entry = self._rm.get(region)
 
         # Instruction monitoring: candidates are undecided instructions
@@ -173,7 +182,7 @@ class C1Prefetcher(Prefetcher):
         if len(self._recent) >= self.recent_regions:
             self._recent.pop(next(iter(self._recent)))
         self._recent[region] = None
-        region_base = region * REGION_LINES
+        region_base = region << REGION_SHIFT
         return [
             PrefetchRequest(region_base + i, self.target_level, "C1")
             for i in range(REGION_LINES)

@@ -35,12 +35,48 @@ class CompositePrefetcher(Prefetcher):
         self.components = components
         self.extras = list(extras) if extras else []
         self.coordinator = Coordinator(components, self.extras)
+        self._all = components + self.extras
+        # Per-event hooks are forwarded only to components that actually
+        # override them: most are the base no-op, and skipping them (plus
+        # the list concat per event) is a measurable hot-loop win.
+        base = Prefetcher
         self._instruction_feeds = [
-            p for p in components + self.extras if p.needs_instruction_stream
+            p.observe_instruction for p in self._all
+            if p.needs_instruction_stream
+            and type(p).observe_instruction is not base.observe_instruction
         ]
+        self._access_observers = [
+            p.observe_access for p in self._all
+            if type(p).observe_access is not base.observe_access
+        ]
+        self._fill_hooks = [
+            p.on_fill for p in self._all
+            if type(p).on_fill is not base.on_fill
+        ]
+        self._prefetch_hit_hooks = [
+            p.on_prefetch_hit for p in self._all
+            if type(p).on_prefetch_hit is not base.on_prefetch_hit
+        ]
+        # When exactly one component consumes a hook, shadow the class
+        # forwarder with the component's bound method directly; when none
+        # does, shadow it with the base no-op so the core's hook binding
+        # sees "nothing to call" and skips the event entirely.  The core
+        # binds these once per simulation, so the per-event wrapper call
+        # disappears (TPC: only C1 observes every access, and no
+        # component consumes fills or prefetch hits).
+        self._flatten(self._instruction_feeds, "observe_instruction")
+        self._flatten(self._access_observers, "observe_access")
+        self._flatten(self._fill_hooks, "on_fill")
+        self._flatten(self._prefetch_hit_hooks, "on_prefetch_hit")
+
+    def _flatten(self, hooks: list, attr: str) -> None:
+        if len(hooks) == 1:
+            setattr(self, attr, hooks[0])
+        elif not hooks:
+            setattr(self, attr, getattr(Prefetcher, attr).__get__(self))
 
     def reset(self) -> None:
-        for prefetcher in self.components + self.extras:
+        for prefetcher in self._all:
             prefetcher.reset()
         self.coordinator.reset()
         self._wire_components()
@@ -56,29 +92,29 @@ class CompositePrefetcher(Prefetcher):
             t2.boosted_pcs = p1.pointer_trigger_pcs
 
     def set_memory(self, memory: dict[int, int]) -> None:
-        for prefetcher in self.components + self.extras:
+        for prefetcher in self._all:
             if prefetcher.wants_memory_image:
                 prefetcher.set_memory(memory)
 
     def observe_instruction(self, record, cycle: int) -> None:
-        for prefetcher in self._instruction_feeds:
-            prefetcher.observe_instruction(record, cycle)
+        for observe in self._instruction_feeds:
+            observe(record, cycle)
 
     def observe_access(self, event: AccessEvent) -> None:
-        for prefetcher in self.components + self.extras:
-            prefetcher.observe_access(event)
+        for observe in self._access_observers:
+            observe(event)
 
     def on_access(self, event: AccessEvent):
         return self.coordinator.route(event)
 
     def on_fill(self, line: int, level: int,
                 prefetched: bool = False) -> None:
-        for prefetcher in self.components + self.extras:
-            prefetcher.on_fill(line, level, prefetched)
+        for hook in self._fill_hooks:
+            hook(line, level, prefetched)
 
     def on_prefetch_hit(self, line: int, level: int) -> None:
-        for prefetcher in self.components + self.extras:
-            prefetcher.on_prefetch_hit(line, level)
+        for hook in self._prefetch_hit_hooks:
+            hook(line, level)
 
     def claims(self, pc: int) -> bool:
         return self.coordinator.claims(pc)
@@ -86,7 +122,7 @@ class CompositePrefetcher(Prefetcher):
     @property
     def storage_bits(self) -> int:
         return sum(
-            p.storage_bits for p in self.components + self.extras
+            p.storage_bits for p in self._all
         ) + self.coordinator.storage_bits
 
 

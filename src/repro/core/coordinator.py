@@ -34,6 +34,12 @@ class Coordinator:
         self._extra_owner: dict[int, int] = {}   # pc -> index into extras
         self._round_robin = 0
         self._extra_names = {p.name: i for i, p in enumerate(self.extras)}
+        # (on_access, claims, always_observe, component) per component,
+        # bound once: route() runs for every memory instruction.
+        self._dispatch = [
+            (c.on_access, c.claims, c.always_observe, c)
+            for c in components
+        ]
         self.telemetry = None
         """Optional telemetry hub; when set, the first claim of a PC by a
         specialized component emits a ``trained`` lifecycle event."""
@@ -55,20 +61,21 @@ class Coordinator:
         """
         requests: list[PrefetchRequest] = []
         claimed = False
-        for component in self.components:
-            if claimed and not component.always_observe:
+        pc = event.pc
+        for on_access, claims, always_observe, component in self._dispatch:
+            if claimed and not always_observe:
                 continue
-            result = component.on_access(event)
+            result = on_access(event)
             if result:
                 requests.extend(result)
-            if not claimed and component.claims(event.pc):
+            if not claimed and claims(pc):
                 claimed = True
                 telemetry = self.telemetry
-                if telemetry is not None and event.pc not in self._trained_pcs:
-                    self._trained_pcs.add(event.pc)
+                if telemetry is not None and pc not in self._trained_pcs:
+                    self._trained_pcs.add(pc)
                     telemetry.emit(TRAINED, event.cycle, line=event.line,
                                    component=component.component_tag,
-                                   pc=event.pc)
+                                   pc=pc)
         if claimed or requests:
             return requests or None
         if not self.extras:

@@ -221,18 +221,23 @@ class P1Prefetcher(Prefetcher):
         elif entry is not None:
             entry.observe(event.addr)
 
-        requests: list[PrefetchRequest] = []
-
         if pc == self.taint.trigger_pc:
             self._verify_trigger(event)
         self._check_dependent(event)
 
+        # The request list is allocated only on the (rare) paths that can
+        # actually prefetch; most loads return without touching it.
+        requests: list[PrefetchRequest] | None = None
+
         pairs = self._aop_pairs.get(pc)
         if pairs is not None and entry is not None:
+            requests = []
             self._aop_prefetch(event, entry, pairs, requests)
 
         chain = self._chains.get(pc)
         if chain is not None:
+            if requests is None:
+                requests = []
             self._chain_prefetch(event, chain, requests)
 
         return requests or None
@@ -268,6 +273,8 @@ class P1Prefetcher(Prefetcher):
 
     def _check_dependent(self, event: AccessEvent) -> None:
         """Called for loads that are under AoP verification."""
+        if not self._aop_verify:
+            return
         for trigger_pc, verify in list(self._aop_verify.items()):
             tracker = verify.get(event.pc)
             if tracker is None:

@@ -54,12 +54,47 @@ class CoreStats:
         return self.load_latency_total / self.loads if self.loads else 0.0
 
 
+_LOAD = int(OpClass.LOAD)
+_STORE = int(OpClass.STORE)
+_ALU = int(OpClass.ALU)
+_BRANCH = int(OpClass.BRANCH)
+
+
 class OoOCore:
     """Incremental core model; ``step()`` retires one instruction.
 
     The incremental interface exists so the multicore harness can advance
     several cores in (approximate) cycle order against a shared L3/DRAM.
     """
+
+    __slots__ = (
+        "trace",
+        "hierarchy",
+        "prefetcher",
+        "config",
+        "stats",
+        "_records",
+        "_num_records",
+        "_index",
+        "_reg_ready",
+        "_fetch_cycle",
+        "_fetch_slot",
+        "_commit_ring",
+        "_rob_size",
+        "_last_commit_time",
+        "_commits_at_time",
+        "_feed_instructions",
+        "_observe_instruction",
+        "_observe_access",
+        "_on_access",
+        "_on_fill",
+        "_telemetry",
+        "_sampler",
+        "_branch_predictor",
+        "_width",
+        "_alu_latency",
+        "_branch_penalty",
+    )
 
     def __init__(self, trace: Trace, hierarchy: Hierarchy,
                  prefetcher: Prefetcher,
@@ -70,6 +105,7 @@ class OoOCore:
         self.config = config or CoreConfig()
         self.stats = CoreStats()
         self._records = trace.records
+        self._num_records = len(trace.records)
         self._index = 0
         self._reg_ready = [0] * NUM_REGISTERS
         self._fetch_cycle = 0
@@ -80,8 +116,33 @@ class OoOCore:
         self._last_commit_time = 0
         self._commits_at_time = 0
         self._feed_instructions = prefetcher.needs_instruction_stream
+        # Bind the per-access hooks once, and only when the prefetcher
+        # actually overrides them: for the no-prefetch baseline all three
+        # stay None and the access path skips building AccessEvents.
+        # Comparing the bound method's ``__func__`` (not the class
+        # attribute) also honors instance-level shadowing, which the
+        # composite uses to splice component hooks in directly.
+        def _bound(attr: str):
+            method = getattr(prefetcher, attr)
+            if getattr(method, "__func__", None) is getattr(Prefetcher,
+                                                            attr):
+                return None
+            return method
+
+        self._observe_instruction = (
+            _bound("observe_instruction") if self._feed_instructions
+            else None
+        )
+        self._observe_access = _bound("observe_access")
+        self._on_access = _bound("on_access")
+        self._on_fill = _bound("on_fill")
         self._telemetry = None
         self._sampler = None
+        # Hot-loop bindings: read once here instead of chasing
+        # ``self.config.<attr>`` on every retired instruction.
+        self._width = self.config.width
+        self._alu_latency = self.config.int_alu_latency
+        self._branch_penalty = self.config.branch_miss_penalty
         from repro.engine.branch import make_predictor
 
         self._branch_predictor = make_predictor(
@@ -115,41 +176,47 @@ class OoOCore:
     def step(self) -> bool:
         """Process the next instruction; returns False when trace is done."""
         index = self._index
-        records = self._records
-        if index >= len(records):
+        if index >= self._num_records:
             return False
-        record = records[index]
+        record = self._records[index]
         self._index = index + 1
-        config = self.config
+        width = self._width
 
         # Fetch bandwidth: `width` instructions per cycle.
-        if self._fetch_slot >= config.width:
-            self._fetch_cycle += 1
-            self._fetch_slot = 0
-        self._fetch_slot += 1
-        fetch_time = self._fetch_cycle
+        fetch_cycle = self._fetch_cycle
+        fetch_slot = self._fetch_slot
+        if fetch_slot >= width:
+            fetch_cycle += 1
+            fetch_slot = 0
+        self._fetch_slot = fetch_slot + 1
+        fetch_time = fetch_cycle
 
         # ROB occupancy: slot of instruction (index - rob) must be free.
-        rob_free = self._commit_ring[index % self._rob_size]
-        dispatch = fetch_time if fetch_time >= rob_free else rob_free
-        if dispatch > self._fetch_cycle:
+        rob_slot = index % self._rob_size
+        rob_free = self._commit_ring[rob_slot]
+        if rob_free > fetch_time:
             # ROB-full stall also stalls fetch.
-            self._fetch_cycle = dispatch
+            dispatch = rob_free
+            fetch_cycle = rob_free
             self._fetch_slot = 1
+        else:
+            dispatch = fetch_time
+        self._fetch_cycle = fetch_cycle
 
-        if self._feed_instructions:
-            self.prefetcher.observe_instruction(record, dispatch)
+        observe_instruction = self._observe_instruction
+        if observe_instruction is not None:
+            observe_instruction(record, dispatch)
 
         reg_ready = self._reg_ready
         opc = record.opc
-        if opc == OpClass.LOAD:
+        if opc == _LOAD:
             issue = dispatch
             src = record.src1
             if src >= 0 and reg_ready[src] > issue:
                 issue = reg_ready[src]
             complete = self._do_load(record, issue)
             reg_ready[record.dst] = complete
-        elif opc == OpClass.STORE:
+        elif opc == _STORE:
             issue = dispatch
             src = record.src1
             if src >= 0 and reg_ready[src] > issue:
@@ -159,7 +226,7 @@ class OoOCore:
                 issue = reg_ready[data]
             self._do_store(record, issue)
             complete = issue + 1
-        elif opc == OpClass.ALU:
+        elif opc == _ALU:
             issue = dispatch
             src = record.src1
             if src >= 0 and reg_ready[src] > issue:
@@ -167,10 +234,10 @@ class OoOCore:
             src = record.src2
             if src >= 0 and reg_ready[src] > issue:
                 issue = reg_ready[src]
-            complete = issue + config.int_alu_latency
+            complete = issue + self._alu_latency
             if record.dst >= 0:
                 reg_ready[record.dst] = complete
-        elif opc == OpClass.BRANCH:
+        elif opc == _BRANCH:
             issue = dispatch
             src = record.src1
             if src >= 0 and reg_ready[src] > issue:
@@ -187,25 +254,29 @@ class OoOCore:
                 predictor.update(record.pc, record.target_pc, record.taken)
                 if predicted_taken != record.taken:
                     self.stats.mispredicts += 1
-                    self._fetch_cycle = complete + config.branch_miss_penalty
+                    self._fetch_cycle = complete + self._branch_penalty
                     self._fetch_slot = 0
         else:  # CALL / RET / OTHER: predicted by BTB/RAS, 1-cycle op
             complete = dispatch + 1
 
         # In-order commit, `width` per cycle.
-        commit = complete if complete > self._last_commit_time else self._last_commit_time
-        if commit == self._last_commit_time:
-            self._commits_at_time += 1
-            if self._commits_at_time > config.width:
-                commit += 1
-                self._commits_at_time = 1
-        else:
+        last_commit = self._last_commit_time
+        if complete > last_commit:
+            commit = complete
             self._commits_at_time = 1
+        else:
+            commit = last_commit
+            commits_at_time = self._commits_at_time + 1
+            if commits_at_time > width:
+                commit += 1
+                commits_at_time = 1
+            self._commits_at_time = commits_at_time
         self._last_commit_time = commit
-        self._commit_ring[index % self._rob_size] = commit
+        self._commit_ring[rob_slot] = commit
 
-        self.stats.instructions += 1
-        self.stats.cycles = commit
+        stats = self.stats
+        stats.instructions += 1
+        stats.cycles = commit
         sampler = self._sampler
         if sampler is not None:
             sampler.on_instruction()
@@ -213,76 +284,97 @@ class OoOCore:
 
     # ------------------------------------------------------------------
     def _do_load(self, record, issue: int) -> int:
-        result = self.hierarchy.demand_access(record.addr, issue,
-                                              is_write=False, pc=record.pc)
+        pc = record.pc
+        addr = record.addr
+        result = self.hierarchy.demand_access(addr, issue,
+                                              is_write=False, pc=pc)
         latency = result.ready_time - issue
-        self.stats.loads += 1
-        self.stats.load_latency_total += latency
+        stats = self.stats
+        stats.loads += 1
+        stats.load_latency_total += latency
         if result.primary_miss:
-            self.stats.miss_pcs[record.pc] += 1
-            self.stats.miss_latency_by_pc[record.pc] += latency
-        event = AccessEvent(
-            cycle=issue,
-            pc=record.pc,
-            mpc=record.pc ^ record.ras_top,
-            addr=record.addr,
-            line=record.addr >> LINE_SHIFT,
-            is_load=True,
-            hit=result.l1_hit,
-            primary_miss=result.primary_miss,
-            latency=latency,
-            value=record.value,
-            dst=record.dst,
-            served_by_prefetch=result.served_by_prefetch,
-            serving_component=result.prefetch_component,
-        )
-        if result.served_by_prefetch:
-            self.prefetcher.on_prefetch_hit(event.line, result.hit_level)
-        self._issue_prefetches(event)
-        if result.primary_miss:
-            self.prefetcher.on_fill(event.line, 1)
+            stats.miss_pcs[pc] += 1
+            stats.miss_latency_by_pc[pc] += latency
+        line = addr >> LINE_SHIFT
+        observe_access = self._observe_access
+        on_access = self._on_access
+        if observe_access is not None or on_access is not None:
+            event = AccessEvent(
+                cycle=issue,
+                pc=pc,
+                mpc=pc ^ record.ras_top,
+                addr=addr,
+                line=line,
+                is_load=True,
+                hit=result.l1_hit,
+                primary_miss=result.primary_miss,
+                latency=latency,
+                value=record.value,
+                dst=record.dst,
+                served_by_prefetch=result.served_by_prefetch,
+                serving_component=result.prefetch_component,
+            )
+            if result.served_by_prefetch:
+                self.prefetcher.on_prefetch_hit(line, result.hit_level)
+            if observe_access is not None:
+                observe_access(event)
+            requests = on_access(event) if on_access is not None else None
+            if requests:
+                self._issue_requests(requests, issue, pc)
+        elif result.served_by_prefetch:
+            self.prefetcher.on_prefetch_hit(line, result.hit_level)
+        if result.primary_miss and self._on_fill is not None:
+            self._on_fill(line, 1)
         return result.ready_time
 
     def _do_store(self, record, issue: int) -> None:
-        result = self.hierarchy.demand_access(record.addr, issue,
-                                              is_write=True, pc=record.pc)
+        pc = record.pc
+        addr = record.addr
+        result = self.hierarchy.demand_access(addr, issue,
+                                              is_write=True, pc=pc)
         self.stats.stores += 1
-        event = AccessEvent(
-            cycle=issue,
-            pc=record.pc,
-            mpc=record.pc ^ record.ras_top,
-            addr=record.addr,
-            line=record.addr >> LINE_SHIFT,
-            is_load=False,
-            hit=result.l1_hit,
-            primary_miss=result.primary_miss,
-            latency=0,
-            value=0,
-            dst=-1,
-            served_by_prefetch=result.served_by_prefetch,
-            serving_component=result.prefetch_component,
-        )
-        if result.served_by_prefetch:
-            self.prefetcher.on_prefetch_hit(event.line, result.hit_level)
-        self._issue_prefetches(event)
-        if result.primary_miss:
-            self.prefetcher.on_fill(event.line, 1)
+        line = addr >> LINE_SHIFT
+        observe_access = self._observe_access
+        on_access = self._on_access
+        if observe_access is not None or on_access is not None:
+            event = AccessEvent(
+                cycle=issue,
+                pc=pc,
+                mpc=pc ^ record.ras_top,
+                addr=addr,
+                line=line,
+                is_load=False,
+                hit=result.l1_hit,
+                primary_miss=result.primary_miss,
+                latency=0,
+                value=0,
+                dst=-1,
+                served_by_prefetch=result.served_by_prefetch,
+                serving_component=result.prefetch_component,
+            )
+            if result.served_by_prefetch:
+                self.prefetcher.on_prefetch_hit(line, result.hit_level)
+            if observe_access is not None:
+                observe_access(event)
+            requests = on_access(event) if on_access is not None else None
+            if requests:
+                self._issue_requests(requests, issue, pc)
+        elif result.served_by_prefetch:
+            self.prefetcher.on_prefetch_hit(line, result.hit_level)
+        if result.primary_miss and self._on_fill is not None:
+            self._on_fill(line, 1)
 
-    def _issue_prefetches(self, event: AccessEvent) -> None:
-        self.prefetcher.observe_access(event)
-        requests = self.prefetcher.on_access(event)
-        if not requests:
-            return
+    def _issue_requests(self, requests, cycle: int, pc: int) -> None:
         hierarchy = self.hierarchy
-        prefetcher = self.prefetcher
+        on_fill = self._on_fill
         for request in requests:
-            issued = hierarchy.prefetch(request.line, event.cycle,
+            issued = hierarchy.prefetch(request.line, cycle,
                                         target_level=request.target_level,
                                         component=request.component,
-                                        pc=event.pc)
-            if issued:
-                prefetcher.on_fill(request.line, request.target_level,
-                                   prefetched=True)
+                                        pc=pc)
+            if issued and on_fill is not None:
+                on_fill(request.line, request.target_level,
+                        prefetched=True)
 
     # ------------------------------------------------------------------
     def run(self) -> CoreStats:

@@ -26,7 +26,7 @@ from repro.core.c1 import C1Prefetcher
 from repro.core.composite import CompositePrefetcher, make_tpc
 from repro.core.p1 import P1Prefetcher
 from repro.core.t2 import T2Prefetcher
-from repro.experiments.runner import ExperimentRunner
+from repro.experiments.runner import ExperimentRunner, SpecFactory
 
 DEFAULT_APPS = [
     "spec.libquantum",
@@ -41,16 +41,16 @@ DEFAULT_APPS = [
 ]
 
 
-def _variant(key: str):
-    """Factory for one ablation variant (with a stable cache key)."""
-    def reversed_order():
-        composite = CompositePrefetcher(
-            [C1Prefetcher(), P1Prefetcher(), T2Prefetcher()],
-            name="order-cpt",
-        )
-        composite._wire_components()
-        return composite
+def _reversed_order():
+    composite = CompositePrefetcher(
+        [C1Prefetcher(), P1Prefetcher(), T2Prefetcher()],
+        name="order-cpt",
+    )
+    composite._wire_components()
+    return composite
 
+
+def _build_variant(key: str):
     builders = {
         "tpc": lambda: make_tpc(),
         "no-miss-activation": lambda: make_tpc(
@@ -70,11 +70,14 @@ def _variant(key: str):
         "c1-dense-10": lambda: make_tpc(
             c1_kwargs={"dense_line_threshold": 10}
         ),
-        "order-cpt": reversed_order,
+        "order-cpt": _reversed_order,
     }
-    factory = builders[key]
-    factory.cache_key = f"ablation:{key}"
-    return factory
+    return builders[key]()
+
+
+def _variant(key: str) -> SpecFactory:
+    """Factory for one ablation variant (with a stable cache key)."""
+    return SpecFactory(f"ablation:{key}", _build_variant, key=key)
 
 VARIANTS = [
     "tpc",
@@ -103,6 +106,10 @@ def run(runner: ExperimentRunner | None = None,
     runner = runner or ExperimentRunner()
     apps = apps or DEFAULT_APPS
     variants = variants or VARIANTS
+    runner.prefill(
+        [(app, "none") for app in apps]
+        + [(app, _variant(v)) for v in variants for app in apps]
+    )
     rows = []
     for variant in variants:
         factory = _variant(variant)

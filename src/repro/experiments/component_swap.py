@@ -23,7 +23,7 @@ from repro.core.c1 import C1Prefetcher
 from repro.core.composite import CompositePrefetcher
 from repro.core.p1 import P1Prefetcher
 from repro.core.t2 import T2Prefetcher
-from repro.experiments.runner import ExperimentRunner
+from repro.experiments.runner import ExperimentRunner, SpecFactory
 
 DEFAULT_APPS = [
     "spec.libquantum",
@@ -43,24 +43,31 @@ def _composite(name: str, components) -> CompositePrefetcher:
     return composite
 
 
+_VARIANT_PARTS = {
+    "tpc": ("tpc", (T2Prefetcher, P1Prefetcher, C1Prefetcher)),
+    "spp/P1/C1": (
+        "spp-p1-c1", (SppPrefetcher, P1Prefetcher, C1Prefetcher)
+    ),
+    "stride/P1/C1": (
+        "stride-p1-c1", (StridePrefetcher, P1Prefetcher, C1Prefetcher)
+    ),
+    "T2/P1/sms": (
+        "t2-p1-sms",
+        (T2Prefetcher, P1Prefetcher,
+         lambda: SmsPrefetcher(target_level=2)),
+    ),
+}
+
+
+def _build_swap(label: str):
+    name, parts = _VARIANT_PARTS[label]
+    return _composite(name, [part() for part in parts])
+
+
 def _variants():
     return {
-        "tpc": lambda: _composite(
-            "tpc", [T2Prefetcher(), P1Prefetcher(), C1Prefetcher()]
-        ),
-        "spp/P1/C1": lambda: _composite(
-            "spp-p1-c1",
-            [SppPrefetcher(), P1Prefetcher(), C1Prefetcher()],
-        ),
-        "stride/P1/C1": lambda: _composite(
-            "stride-p1-c1",
-            [StridePrefetcher(), P1Prefetcher(), C1Prefetcher()],
-        ),
-        "T2/P1/sms": lambda: _composite(
-            "t2-p1-sms",
-            [T2Prefetcher(), P1Prefetcher(),
-             SmsPrefetcher(target_level=2)],
-        ),
+        label: SpecFactory(f"swap:{label}", _build_swap, label=label)
+        for label in _VARIANT_PARTS
     }
 
 
@@ -75,9 +82,14 @@ def run(runner: ExperimentRunner | None = None,
         apps: list[str] | None = None) -> list[SwapRow]:
     runner = runner or ExperimentRunner()
     apps = apps or DEFAULT_APPS
+    variants = _variants()
+    runner.prefill(
+        [(app, "none") for app in apps]
+        + [(app, factory) for factory in variants.values()
+           for app in apps]
+    )
     rows = []
-    for label, factory in _variants().items():
-        factory.cache_key = f"swap:{label}"
+    for label, factory in variants.items():
         speedups = []
         issued = 0
         for app in apps:

@@ -46,6 +46,10 @@ def run(runner: ExperimentRunner | None = None,
     runner = runner or ExperimentRunner()
     apps = apps or workload_names("spec")
     prefetchers = prefetchers or PREFETCHERS
+    runner.prefill(
+        [(app, "none") for app in apps]
+        + [(app, name) for app in apps for name in prefetchers]
+    )
     speedups: dict[tuple[str, str], float] = {}
     for app in apps:
         baseline = runner.baseline(app)

@@ -32,6 +32,10 @@ def run(runner: ExperimentRunner | None = None,
     runner = runner or ExperimentRunner()
     apps = apps or workload_names("spec")
     prefetchers = prefetchers or PREFETCHERS
+    runner.prefill(
+        [(app, "none") for app in apps]
+        + [(app, name) for name in prefetchers for app in apps]
+    )
     rows = []
     for name in prefetchers:
         overheads = []

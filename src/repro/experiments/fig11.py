@@ -85,6 +85,16 @@ def run(runner: ExperimentRunner | None = None,
     runner = runner or ExperimentRunner()
     prefetchers = prefetchers or PREFETCHERS
     suites = suites if suites is not None else SINGLE_CORE_SUITES
+    # The 4-core mixes share L3/DRAM state, so only the single-core
+    # suites are independent cells; they fan out, the mixes stay serial.
+    single_core_apps = [
+        app for suite in suites for app in workload_names(suite)
+    ]
+    runner.prefill(
+        [(app, "none") for app in single_core_apps]
+        + [(app, name) for name in prefetchers
+           for app in single_core_apps]
+    )
     results = [
         _suite_speedups(suite, prefetchers, runner) for suite in suites
     ]

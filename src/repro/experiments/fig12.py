@@ -18,17 +18,18 @@ from repro.analysis.metrics import (
 )
 from repro.analysis.report import format_table
 from repro.core.composite import make_tpc
-from repro.experiments.runner import ExperimentRunner, PrefetcherSpec
+from repro.experiments.runner import (
+    ExperimentRunner,
+    PrefetcherSpec,
+    SpecFactory,
+)
 from repro.prefetcher_registry import PAPER_MONOLITHIC
 from repro.workloads import workload_names
 
 
-def _tpc_factory(components: str):
-    def factory():
-        return make_tpc(components=components)
-
-    factory.cache_key = f"tpc:{components}"
-    return factory
+def _tpc_factory(components: str) -> SpecFactory:
+    return SpecFactory(f"tpc:{components}", make_tpc,
+                       components=components)
 
 
 INCREMENTAL_TPC: list[tuple[str, PrefetcherSpec]] = [
@@ -58,6 +59,10 @@ def run(runner: ExperimentRunner | None = None,
         (name, name) for name in monolithic
     ]
     entries += INCREMENTAL_TPC
+    runner.prefill(
+        [(app, "none") for app in apps]
+        + [(app, spec) for _, spec in entries for app in apps]
+    )
 
     rows = []
     for label, spec in entries:

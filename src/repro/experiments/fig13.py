@@ -51,6 +51,9 @@ def run(runner: ExperimentRunner | None = None,
     runner = runner or ExperimentRunner()
     apps = apps or workload_names("spec")
     prefetchers = prefetchers or PREFETCHERS
+    # Tracked runs are never cached (the tracker is a side output), but
+    # the baselines they are scored against are ordinary cells.
+    runner.prefill([(app, "none") for app in apps])
 
     rows = []
     for name in prefetchers:

@@ -14,10 +14,18 @@ from dataclasses import dataclass
 from repro.analysis.credit import CreditTracker
 from repro.analysis.report import format_table
 from repro.core.composite import make_tpc
-from repro.experiments.runner import ExperimentRunner, build_prefetcher
+from repro.experiments.runner import (
+    ExperimentRunner,
+    SpecFactory,
+    build_prefetcher,
+)
 from repro.workloads import workload_names
 
 EXTRAS = ["vldp", "spp", "fdp", "sms"]
+
+
+def _build_tpc_plus(extra: str):
+    return make_tpc(extras=[build_prefetcher(extra)])
 
 _OUT = "outside-tpc"
 _IN = "inside-tpc"
@@ -45,6 +53,12 @@ def run(runner: ExperimentRunner | None = None,
     runner = runner or ExperimentRunner()
     apps = apps or workload_names("spec")
     extras = extras or EXTRAS
+    # Tracked runs below are uncached; the TPC-coverage and baseline
+    # cells are, so they fan out.
+    runner.prefill(
+        [(app, "tpc") for app in apps]
+        + [(app, "none") for app in apps]
+    )
 
     # The region TPC does not cover, per app.
     uncovered: dict[str, set[int]] = {}
@@ -64,16 +78,10 @@ def run(runner: ExperimentRunner | None = None,
                 tracker = CreditTracker(categorize=categorize)
                 if mode == "alone":
                     spec = extra
-                    component_tag = extra
                 else:
-                    def factory(extra=extra):
-                        return make_tpc(
-                            extras=[build_prefetcher(extra)]
-                        )
-
-                    factory.cache_key = f"tpc+{extra}"
-                    spec = factory
-                    component_tag = extra
+                    spec = SpecFactory(f"tpc+{extra}", _build_tpc_plus,
+                                       extra=extra)
+                component_tag = extra
                 result = runner.run_tracked(app, spec, tracker)
                 bucket = tracker.bucket(component=component_tag,
                                         category=_OUT)

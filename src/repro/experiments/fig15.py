@@ -12,10 +12,22 @@ from dataclasses import dataclass
 from repro.analysis.metrics import geometric_mean
 from repro.analysis.report import format_table
 from repro.core.composite import make_shunt, make_tpc
-from repro.experiments.runner import ExperimentRunner, build_prefetcher
+from repro.experiments.runner import (
+    ExperimentRunner,
+    SpecFactory,
+    build_prefetcher,
+)
 from repro.workloads import workload_names
 
 EXTRAS = ["vldp", "spp", "fdp", "sms"]
+
+
+def _build_composite(extra: str):
+    return make_tpc(extras=[build_prefetcher(extra)])
+
+
+def _build_shunt(extra: str):
+    return make_shunt([build_prefetcher(extra)])
 
 
 @dataclass
@@ -27,20 +39,12 @@ class Fig15Row:
     high: float
 
 
-def _composite_factory(extra: str):
-    def factory():
-        return make_tpc(extras=[build_prefetcher(extra)])
-
-    factory.cache_key = f"tpc+{extra}"
-    return factory
+def _composite_factory(extra: str) -> SpecFactory:
+    return SpecFactory(f"tpc+{extra}", _build_composite, extra=extra)
 
 
-def _shunt_factory(extra: str):
-    def factory():
-        return make_shunt([build_prefetcher(extra)])
-
-    factory.cache_key = f"shunt:tpc+{extra}"
-    return factory
+def _shunt_factory(extra: str) -> SpecFactory:
+    return SpecFactory(f"shunt:tpc+{extra}", _build_shunt, extra=extra)
 
 
 def run(runner: ExperimentRunner | None = None,
@@ -49,6 +53,13 @@ def run(runner: ExperimentRunner | None = None,
     runner = runner or ExperimentRunner()
     apps = apps or workload_names("spec")
     extras = extras or EXTRAS
+    runner.prefill(
+        [(app, "tpc") for app in apps]
+        + [(app, factory) for extra in extras
+           for factory in (_composite_factory(extra),
+                           _shunt_factory(extra))
+           for app in apps]
+    )
 
     rows = []
     for extra in extras:

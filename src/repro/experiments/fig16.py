@@ -21,7 +21,11 @@ from repro.analysis.report import format_table
 from repro.core.base import AccessEvent, Prefetcher
 from repro.core.composite import make_tpc
 from repro.experiments.fig13 import classifier_for
-from repro.experiments.runner import ExperimentRunner, build_prefetcher
+from repro.experiments.runner import (
+    ExperimentRunner,
+    SpecFactory,
+    build_prefetcher,
+)
 from repro.prefetcher_registry import PAPER_MONOLITHIC
 from repro.workloads import workload_names
 
@@ -74,39 +78,39 @@ class OracleDestinationPrefetcher(Prefetcher):
         return self.inner.storage_bits
 
 
+def _build_tpc_at(level: int) -> Prefetcher:
+    kwargs = {"target_level": level}
+    return make_tpc(t2_kwargs=kwargs, p1_kwargs=kwargs, c1_kwargs=kwargs)
+
+
+def _build_oracle(name: str, app: str) -> Prefetcher:
+    """Oracle stratification: route by the app's offline classifier.
+
+    Workers rebuild the classifier from the (seeded, deterministic)
+    trace; the per-process cache in :mod:`repro.experiments.fig13`
+    amortizes it across the cells that share an app.
+    """
+    classifier = classifier_for(app)
+    return OracleDestinationPrefetcher(
+        build_prefetcher(name), classifier.category
+    )
+
+
 def _spec_for(name: str, mode: str, app: str):
-    """Build the (prefetcher spec, cache key) for one table cell."""
+    """Build the prefetcher spec (with stable cache key) for one cell."""
     if name == "tpc":
         if mode == "stratified":
             return "tpc"  # native component-based destinations
         level = 1 if mode == "L1" else 2
-        kwargs = {"target_level": level}
-
-        def factory(kwargs=kwargs):
-            return make_tpc(t2_kwargs=kwargs, p1_kwargs=kwargs,
-                            c1_kwargs=kwargs)
-
-        factory.cache_key = f"tpc@{mode}"
-        return factory
+        return SpecFactory(f"tpc@{mode}", _build_tpc_at, level=level)
 
     if mode in ("L1", "L2"):
         level = 1 if mode == "L1" else 2
+        return SpecFactory(f"{name}@{mode}", build_prefetcher_with_level,
+                           name=name, level=level)
 
-        def factory(name=name, level=level):
-            return build_prefetcher_with_level(name, level)
-
-        factory.cache_key = f"{name}@{mode}"
-        return factory
-
-    # Oracle stratification needs the app's classifier.
-    def factory(name=name, app=app):
-        classifier = classifier_for(app)
-        return OracleDestinationPrefetcher(
-            build_prefetcher(name), classifier.category
-        )
-
-    factory.cache_key = f"{name}@oracle:{app}"
-    return factory
+    return SpecFactory(f"{name}@oracle:{app}", _build_oracle,
+                       name=name, app=app)
 
 
 def build_prefetcher_with_level(name: str, level: int) -> Prefetcher:
@@ -130,6 +134,11 @@ def run(runner: ExperimentRunner | None = None,
     runner = runner or ExperimentRunner()
     apps = apps or workload_names("spec")
     prefetchers = prefetchers or PREFETCHERS
+    runner.prefill(
+        [(app, "none") for app in apps]
+        + [(app, _spec_for(name, mode, app))
+           for name in prefetchers for mode in MODES for app in apps]
+    )
 
     rows = []
     for name in prefetchers:

@@ -20,7 +20,7 @@ from repro.analysis.report import format_table
 from repro.baselines.isb import IsbPrefetcher
 from repro.baselines.markov import MarkovPrefetcher
 from repro.core.composite import make_tpc
-from repro.experiments.runner import ExperimentRunner
+from repro.experiments.runner import ExperimentRunner, SpecFactory
 
 HHF_HEAVY_APPS = [
     "spec.mcf",
@@ -38,12 +38,12 @@ EXTRA_FACTORIES = {
 }
 
 
-def _tpc_plus_factory(extra: str):
-    def factory(extra=extra):
-        return make_tpc(extras=[EXTRA_FACTORIES[extra]()])
+def _build_tpc_plus(extra: str):
+    return make_tpc(extras=[EXTRA_FACTORIES[extra]()])
 
-    factory.cache_key = f"tpc+{extra}"
-    return factory
+
+def _tpc_plus_factory(extra: str) -> SpecFactory:
+    return SpecFactory(f"tpc+{extra}", _build_tpc_plus, extra=extra)
 
 
 @dataclass
@@ -67,6 +67,11 @@ def run(runner: ExperimentRunner | None = None,
     runner = runner or ExperimentRunner()
     apps = apps or HHF_HEAVY_APPS
     extras = extras or list(EXTRA_FACTORIES)
+    runner.prefill(
+        [(app, spec) for app in apps
+         for extra in extras
+         for spec in ("none", "tpc", extra, _tpc_plus_factory(extra))]
+    )
     rows = []
     for extra in extras:
         factory = _tpc_plus_factory(extra)

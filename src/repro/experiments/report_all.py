@@ -5,10 +5,15 @@ Figs. 1 and 8-16, the drop-policy experiment, and the ablations, sharing
 one result cache, and writes a single markdown-ish report.  This is the
 programmatic equivalent of ``pytest benchmarks/ --benchmark-only`` when
 you want the tables without the benchmarking machinery.
+
+``--jobs N`` fans the simulation matrix out across processes (results
+are bit-identical to serial); ``--cache-dir DIR`` reuses simulations
+across invocations, so a warm re-run performs zero simulations.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
 
@@ -62,9 +67,14 @@ SECTIONS = [
 
 
 def generate(runner: ExperimentRunner | None = None,
-             progress=None) -> str:
-    """Run every section and return the combined report text."""
-    runner = runner or ExperimentRunner()
+             progress=None, jobs: int = 1, cache_dir=None) -> str:
+    """Run every section and return the combined report text.
+
+    ``jobs`` / ``cache_dir`` configure the default runner (ignored when
+    an explicit ``runner`` is passed).
+    """
+    if runner is None:
+        runner = ExperimentRunner(jobs=jobs, cache_dir=cache_dir)
     parts = []
     for title, render in SECTIONS:
         started = time.time()
@@ -77,12 +87,30 @@ def generate(runner: ExperimentRunner | None = None,
 
 
 def main(argv: list[str] | None = None) -> None:
-    argv = argv if argv is not None else sys.argv[1:]
-    report = generate(progress=lambda line: print(line, file=sys.stderr))
-    if argv:
-        with open(argv[0], "w") as handle:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.report_all", description=__doc__
+    )
+    parser.add_argument("output", nargs="?", default=None,
+                        help="write the report here instead of stdout")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (0 = one per CPU)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent result-cache directory")
+    args = parser.parse_args(argv)
+    runner = ExperimentRunner(jobs=args.jobs, cache_dir=args.cache_dir)
+    report = generate(runner,
+                      progress=lambda line: print(line, file=sys.stderr))
+    counts = runner.counters
+    print(
+        f"simulations: {counts['simulated']} fresh, "
+        f"{counts['memory_hits']} memoized, "
+        f"{counts['disk_hits']} from disk cache",
+        file=sys.stderr,
+    )
+    if args.output:
+        with open(args.output, "w") as handle:
             handle.write(report)
-        print(f"wrote {argv[0]}", file=sys.stderr)
+        print(f"wrote {args.output}", file=sys.stderr)
     else:
         print(report)
 

@@ -1,9 +1,19 @@
-"""Shared experiment runner with in-process result caching.
+"""Shared experiment runner with in-process and on-disk result caching.
 
 Most figures reuse the same (workload, prefetcher) simulations — e.g. the
 no-prefetch baseline of every workload appears in every metric — so the
 runner memoizes :class:`~repro.engine.system.SimulationResult` objects
 keyed by workload, prefetcher spec, and configuration tag.
+
+Two optional layers extend the in-process memo:
+
+* ``cache_dir`` — a persistent read-through store
+  (:mod:`repro.resultcache`): warm re-runs of ``report_all`` skip
+  simulation entirely.  Keys include a digest of the simulator sources,
+  so editing engine/prefetcher code invalidates stale entries.
+* ``jobs`` — the default worker count for :meth:`prefill`, which fans
+  independent matrix cells out across processes
+  (:mod:`repro.parallel`) with results bit-identical to serial runs.
 
 With ``runs_dir`` set, every fresh (non-cached) simulation also writes a
 provenance manifest to ``<runs_dir>/<run_id>/manifest.json`` (see
@@ -13,37 +23,38 @@ provenance manifest to ``<runs_dir>/<run_id>/manifest.json`` (see
 from __future__ import annotations
 
 import hashlib
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.core.base import Prefetcher
 from repro.engine.config import SystemConfig, EXPERIMENT_CONFIG
 from repro.engine.system import SimulationResult, simulate
 from repro.prefetcher_registry import make_prefetcher
+from repro.resultcache import ResultCache, config_digest
 from repro.workloads import get_workload
 
 PrefetcherSpec = str | Callable[[], Prefetcher]
 """Either a registry name or a zero-argument factory."""
 
 
-def spec_key(spec: PrefetcherSpec) -> str:
-    """Stable cache key for a prefetcher spec.
+def resolve_spec(spec: PrefetcherSpec) -> tuple[str, Prefetcher | None]:
+    """Stable cache key for a spec, plus the instance if keying built one.
 
     Resolution order: registry name as-is, an explicit ``cache_key``
     attribute, then the factory's ``__name__``.  Anonymous factories
     (lambdas, partials) fall back to a descriptor of what they *build* —
     class, display name, and storage budget — hashed into a short
-    digest.  The previous fallback was ``repr(spec)``, which embeds the
-    object id: two textually identical lambdas never cache-hit, and
-    manifest keys changed on every process run.
+    digest.  Only that last case constructs a prefetcher; the built
+    instance is returned so callers never construct twice for one run
+    (simulation ``reset()``s it anyway).
     """
     if isinstance(spec, str):
-        return spec
+        return spec, None
     key = getattr(spec, "cache_key", None)
     if key is not None:
-        return key
+        return key, None
     name = getattr(spec, "__name__", "")
     if name and name != "<lambda>":
-        return name
+        return name, None
     built = spec()
     descriptor = (
         type(built).__module__,
@@ -52,7 +63,39 @@ def spec_key(spec: PrefetcherSpec) -> str:
         built.storage_bits,
     )
     digest = hashlib.sha1(repr(descriptor).encode()).hexdigest()[:10]
-    return f"{built.name}@{digest}"
+    return f"{built.name}@{digest}", built
+
+
+def spec_key(spec: PrefetcherSpec) -> str:
+    """Stable cache key for a prefetcher spec (see :func:`resolve_spec`)."""
+    return resolve_spec(spec)[0]
+
+
+class SpecFactory:
+    """Picklable prefetcher factory: a module-level builder plus kwargs.
+
+    Closure factories (``lambda: make_tpc(...)``) carry stable
+    ``cache_key`` attributes but cannot cross a process boundary, which
+    silently demotes their cells to the serial fallback of
+    :mod:`repro.parallel`.  Wrapping the builder *function* (pickled by
+    qualified name) and its keyword arguments instead keeps the whole
+    experiment matrix eligible for fan-out.  Instances behave exactly
+    like the closures they replace: callable, with the same cache key.
+    """
+
+    __slots__ = ("cache_key", "builder", "kwargs")
+
+    def __init__(self, cache_key: str, builder: Callable[..., Prefetcher],
+                 **kwargs) -> None:
+        self.cache_key = cache_key
+        self.builder = builder
+        self.kwargs = kwargs
+
+    def __call__(self) -> Prefetcher:
+        return self.builder(**self.kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpecFactory({self.cache_key!r})"
 
 
 def build_prefetcher(spec: PrefetcherSpec) -> Prefetcher:
@@ -61,18 +104,46 @@ def build_prefetcher(spec: PrefetcherSpec) -> Prefetcher:
     return spec()
 
 
+def simulate_spec(workload: str, spec: PrefetcherSpec, tag: str,
+                  config: SystemConfig) -> SimulationResult:
+    """One uncached simulation of a (workload, spec, tag) cell.
+
+    This is the single simulation path shared by the serial runner and
+    the parallel workers, which is what makes ``--jobs N`` results
+    bit-identical to serial runs.
+    """
+    key, built = resolve_spec(spec)
+    if built is None:
+        built = build_prefetcher(spec)
+    trace = get_workload(workload).trace()
+    return simulate(trace, built, config, config_tag=tag, spec=key)
+
+
 class ExperimentRunner:
     """Caches single-core simulation results.
 
-    ``runs_dir`` (optional) turns on manifest serialization: each fresh
-    simulation writes ``<runs_dir>/<run_id>/manifest.json``.
+    Parameters
+    ----------
+    runs_dir:
+        Optional; turns on manifest serialization — each fresh simulation
+        writes ``<runs_dir>/<run_id>/manifest.json``.
+    cache_dir:
+        Optional; persistent result cache directory (read-through, shared
+        across processes and invocations).
+    jobs:
+        Default worker count for :meth:`prefill`; ``1`` keeps everything
+        serial and ``0`` means one worker per CPU.
     """
 
     def __init__(self, config: SystemConfig | None = None,
-                 runs_dir=None) -> None:
+                 runs_dir=None, cache_dir=None, jobs: int = 1) -> None:
         self.config = config or EXPERIMENT_CONFIG
         self.runs_dir = runs_dir
+        self.jobs = jobs
+        self.disk = ResultCache(cache_dir) if cache_dir else None
+        self._config_digest = config_digest(self.config)
         self._cache: dict[tuple[str, str, str], SimulationResult] = {}
+        self.counters = {"simulated": 0, "memory_hits": 0, "disk_hits": 0}
 
     def _record(self, result: SimulationResult) -> None:
         if self.runs_dir is not None and result.manifest is not None:
@@ -80,35 +151,103 @@ class ExperimentRunner:
 
             write_manifest(result.manifest, self.runs_dir)
 
+    def _store(self, key: tuple[str, str, str],
+               result: SimulationResult) -> None:
+        """A freshly simulated result enters every cache layer."""
+        self._cache[key] = result
+        self.counters["simulated"] += 1
+        self._record(result)
+        if self.disk is not None:
+            self.disk.put(key[0], key[1], key[2], self._config_digest,
+                          result)
+
+    def _disk_get(self, key: tuple[str, str, str]
+                  ) -> SimulationResult | None:
+        if self.disk is None:
+            return None
+        result = self.disk.get(key[0], key[1], key[2], self._config_digest)
+        if result is not None:
+            self._cache[key] = result
+            self.counters["disk_hits"] += 1
+        return result
+
     def run(self, workload: str, prefetcher: PrefetcherSpec = "none",
             tag: str = "") -> SimulationResult:
         """Simulate (cached).  ``tag`` distinguishes config variants."""
-        key = (workload, spec_key(prefetcher), tag)
+        key_spec, built = resolve_spec(prefetcher)
+        key = (workload, key_spec, tag)
         cached = self._cache.get(key)
         if cached is not None:
+            self.counters["memory_hits"] += 1
             return cached
+        cached = self._disk_get(key)
+        if cached is not None:
+            return cached
+        if built is None:
+            built = build_prefetcher(prefetcher)
         trace = get_workload(workload).trace()
-        result = simulate(trace, build_prefetcher(prefetcher), self.config,
-                          config_tag=tag, spec=key[1])
-        self._cache[key] = result
-        self._record(result)
+        result = simulate(trace, built, self.config,
+                          config_tag=tag, spec=key_spec)
+        self._store(key, result)
         return result
 
+    def prefill(self, jobs: Iterable, n_jobs: int | None = None) -> int:
+        """Warm the cache for a batch of independent matrix cells.
+
+        ``jobs`` yields ``(workload, spec)`` or ``(workload, spec, tag)``
+        tuples.  Cells already cached (memory or disk) are skipped; the
+        remainder fan out across ``n_jobs`` workers (default: the
+        runner's ``jobs`` setting) and merge deterministically, so
+        subsequent :meth:`run` calls are hits.  With one worker this is
+        a no-op — the serial path simulates on demand, exactly as
+        before.  Returns the number of fresh simulations.
+        """
+        from repro.parallel import default_jobs, normalize_job, run_jobs
+
+        n = self.jobs if n_jobs is None else n_jobs
+        if n == 0:
+            n = default_jobs()
+        if n <= 1:
+            return 0
+        pending: dict[tuple[str, str, str], tuple] = {}
+        for job in jobs:
+            workload, spec, tag = normalize_job(job)
+            key = (workload, spec_key(spec), tag)
+            if key in self._cache or key in pending:
+                continue
+            if self._disk_get(key) is not None:
+                continue
+            pending[key] = (workload, spec, tag)
+        if not pending:
+            return 0
+        results = run_jobs(list(pending.values()), self.config, n)
+        for key, result in zip(pending, results):
+            self._store(key, result)
+        return len(results)
+
     def run_tracked(self, workload: str, prefetcher: PrefetcherSpec,
-                    tracker) -> SimulationResult:
+                    tracker, tag: str = "") -> SimulationResult:
         """Simulate with a credit tracker attached (never cached: the
-        tracker is a side output)."""
+        tracker is a side output).  ``tag`` carries the same config
+        identity as :meth:`run`, so tracked runs are comparable with the
+        cached results they sit next to."""
+        key_spec, built = resolve_spec(prefetcher)
+        if built is None:
+            built = build_prefetcher(prefetcher)
         trace = get_workload(workload).trace()
-        return simulate(trace, build_prefetcher(prefetcher), self.config,
-                        tracker=tracker, spec=spec_key(prefetcher))
+        return simulate(trace, built, self.config, tracker=tracker,
+                        config_tag=tag, spec=key_spec)
 
     def run_profiled(self, workload: str, prefetcher: PrefetcherSpec,
-                     telemetry) -> SimulationResult:
+                     telemetry, tag: str = "") -> SimulationResult:
         """Simulate with a telemetry hub attached (never cached: the
         event stream and counter snapshot are per-run side outputs)."""
+        key_spec, built = resolve_spec(prefetcher)
+        if built is None:
+            built = build_prefetcher(prefetcher)
         trace = get_workload(workload).trace()
-        result = simulate(trace, build_prefetcher(prefetcher), self.config,
-                          telemetry=telemetry, spec=spec_key(prefetcher))
+        result = simulate(trace, built, self.config, telemetry=telemetry,
+                          config_tag=tag, spec=key_spec)
         self._record(result)
         return result
 

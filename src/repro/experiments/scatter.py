@@ -41,6 +41,10 @@ def collect_scatter(prefetchers: list[str], apps: list[str],
                     weight_by: str = "mpki") -> list[ScatterSeries]:
     """Simulate each (prefetcher, app) pair and compute the scatter."""
     runner = runner or ExperimentRunner()
+    runner.prefill(
+        [(app, "none") for app in apps]
+        + [(app, name) for name in prefetchers for app in apps]
+    )
     series = []
     for name in prefetchers:
         points = []

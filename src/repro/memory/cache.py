@@ -72,7 +72,13 @@ class CacheStats:
 
 @dataclass(slots=True)
 class EvictionInfo:
-    """Returned when an allocation displaces a valid line."""
+    """The shape of an eviction record.
+
+    :meth:`Cache.fill` now returns the victim :class:`CacheLine` itself
+    (a field superset of this); the class remains as the documented
+    attribute contract and for callers that build eviction records by
+    hand.
+    """
 
     line_addr: int
     dirty: bool
@@ -103,6 +109,18 @@ class Cache:
     name:
         For stats reporting ("L1D", "L2", "L3").
     """
+
+    __slots__ = (
+        "name",
+        "ways",
+        "num_sets",
+        "line_bytes",
+        "hit_latency",
+        "stats",
+        "_set_mask",
+        "_sets",
+        "_use_counter",
+    )
 
     def __init__(self, name: str, size_bytes: int, ways: int,
                  line_bytes: int = 64, hit_latency: int = 1) -> None:
@@ -139,15 +157,18 @@ class Cache:
         line = self._sets[line_addr & self._set_mask].get(line_addr)
         if line is None:
             return None
-        self._use_counter += 1
+        use_counter = self._use_counter + 1
+        self._use_counter = use_counter
         if touch:
-            line.last_use = self._use_counter
+            line.last_use = use_counter
         if is_write:
             line.dirty = True
         first_use = line.prefetched and not line.used
         if first_use:
             line.used = True
-        ready = max(now, line.fill_time)
+        ready = line.fill_time
+        if ready < now:
+            ready = now
         return HitInfo(
             ready_time=ready,
             was_prefetched=line.prefetched,
@@ -161,39 +182,45 @@ class Cache:
 
     def fill(self, line_addr: int, fill_time: int,
              prefetched: bool = False, component: str | None = None,
-             dirty: bool = False) -> EvictionInfo | None:
-        """Allocate ``line_addr``; returns eviction info if a line leaves.
+             dirty: bool = False) -> CacheLine | None:
+        """Allocate ``line_addr``; returns the victim line if one leaves.
 
         If the line is already resident the existing entry is kept (its
         fill_time is only lowered, never raised) and no eviction happens.
+        The victim :class:`CacheLine` is handed back as-is (it is already
+        unlinked from the set, and it carries every field of
+        :class:`EvictionInfo`) — allocating a snapshot object per
+        eviction was a measurable cost on the fill path.
         """
         target_set = self._sets[line_addr & self._set_mask]
         existing = target_set.get(line_addr)
-        self._use_counter += 1
+        use_counter = self._use_counter + 1
+        self._use_counter = use_counter
         if existing is not None:
-            existing.fill_time = min(existing.fill_time, fill_time)
+            if fill_time < existing.fill_time:
+                existing.fill_time = fill_time
             if dirty:
                 existing.dirty = True
             return None
 
         evicted = None
         if len(target_set) >= self.ways:
-            victim = min(target_set.values(), key=lambda l: l.last_use)
+            # LRU victim; explicit scan (first minimum, like min(key=))
+            # avoids a lambda call per resident way on the fill path.
+            victim = None
+            for candidate in target_set.values():
+                if victim is None or candidate.last_use < victim.last_use:
+                    victim = candidate
             del target_set[victim.line_addr]
-            self.stats.evictions += 1
+            stats = self.stats
+            stats.evictions += 1
             if victim.dirty:
-                self.stats.writebacks += 1
+                stats.writebacks += 1
             if victim.prefetched and not victim.used:
-                self.stats.prefetch_evicted_unused += 1
-            evicted = EvictionInfo(
-                line_addr=victim.line_addr,
-                dirty=victim.dirty,
-                prefetched=victim.prefetched,
-                used=victim.used,
-                component=victim.component,
-            )
+                stats.prefetch_evicted_unused += 1
+            evicted = victim
 
-        line = CacheLine(line_addr, fill_time, self._use_counter,
+        line = CacheLine(line_addr, fill_time, use_counter,
                          prefetched=prefetched, component=component)
         line.dirty = dirty
         target_set[line_addr] = line

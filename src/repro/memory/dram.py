@@ -79,6 +79,19 @@ class DramConfig:
 class Dram:
     """The memory controller + DRAM devices for one system."""
 
+    __slots__ = (
+        "config",
+        "stats",
+        "telemetry",
+        "_num_banks",
+        "_banks_per_channel",
+        "_bank_ready",
+        "_bank_row",
+        "_bus_free",
+        "_queues",
+        "_rng",
+    )
+
     def __init__(self, config: DramConfig | None = None) -> None:
         self.config = config or DramConfig()
         cfg = self.config

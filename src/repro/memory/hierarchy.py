@@ -24,7 +24,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.memory.cache import Cache, EvictionInfo
+from repro.memory.cache import Cache, CacheLine
 
 if TYPE_CHECKING:  # avoid a circular import with repro.engine.config
     from repro.engine.config import SystemConfig
@@ -62,17 +62,28 @@ class PrefetchStats:
 
 
 class _MshrFile:
-    """Completion-time list bounded by the MSHR count."""
+    """Completion-time list bounded by the MSHR count.
 
-    __slots__ = ("capacity", "_pending")
+    ``_min_pending`` caches the earliest completion so the per-access
+    drain (dropping entries whose fill already finished) is a single
+    comparison when nothing has expired — the common case — instead of a
+    list rebuild.  Drain timing is unchanged: the list is pruned exactly
+    when the eager implementation would have removed something."""
+
+    __slots__ = ("capacity", "_pending", "_min_pending")
+
+    _NO_PENDING = 1 << 62
 
     def __init__(self, capacity: int) -> None:
         self.capacity = capacity
         self._pending: list[int] = []
+        self._min_pending = self._NO_PENDING
 
     def _drain(self, now: int) -> None:
-        if self._pending:
-            self._pending = [t for t in self._pending if t > now]
+        if self._min_pending <= now:
+            pending = [t for t in self._pending if t > now]
+            self._pending = pending
+            self._min_pending = min(pending, default=self._NO_PENDING)
 
     def acquire_demand(self, now: int) -> int:
         """Returns the cycle at which an MSHR is available (>= now)."""
@@ -89,6 +100,8 @@ class _MshrFile:
 
     def register(self, completion: int) -> None:
         self._pending.append(completion)
+        if completion < self._min_pending:
+            self._min_pending = completion
 
     def occupancy(self, now: int) -> int:
         self._drain(now)
@@ -108,9 +121,32 @@ class Hierarchy:
     ``(line_addr, component)`` for prefetched lines in the affected set.
     """
 
+    __slots__ = (
+        "config",
+        "l1d",
+        "l2",
+        "l3",
+        "dram",
+        "shadow_l1",
+        "shadow_l2",
+        "prefetch_stats",
+        "tracker",
+        "telemetry",
+        "miss_lines_l1",
+        "miss_lines_l2",
+        "attempted_prefetch_lines",
+        "attempted_by_component",
+        "pollution_misses_l1",
+        "pollution_misses_l2",
+        "collect_footprint",
+        "_l1_mshrs",
+        "_l2_mshrs",
+    )
+
     def __init__(self, config: SystemConfig,
                  l3: Cache | None = None,
-                 dram: Dram | None = None) -> None:
+                 dram: Dram | None = None,
+                 collect_footprint: bool = True) -> None:
         self.config = config
         self.l1d = Cache("L1D", config.l1d.size_bytes, config.l1d.ways,
                          config.l1d.line_bytes, config.l1d.latency)
@@ -135,6 +171,10 @@ class Hierarchy:
         self.attempted_by_component: dict[str, set[int]] = {}
         self.pollution_misses_l1 = 0
         self.pollution_misses_l2 = 0
+        self.collect_footprint = collect_footprint
+        """When False, the per-line miss Counters (``miss_lines_l1/l2``)
+        are not maintained — a lean mode for throughput benchmarking.
+        Scope/coverage analyses need the default True."""
         self._l1_mshrs = _MshrFile(config.l1d.mshrs)
         self._l2_mshrs = _MshrFile(config.l2.mshrs)
 
@@ -150,27 +190,31 @@ class Hierarchy:
         """
         line = addr >> LINE_SHIFT
         l1 = self.l1d
-        l1.stats.demand_accesses += 1
+        stats = l1.stats
+        stats.demand_accesses += 1
         hit = l1.lookup(line, now, is_write=is_write)
         shadow_l1_hit = self.shadow_l1.access(line)
         telemetry = self.telemetry
 
         if hit is not None:
-            l1.stats.demand_hits += 1
+            stats.demand_hits += 1
             served = hit.first_use_of_prefetch
+            ready = hit.ready_time
             if served:
-                l1.stats.useful_prefetches += 1
-                if hit.ready_time > now:
-                    l1.stats.late_prefetch_hits += 1
+                stats.useful_prefetches += 1
+                if ready > now:
+                    stats.late_prefetch_hits += 1
                 if self.tracker is not None:
                     self.tracker.on_useful(line, hit.component, 1)
                 if telemetry is not None:
                     telemetry.emit(ev.FIRST_USE, now, line=line,
                                    component=hit.component, level=1, pc=pc)
-            elif hit.ready_time > now and not hit.was_prefetched:
-                l1.stats.mshr_merges += 1
+            elif ready > now and not hit.was_prefetched:
+                stats.mshr_merges += 1
+            if ready < now:
+                ready = now
             return AccessResult(
-                ready_time=max(now, hit.ready_time) + l1.hit_latency,
+                ready_time=ready + l1.hit_latency,
                 hit_level=1,
                 l1_hit=True,
                 primary_miss=False,
@@ -179,8 +223,9 @@ class Hierarchy:
             )
 
         # Primary L1 miss.
-        l1.stats.demand_misses += 1
-        self.miss_lines_l1[line] += 1
+        stats.demand_misses += 1
+        if self.collect_footprint:
+            self.miss_lines_l1[line] += 1
         if shadow_l1_hit:
             self.pollution_misses_l1 += 1
             if self.tracker is not None:
@@ -211,7 +256,8 @@ class Hierarchy:
         """L2 leg of a demand miss: returns (data ready, level, served-by-
         prefetch, component)."""
         l2 = self.l2
-        l2.stats.demand_accesses += 1
+        stats = l2.stats
+        stats.demand_accesses += 1
         hit = l2.lookup(line, now)
         shadow_l2_hit = True
         if not shadow_l1_hit:
@@ -219,22 +265,25 @@ class Hierarchy:
         telemetry = self.telemetry
 
         if hit is not None:
-            l2.stats.demand_hits += 1
+            stats.demand_hits += 1
             served = hit.first_use_of_prefetch
+            ready = hit.ready_time
             if served:
-                l2.stats.useful_prefetches += 1
-                if hit.ready_time > now:
-                    l2.stats.late_prefetch_hits += 1
+                stats.useful_prefetches += 1
+                if ready > now:
+                    stats.late_prefetch_hits += 1
                 if self.tracker is not None:
                     self.tracker.on_useful(line, hit.component, 2)
                 if telemetry is not None:
                     telemetry.emit(ev.FIRST_USE, now, line=line,
                                    component=hit.component, level=2, pc=pc)
-            ready = max(now, hit.ready_time) + l2.hit_latency
-            return ready, 2, served, hit.component
+            if ready < now:
+                ready = now
+            return ready + l2.hit_latency, 2, served, hit.component
 
-        l2.stats.demand_misses += 1
-        self.miss_lines_l2[line] += 1
+        stats.demand_misses += 1
+        if self.collect_footprint:
+            self.miss_lines_l2[line] += 1
         if not shadow_l1_hit and shadow_l2_hit:
             self.pollution_misses_l2 += 1
             if self.tracker is not None:
@@ -323,10 +372,10 @@ class Hierarchy:
             if evicted.dirty:
                 self.dram.write(evicted.line_addr, fill_time)
 
-    def _writeback_to_l2(self, evicted: EvictionInfo, now: int) -> None:
+    def _writeback_to_l2(self, evicted: CacheLine, now: int) -> None:
         self._fill_l2(evicted.line_addr, now, dirty=True)
 
-    def _writeback_to_l3(self, evicted: EvictionInfo, now: int) -> None:
+    def _writeback_to_l3(self, evicted: CacheLine, now: int) -> None:
         self._fill_l3(evicted.line_addr, now, dirty=True)
 
     # ------------------------------------------------------------------

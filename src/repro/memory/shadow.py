@@ -16,6 +16,8 @@ from __future__ import annotations
 class ShadowTagStore:
     """Tag-only LRU cache mirroring a :class:`~repro.memory.cache.Cache`."""
 
+    __slots__ = ("num_sets", "ways", "_set_mask", "_sets")
+
     def __init__(self, num_sets: int, ways: int) -> None:
         if num_sets <= 0 or num_sets & (num_sets - 1):
             raise ValueError("num_sets must be a positive power of two")

@@ -1,0 +1,119 @@
+"""Parallel fan-out of independent simulations across worker processes.
+
+Every figure experiment walks a (workload x prefetcher spec x config
+tag) matrix in which each cell is an independent, deterministic
+simulation — the classic embarrassingly-parallel sweep shape.  This
+module dispatches those cells over a ``ProcessPoolExecutor`` and merges
+the results **in submission order**, so the merged outcome is
+bit-identical to running the same jobs serially:
+
+* each worker regenerates the workload trace itself (trace generation is
+  seeded and deterministic; the per-process registry cache keeps it to
+  one build per workload per worker),
+* every simulation constructs its own prefetcher/hierarchy/DRAM state
+  (the DRAM controller RNG is seeded per instance), so nothing leaks
+  between jobs regardless of which worker runs them,
+* completion order never matters: results are collected ``map``-style,
+  aligned with the job list.
+
+Specs that cannot cross a process boundary (closures over local state)
+fall back to serial execution in the parent, after the picklable jobs
+have been handed to the pool — correctness never depends on
+picklability, only the achievable parallelism does.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from typing import Sequence
+
+from repro.engine.config import SystemConfig
+
+SimJob = tuple  # (workload, spec, tag) — see ``normalize_job``
+
+
+def default_jobs() -> int:
+    """Worker count when ``--jobs 0`` is given: one per CPU."""
+    return os.cpu_count() or 1
+
+
+def normalize_job(job) -> tuple[str, object, str]:
+    """Accept ``(workload, spec)`` or ``(workload, spec, tag)``."""
+    if len(job) == 2:
+        workload, spec = job
+        return workload, spec, ""
+    workload, spec, tag = job
+    return workload, spec, tag
+
+
+def _is_picklable(spec) -> bool:
+    if isinstance(spec, str):
+        return True
+    try:
+        pickle.dumps(spec)
+        return True
+    except Exception:
+        return False
+
+
+def _simulate_payload(payload: tuple[str, object, str, SystemConfig]):
+    """Worker entry point: one independent simulation."""
+    from repro.experiments.runner import simulate_spec
+
+    workload, spec, tag, config = payload
+    return simulate_spec(workload, spec, tag, config)
+
+
+def run_jobs(jobs: Sequence[SimJob], config: SystemConfig,
+             n_jobs: int) -> list:
+    """Simulate ``jobs`` with up to ``n_jobs`` workers.
+
+    Returns results aligned with ``jobs``.  ``n_jobs <= 1`` runs
+    everything serially in-process (same code path the workers use).
+    """
+    from repro.experiments.runner import simulate_spec
+
+    normalized = [normalize_job(job) for job in jobs]
+    if n_jobs <= 1 or len(normalized) <= 1:
+        return [
+            simulate_spec(workload, spec, tag, config)
+            for workload, spec, tag in normalized
+        ]
+
+    results: list = [None] * len(normalized)
+    remote: list[int] = []
+    local: list[int] = []
+    for i, (_, spec, _) in enumerate(normalized):
+        (remote if _is_picklable(spec) else local).append(i)
+
+    futures = {}
+    executor = _make_executor(min(n_jobs, max(len(remote), 1)))
+    try:
+        for i in remote:
+            workload, spec, tag = normalized[i]
+            futures[i] = executor.submit(
+                _simulate_payload, (workload, spec, tag, config)
+            )
+        # Overlap the non-picklable stragglers with the pool.
+        for i in local:
+            workload, spec, tag = normalized[i]
+            results[i] = simulate_spec(workload, spec, tag, config)
+        for i in remote:
+            results[i] = futures[i].result()
+    finally:
+        executor.shutdown(wait=True)
+    return results
+
+
+def _make_executor(workers: int):
+    from concurrent.futures import ProcessPoolExecutor
+
+    # Fork (where available) inherits the parent's warmed trace registry;
+    # spawn-based platforms re-import everything, which is merely slower.
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        context = multiprocessing.get_context()
+    return ProcessPoolExecutor(max_workers=workers, mp_context=context)

@@ -1,0 +1,177 @@
+"""Persistent on-disk cache of :class:`SimulationResult` objects.
+
+The in-process memo of :class:`~repro.experiments.runner.ExperimentRunner`
+dies with the interpreter, so every ``report_all`` invocation used to
+repay the full (workload x prefetcher) simulation matrix.  This module
+extends the PR-1 manifest content-hash idea into a read-through store:
+
+* **Key** — ``(workload, spec key, config digest, config tag, code
+  version)``.  The config digest hashes the frozen ``SystemConfig``
+  (``repr`` of nested frozen dataclasses is stable); the code version
+  hashes every simulator source file that can affect a result (ISA,
+  engine, memory system, prefetchers, workload generators).  Anything
+  that could change a number changes the key.
+* **Layout** — ``<root>/<code_version>/<workload>__<spec>__<digest>.pkl``
+  (default root ``runs/cache``).  Grouping by code version makes the
+  invalidation story inspectable: entries written by older simulator
+  code sit in other directories and simply never match.
+* **Invalidation** — stale versions are never read; ``repro cache stats``
+  counts them and ``repro cache clear --stale`` (or ``clear``) deletes
+  them.  Corrupt or unreadable entries behave as misses.
+
+Entries are pickles of simulation results produced by this repository's
+own code; like any pickle store, the cache directory should not be
+shared with untrusted writers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import re
+from pathlib import Path
+
+CACHE_VERSION = 1
+DEFAULT_CACHE_DIR = "runs/cache"
+
+_SIM_SOURCE_PACKAGES = (
+    "isa",
+    "engine",
+    "memory",
+    "core",
+    "baselines",
+    "workloads",
+)
+_SIM_SOURCE_MODULES = ("prefetcher_registry.py",)
+
+_code_version_cache: str | None = None
+
+
+def code_version() -> str:
+    """Digest of every source file that can influence a simulation result.
+
+    Unlike a git SHA this changes only when simulator code changes (docs
+    and analysis edits keep the cache warm) and it tracks a dirty working
+    tree, which a commit hash cannot.
+    """
+    global _code_version_cache
+    if _code_version_cache is None:
+        root = Path(__file__).resolve().parent
+        digest = hashlib.sha1(f"cache-v{CACHE_VERSION}".encode())
+        paths: list[Path] = []
+        for package in _SIM_SOURCE_PACKAGES:
+            paths.extend((root / package).glob("*.py"))
+        paths.extend(root / module for module in _SIM_SOURCE_MODULES)
+        for path in sorted(paths):
+            digest.update(path.name.encode())
+            digest.update(path.read_bytes())
+        _code_version_cache = digest.hexdigest()[:16]
+    return _code_version_cache
+
+
+def config_digest(config) -> str:
+    """Stable digest of a (frozen, nested-dataclass) ``SystemConfig``."""
+    return hashlib.sha1(repr(config).encode()).hexdigest()[:16]
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", text).strip("-") or "x"
+
+
+class ResultCache:
+    """Read-through pickle store for simulation results."""
+
+    def __init__(self, root=DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    def entry_path(self, workload: str, spec: str, tag: str,
+                   cfg_digest: str) -> Path:
+        content = hashlib.sha1(
+            f"{workload}\x00{spec}\x00{tag}\x00{cfg_digest}".encode()
+        ).hexdigest()[:16]
+        name = f"{_slug(workload)}__{_slug(spec)}__{content}.pkl"
+        return self.root / code_version() / name
+
+    def get(self, workload: str, spec: str, tag: str, cfg_digest: str):
+        """Cached result or ``None``; unreadable entries count as misses."""
+        path = self.entry_path(workload, spec, tag, cfg_digest)
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError):
+            # A torn write or an entry from an incompatible class layout:
+            # drop it so the next put() rewrites a good one.
+            path.unlink(missing_ok=True)
+            return None
+
+    def put(self, workload: str, spec: str, tag: str, cfg_digest: str,
+            result) -> Path:
+        """Serialize ``result``; atomic rename so parallel writers of the
+        same key cannot tear each other's entries."""
+        path = self.entry_path(workload, spec, tag, cfg_digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{id(result) & 0xFFFFFF:x}")
+        with open(tmp, "wb") as fh:
+            pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(path)
+        return path
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Entry/byte counts, split current code version vs stale."""
+        current = code_version()
+        report = {
+            "root": str(self.root),
+            "code_version": current,
+            "entries": 0,
+            "bytes": 0,
+            "stale_entries": 0,
+            "stale_bytes": 0,
+            "stale_versions": [],
+            "by_workload": {},
+        }
+        if not self.root.is_dir():
+            return report
+        for version_dir in sorted(self.root.iterdir()):
+            if not version_dir.is_dir():
+                continue
+            entries = list(version_dir.glob("*.pkl"))
+            size = sum(p.stat().st_size for p in entries)
+            if version_dir.name == current:
+                report["entries"] = len(entries)
+                report["bytes"] = size
+                for path in entries:
+                    workload = path.name.split("__", 1)[0]
+                    report["by_workload"][workload] = (
+                        report["by_workload"].get(workload, 0) + 1
+                    )
+            else:
+                report["stale_entries"] += len(entries)
+                report["stale_bytes"] += size
+                report["stale_versions"].append(version_dir.name)
+        return report
+
+    def clear(self, stale_only: bool = False) -> int:
+        """Delete entries (all, or only stale code versions); returns the
+        number of files removed."""
+        if not self.root.is_dir():
+            return 0
+        current = code_version()
+        removed = 0
+        for version_dir in sorted(self.root.iterdir()):
+            if not version_dir.is_dir():
+                continue
+            if stale_only and version_dir.name == current:
+                continue
+            for path in version_dir.glob("*.pkl"):
+                path.unlink(missing_ok=True)
+                removed += 1
+            try:
+                version_dir.rmdir()
+            except OSError:
+                pass
+        return removed
