@@ -10,7 +10,7 @@ Commands
 ``workloads``  list the registered workloads
 ``prefetchers`` list the registered prefetchers
 ``report``     regenerate every table/figure (see experiments.report_all)
-``cache``      inspect or clear the on-disk result cache
+``cache``      inspect or clear the on-disk result and trace caches
 ``bench``      wall-clock benchmark -> BENCH_simulator.json
 
 ``simulate``/``compare``/``profile``/``report`` accept ``--jobs N``
@@ -193,26 +193,56 @@ def _cmd_report(args) -> None:
 
 
 def _cmd_cache(args) -> None:
+    # One verb covers both on-disk stores: simulation results
+    # (runs/cache) and compiled traces (runs/traces).  --results /
+    # --traces scope the action; default is both.
     from repro.resultcache import DEFAULT_CACHE_DIR, ResultCache
+    from repro.workloads.tracecache import TraceCache
 
-    cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    want_results = args.results or not args.traces
+    want_traces = args.traces or not args.results
+    result_cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    trace_cache = TraceCache(args.trace_dir)
+
     if args.action == "clear":
-        removed = cache.clear(stale_only=args.stale)
         scope = "stale" if args.stale else "all"
-        print(f"removed {removed} entries ({scope}) from {cache.root}")
+        if want_results:
+            removed = result_cache.clear(stale_only=args.stale)
+            print(f"removed {removed} result entries ({scope}) "
+                  f"from {result_cache.root}")
+        if want_traces:
+            removed = trace_cache.clear(stale_only=args.stale)
+            print(f"removed {removed} trace entries ({scope}) "
+                  f"from {trace_cache.root}")
         return
-    stats = cache.stats()
-    rows = [
-        ("root", stats["root"]),
-        ("code version", stats["code_version"]),
-        ("entries (current)", stats["entries"]),
-        ("bytes (current)", stats["bytes"]),
-        ("entries (stale)", stats["stale_entries"]),
-        ("bytes (stale)", stats["stale_bytes"]),
-        ("stale versions", ", ".join(stats["stale_versions"]) or "-"),
-    ]
-    rows += [(f"workload {name}", count)
-             for name, count in sorted(stats["by_workload"].items())]
+
+    rows = []
+    if want_results:
+        stats = result_cache.stats()
+        rows += [
+            ("results: root", stats["root"]),
+            ("results: code version", stats["code_version"]),
+            ("results: entries (current)", stats["entries"]),
+            ("results: bytes (current)", stats["bytes"]),
+            ("results: entries (stale)", stats["stale_entries"]),
+            ("results: bytes (stale)", stats["stale_bytes"]),
+            ("results: stale versions",
+             ", ".join(stats["stale_versions"]) or "-"),
+        ]
+        rows += [(f"results: workload {name}", count)
+                 for name, count in sorted(stats["by_workload"].items())]
+    if want_traces:
+        stats = trace_cache.stats()
+        rows += [
+            ("traces: root", stats["root"]),
+            ("traces: code version", stats["trace_code_version"]),
+            ("traces: entries (current)", stats["entries"]),
+            ("traces: bytes (current)", stats["bytes"]),
+            ("traces: entries (stale)", stats["stale_entries"]),
+            ("traces: bytes (stale)", stats["stale_bytes"]),
+            ("traces: stale versions",
+             ", ".join(stats["stale_versions"]) or "-"),
+        ]
     print(format_table(["metric", "value"], rows))
 
 
@@ -330,13 +360,25 @@ def main(argv: list[str] | None = None) -> None:
     report_parser.set_defaults(func=_cmd_report)
 
     cache_parser = commands.add_parser(
-        "cache", help="inspect or clear the on-disk result cache"
+        "cache", help="inspect or clear the on-disk result/trace caches"
     )
     cache_parser.add_argument("action", choices=["stats", "clear"],
                               nargs="?", default="stats")
     cache_parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
-        help="cache root (default runs/cache)",
+        help="result-cache root (default runs/cache)",
+    )
+    cache_parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="trace-cache root (default runs/traces)",
+    )
+    cache_parser.add_argument(
+        "--results", action="store_true",
+        help="only the simulation-result cache",
+    )
+    cache_parser.add_argument(
+        "--traces", action="store_true",
+        help="only the compiled-trace cache",
     )
     cache_parser.add_argument(
         "--stale", action="store_true",

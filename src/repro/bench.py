@@ -12,12 +12,21 @@ writes a machine-readable ``BENCH_simulator.json``:
   warm run reading it back, with the warm run's fresh-simulation count
   (which must be zero) recorded alongside the times.
 
+The report also carries a ``phases`` breakdown — trace-build seconds
+(and how many traces were actually generated vs read from the trace
+cache), pure simulate seconds, and the parallel pass's warm/simulate/
+merge split — so a slow run can be attributed to the right layer.
+
 ``--check BASELINE.json`` turns the run into a regression gate: it fails
 (exit 1) when serial throughput drops more than ``--tolerance`` (default
-30%) below the committed baseline.  The committed baseline in
-``benchmarks/BENCH_baseline.json`` was measured *before* the hot-loop
-optimization, so ``improvement_vs_baseline`` in the output doubles as
-the optimization's scoreboard on comparable hardware.
+30%) below the committed baseline, or when the parallel pass at
+``jobs >= 2`` on a multi-core host comes out *slower* than serial
+(``speedup_vs_serial < 1.0`` — the PR-2 pool paid more in spawn and
+pickling than it won back; that must never happen again).  Single-core
+hosts skip the parallel gate, annotated in the report.  The committed
+baseline in ``benchmarks/BENCH_baseline.json`` was measured *before*
+the hot-loop optimization, so ``improvement_vs_baseline`` in the output
+doubles as the optimization's scoreboard on comparable hardware.
 """
 
 from __future__ import annotations
@@ -77,11 +86,21 @@ def _matrix(quick: bool) -> list[tuple[str, str]]:
     return [(w, p) for w in workloads for p in prefetchers]
 
 
-def _warm_traces(matrix) -> None:
+def _warm_traces(matrix) -> dict:
+    """Pre-build the matrix's compiled traces; returns the phase cost
+    (seconds plus how many traces were generated rather than read from
+    the trace cache)."""
     from repro.workloads import get_workload
+    from repro.workloads.tracecache import trace_counters
 
+    builds_before = trace_counters()["builds"]
+    started = time.perf_counter()
     for workload in {w for w, _ in matrix}:
         get_workload(workload).trace()
+    return {
+        "seconds": round(time.perf_counter() - started, 3),
+        "trace_builds": trace_counters()["builds"] - builds_before,
+    }
 
 
 def bench_serial(matrix, config, repeats: int = 2) -> dict:
@@ -114,8 +133,9 @@ def bench_serial(matrix, config, repeats: int = 2) -> dict:
 def bench_parallel(matrix, config, jobs: int, serial_seconds: float) -> dict:
     from repro.parallel import run_jobs
 
+    timings: dict = {}
     started = time.perf_counter()
-    run_jobs(matrix, config, jobs)
+    run_jobs(matrix, config, jobs, timings=timings)
     elapsed = time.perf_counter() - started
     return {
         "jobs": jobs,
@@ -123,6 +143,7 @@ def bench_parallel(matrix, config, jobs: int, serial_seconds: float) -> dict:
         "speedup_vs_serial": (
             round(serial_seconds / elapsed, 2) if elapsed else 0.0
         ),
+        "phases": timings,
     }
 
 
@@ -166,7 +187,7 @@ def run_bench(quick: bool = False, jobs: int = 0,
     jobs = jobs or default_jobs()
 
     say(f"warming {len({w for w, _ in matrix})} traces")
-    _warm_traces(matrix)
+    trace_phase = _warm_traces(matrix)
     say(f"serial pass over {len(matrix)} cells")
     serial = bench_serial(matrix, config)
     say(f"serial: {serial['instr_per_sec']} instr/sec")
@@ -176,10 +197,17 @@ def run_bench(quick: bool = False, jobs: int = 0,
     cache = bench_cache(matrix, config)
     return {
         "quick": quick,
+        "cpus": os.cpu_count() or 1,
         "matrix": {
             "workloads": sorted({w for w, _ in matrix}),
             "prefetchers": sorted({p for _, p in matrix}),
             "cells": len(matrix),
+        },
+        "phases": {
+            "trace_build_seconds": trace_phase["seconds"],
+            "trace_builds": trace_phase["trace_builds"],
+            "simulate_seconds": serial["seconds"],
+            "parallel": parallel["phases"],
         },
         "serial": serial,
         "parallel": parallel,
@@ -196,12 +224,20 @@ def check_regression(report: dict, baseline_path: str,
     The baseline file stores one serial reference per matrix mode
     (``quick`` and ``full``), so the CI smoke run and the full bench are
     each compared against like-for-like numbers.
+
+    A second gate covers the parallel layer: at ``jobs >= 2`` on a
+    multi-core host, ``speedup_vs_serial`` below 1.0 means the pool made
+    things *slower* and fails the check.  Single-core hosts cannot show
+    a real speedup, so the gate is skipped (and the report says so).
     """
     with open(baseline_path) as handle:
         baseline = json.load(handle)
     mode = "quick" if report["quick"] else "full"
     reference = baseline[mode]["instr_per_sec"]
     current = report["serial"]["instr_per_sec"]
+    parallel = report["parallel"]
+    gate_applies = (parallel["jobs"] >= 2
+                    and (os.cpu_count() or 1) >= 2)
     report["baseline"] = {
         "path": baseline_path,
         "mode": mode,
@@ -210,6 +246,9 @@ def check_regression(report: dict, baseline_path: str,
             round(current / reference, 2) if reference else 0.0
         ),
         "tolerance": tolerance,
+        "parallel_gate": (
+            "enforced" if gate_applies else "skipped (single-core host)"
+        ),
     }
     floor = (1.0 - tolerance) * reference
     if current < floor:
@@ -217,6 +256,12 @@ def check_regression(report: dict, baseline_path: str,
             f"serial throughput regressed: {current} instr/sec < "
             f"{floor:.0f} ({(1 - tolerance) * 100:.0f}% of baseline "
             f"{reference})"
+        )
+    if gate_applies and parallel["speedup_vs_serial"] < 1.0:
+        return (
+            f"parallel pass slower than serial: speedup "
+            f"{parallel['speedup_vs_serial']} < 1.0 at "
+            f"{parallel['jobs']} jobs on a {os.cpu_count()}-core host"
         )
     return None
 

@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 from repro.core.base import AccessEvent, Prefetcher
 from repro.engine.config import CoreConfig
 from repro.isa.instructions import NUM_REGISTERS, OpClass
-from repro.isa.trace import Trace
+from repro.isa.trace import CompiledTrace, Trace
 from repro.memory.hierarchy import LINE_SHIFT, Hierarchy
 
 
@@ -75,6 +75,17 @@ class OoOCore:
         "stats",
         "_records",
         "_num_records",
+        "_step",
+        "_c_pc",
+        "_c_opc",
+        "_c_addr",
+        "_c_value",
+        "_c_dst",
+        "_c_src1",
+        "_c_src2",
+        "_c_taken",
+        "_c_target",
+        "_c_ras",
         "_index",
         "_reg_ready",
         "_fetch_cycle",
@@ -104,8 +115,6 @@ class OoOCore:
         self.prefetcher = prefetcher
         self.config = config or CoreConfig()
         self.stats = CoreStats()
-        self._records = trace.records
-        self._num_records = len(trace.records)
         self._index = 0
         self._reg_ready = [0] * NUM_REGISTERS
         self._fetch_cycle = 0
@@ -148,6 +157,25 @@ class OoOCore:
         self._branch_predictor = make_predictor(
             self.config.branch_predictor
         )
+        # Replay-path selection.  Compiled traces are replayed straight
+        # from their list columns (no record objects in the hot loop)
+        # whenever no prefetcher wants the instruction stream.  When one
+        # does (T2/P1/composites), the trace's materialized TraceRecord
+        # views feed ``observe_instruction`` — the thin per-record view
+        # the prefetcher-observation API keeps — via the record path,
+        # which is also the reference path for plain object traces.
+        if (isinstance(trace, CompiledTrace)
+                and self._observe_instruction is None):
+            self._records = None
+            self._num_records = len(trace)
+            (self._c_pc, self._c_opc, self._c_addr, self._c_value,
+             self._c_dst, self._c_src1, self._c_src2, self._c_taken,
+             self._c_target, self._c_ras) = trace.columns
+            self._step = self._step_columns
+        else:
+            self._records = trace.records
+            self._num_records = len(self._records)
+            self._step = self._step_records
 
     def attach_telemetry(self, telemetry) -> None:
         """Wire a :class:`repro.telemetry.Telemetry` hub to this core.
@@ -165,7 +193,7 @@ class OoOCore:
     # ------------------------------------------------------------------
     @property
     def done(self) -> bool:
-        return self._index >= len(self._records)
+        return self._index >= self._num_records
 
     @property
     def now(self) -> int:
@@ -174,7 +202,17 @@ class OoOCore:
 
     # ------------------------------------------------------------------
     def step(self) -> bool:
-        """Process the next instruction; returns False when trace is done."""
+        """Process the next instruction; returns False when trace is done.
+
+        Dispatches to the column replay (compiled trace, no instruction
+        stream consumer) or the record replay (object traces, and any
+        prefetcher that observes the instruction stream) — selected once
+        in ``__init__``, identical timing by construction.
+        """
+        return self._step()
+
+    def _step_records(self) -> bool:
+        """Record replay: one :class:`TraceRecord` per retired instruction."""
         index = self._index
         if index >= self._num_records:
             return False
@@ -214,7 +252,8 @@ class OoOCore:
             src = record.src1
             if src >= 0 and reg_ready[src] > issue:
                 issue = reg_ready[src]
-            complete = self._do_load(record, issue)
+            complete = self._do_load(record.pc, record.addr, record.value,
+                                     record.dst, record.ras_top, issue)
             reg_ready[record.dst] = complete
         elif opc == _STORE:
             issue = dispatch
@@ -224,7 +263,7 @@ class OoOCore:
             data = record.src2
             if data >= 0 and reg_ready[data] > issue:
                 issue = reg_ready[data]
-            self._do_store(record, issue)
+            self._do_store(record.pc, record.addr, record.ras_top, issue)
             complete = issue + 1
         elif opc == _ALU:
             issue = dispatch
@@ -282,10 +321,128 @@ class OoOCore:
             sampler.on_instruction()
         return True
 
+    def _step_columns(self) -> bool:
+        """Column replay: fields read straight from the compiled trace.
+
+        Mirrors :meth:`_step_records` line for line — only field access
+        differs (list-column indexing instead of record attributes), and
+        only the columns an opcode actually needs are touched.  Never
+        selected when a prefetcher observes the instruction stream, so
+        the ``observe_instruction`` feed is absent here by construction.
+        """
+        index = self._index
+        if index >= self._num_records:
+            return False
+        self._index = index + 1
+        width = self._width
+
+        # Fetch bandwidth: `width` instructions per cycle.
+        fetch_cycle = self._fetch_cycle
+        fetch_slot = self._fetch_slot
+        if fetch_slot >= width:
+            fetch_cycle += 1
+            fetch_slot = 0
+        self._fetch_slot = fetch_slot + 1
+        fetch_time = fetch_cycle
+
+        # ROB occupancy: slot of instruction (index - rob) must be free.
+        rob_slot = index % self._rob_size
+        rob_free = self._commit_ring[rob_slot]
+        if rob_free > fetch_time:
+            # ROB-full stall also stalls fetch.
+            dispatch = rob_free
+            fetch_cycle = rob_free
+            self._fetch_slot = 1
+        else:
+            dispatch = fetch_time
+        self._fetch_cycle = fetch_cycle
+
+        reg_ready = self._reg_ready
+        opc = self._c_opc[index]
+        if opc == _LOAD:
+            issue = dispatch
+            src = self._c_src1[index]
+            if src >= 0 and reg_ready[src] > issue:
+                issue = reg_ready[src]
+            dst = self._c_dst[index]
+            complete = self._do_load(self._c_pc[index],
+                                     self._c_addr[index],
+                                     self._c_value[index], dst,
+                                     self._c_ras[index], issue)
+            reg_ready[dst] = complete
+        elif opc == _STORE:
+            issue = dispatch
+            src = self._c_src1[index]
+            if src >= 0 and reg_ready[src] > issue:
+                issue = reg_ready[src]
+            data = self._c_src2[index]
+            if data >= 0 and reg_ready[data] > issue:
+                issue = reg_ready[data]
+            self._do_store(self._c_pc[index], self._c_addr[index],
+                           self._c_ras[index], issue)
+            complete = issue + 1
+        elif opc == _ALU:
+            issue = dispatch
+            src = self._c_src1[index]
+            if src >= 0 and reg_ready[src] > issue:
+                issue = reg_ready[src]
+            src = self._c_src2[index]
+            if src >= 0 and reg_ready[src] > issue:
+                issue = reg_ready[src]
+            complete = issue + self._alu_latency
+            dst = self._c_dst[index]
+            if dst >= 0:
+                reg_ready[dst] = complete
+        elif opc == _BRANCH:
+            issue = dispatch
+            src1 = self._c_src1[index]
+            if src1 >= 0 and reg_ready[src1] > issue:
+                issue = reg_ready[src1]
+            src = self._c_src2[index]
+            if src >= 0 and reg_ready[src] > issue:
+                issue = reg_ready[src]
+            complete = issue + 1
+            self.stats.branches += 1
+            if src1 >= 0:  # conditional branch: predict and verify
+                pc = self._c_pc[index]
+                target_pc = self._c_target[index]
+                taken = self._c_taken[index]
+                predictor = self._branch_predictor
+                predicted_taken = predictor.predict(pc, target_pc)
+                predictor.update(pc, target_pc, taken)
+                if predicted_taken != taken:
+                    self.stats.mispredicts += 1
+                    self._fetch_cycle = complete + self._branch_penalty
+                    self._fetch_slot = 0
+        else:  # CALL / RET / OTHER: predicted by BTB/RAS, 1-cycle op
+            complete = dispatch + 1
+
+        # In-order commit, `width` per cycle.
+        last_commit = self._last_commit_time
+        if complete > last_commit:
+            commit = complete
+            self._commits_at_time = 1
+        else:
+            commit = last_commit
+            commits_at_time = self._commits_at_time + 1
+            if commits_at_time > width:
+                commit += 1
+                commits_at_time = 1
+            self._commits_at_time = commits_at_time
+        self._last_commit_time = commit
+        self._commit_ring[rob_slot] = commit
+
+        stats = self.stats
+        stats.instructions += 1
+        stats.cycles = commit
+        sampler = self._sampler
+        if sampler is not None:
+            sampler.on_instruction()
+        return True
+
     # ------------------------------------------------------------------
-    def _do_load(self, record, issue: int) -> int:
-        pc = record.pc
-        addr = record.addr
+    def _do_load(self, pc: int, addr: int, value: int, dst: int,
+                 ras_top: int, issue: int) -> int:
         result = self.hierarchy.demand_access(addr, issue,
                                               is_write=False, pc=pc)
         latency = result.ready_time - issue
@@ -302,15 +459,15 @@ class OoOCore:
             event = AccessEvent(
                 cycle=issue,
                 pc=pc,
-                mpc=pc ^ record.ras_top,
+                mpc=pc ^ ras_top,
                 addr=addr,
                 line=line,
                 is_load=True,
                 hit=result.l1_hit,
                 primary_miss=result.primary_miss,
                 latency=latency,
-                value=record.value,
-                dst=record.dst,
+                value=value,
+                dst=dst,
                 served_by_prefetch=result.served_by_prefetch,
                 serving_component=result.prefetch_component,
             )
@@ -327,9 +484,8 @@ class OoOCore:
             self._on_fill(line, 1)
         return result.ready_time
 
-    def _do_store(self, record, issue: int) -> None:
-        pc = record.pc
-        addr = record.addr
+    def _do_store(self, pc: int, addr: int, ras_top: int,
+                  issue: int) -> None:
         result = self.hierarchy.demand_access(addr, issue,
                                               is_write=True, pc=pc)
         self.stats.stores += 1
@@ -340,7 +496,7 @@ class OoOCore:
             event = AccessEvent(
                 cycle=issue,
                 pc=pc,
-                mpc=pc ^ record.ras_top,
+                mpc=pc ^ ras_top,
                 addr=addr,
                 line=line,
                 is_load=False,
@@ -379,7 +535,7 @@ class OoOCore:
     # ------------------------------------------------------------------
     def run(self) -> CoreStats:
         """Run the whole trace."""
-        step = self.step
+        step = self._step
         while step():
             pass
         return self.stats

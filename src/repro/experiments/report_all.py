@@ -33,6 +33,7 @@ from repro.experiments import (
     tables,
 )
 from repro.experiments.runner import ExperimentRunner
+from repro.workloads.tracecache import trace_counters
 
 SECTIONS = [
     ("Table I — system configuration",
@@ -105,6 +106,14 @@ def main(argv: list[str] | None = None) -> None:
         f"simulations: {counts['simulated']} fresh, "
         f"{counts['memory_hits']} memoized, "
         f"{counts['disk_hits']} from disk cache",
+        file=sys.stderr,
+    )
+    # A warm run (trace cache populated) must show zero builds here.
+    traces = trace_counters()
+    print(
+        f"traces: {traces['builds']} built, "
+        f"{traces['disk_hits']} from trace cache, "
+        f"{traces['memory_hits']} memoized",
         file=sys.stderr,
     )
     if args.output:

@@ -12,8 +12,12 @@ Two optional layers extend the in-process memo:
   simulation entirely.  Keys include a digest of the simulator sources,
   so editing engine/prefetcher code invalidates stale entries.
 * ``jobs`` — the default worker count for :meth:`prefill`, which fans
-  independent matrix cells out across processes
-  (:mod:`repro.parallel`) with results bit-identical to serial runs.
+  independent matrix cells out across a **persistent** process pool
+  (:mod:`repro.parallel`, reused across prefill calls) with results
+  bit-identical to serial runs.  Workloads themselves resolve through
+  the compiled-trace cache (:mod:`repro.workloads.tracecache`), so
+  neither the parent nor any worker rebuilds a functional trace that
+  the current builder code has generated before.
 
 With ``runs_dir`` set, every fresh (non-cached) simulation also writes a
 provenance manifest to ``<runs_dir>/<run_id>/manifest.json`` (see
@@ -196,11 +200,13 @@ class ExperimentRunner:
 
         ``jobs`` yields ``(workload, spec)`` or ``(workload, spec, tag)``
         tuples.  Cells already cached (memory or disk) are skipped; the
-        remainder fan out across ``n_jobs`` workers (default: the
-        runner's ``jobs`` setting) and merge deterministically, so
-        subsequent :meth:`run` calls are hits.  With one worker this is
-        a no-op — the serial path simulates on demand, exactly as
-        before.  Returns the number of fresh simulations.
+        remainder fan out across ``n_jobs`` workers of the shared
+        persistent pool (default: the runner's ``jobs`` setting) and
+        merge deterministically, so subsequent :meth:`run` calls are
+        hits.  With one worker — or a single surviving cell — this
+        stays in-process: :func:`repro.parallel.run_jobs` never pays
+        pool overhead it cannot win back.  Returns the number of fresh
+        simulations.
         """
         from repro.parallel import default_jobs, normalize_job, run_jobs
 

@@ -18,7 +18,7 @@ from repro.isa.instructions import (
     OpClass,
 )
 from repro.isa.program import Program
-from repro.isa.trace import Trace, TraceRecord
+from repro.isa.trace import CompiledTrace, Trace, TraceRecord, compile_trace
 
 _WORD_MASK = (1 << 64) - 1
 _SIGN_BIT = 1 << 63
@@ -54,6 +54,17 @@ class Machine:
                  truncate: bool = True) -> None:
         self.max_instructions = max_instructions
         self.truncate = truncate
+
+    def run_compiled(self, program: Program) -> CompiledTrace:
+        """Execute ``program`` and return the columnar compiled trace.
+
+        The object trace produced by :meth:`run` remains the reference
+        representation; this compiles it field-by-field into the list
+        columns the timing model replays and the trace cache persists.
+        Both views carry identical values by construction (pinned by
+        ``tests/test_tracecache.py``).
+        """
+        return compile_trace(self.run(program))
 
     def run(self, program: Program) -> Trace:
         """Execute ``program`` from its first instruction until HALT."""

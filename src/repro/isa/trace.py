@@ -4,10 +4,25 @@ A trace is the interface between the functional substrate and the timing
 simulator: the timing model replays records in program order and the
 prefetchers observe a per-record view equivalent to what the paper's
 hardware sees at decode/issue/commit.
+
+Two representations exist:
+
+* :class:`Trace` — one :class:`TraceRecord` object per retired
+  instruction.  This is what the machine emits and the reference replay
+  path consumes; it stays the ground truth the compiled form is checked
+  against.
+* :class:`CompiledTrace` — one Python-list column per field.  List
+  columns index at the same speed as slot attribute access (the stored
+  ``int`` objects are returned directly, nothing is boxed), while
+  serializing through :mod:`array` in one C-level pass per column —
+  which is what makes the on-disk trace cache
+  (:mod:`repro.workloads.tracecache`) and copy-on-write sharing across
+  forked workers cheap.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 
 from repro.isa.instructions import OpClass
@@ -129,6 +144,8 @@ class Trace:
     name: str
     records: list[TraceRecord]
     memory: dict[int, int] = field(default_factory=dict)
+    _stats: TraceStats | None = field(default=None, repr=False,
+                                      compare=False)
 
     def __len__(self) -> int:
         return len(self.records)
@@ -137,7 +154,14 @@ class Trace:
         return iter(self.records)
 
     def stats(self) -> TraceStats:
-        """Compute aggregate statistics in one pass."""
+        """Aggregate statistics, computed once and cached.
+
+        Several experiments call ``stats()`` repeatedly on the same
+        trace; the record walk only happens on the first call.  Callers
+        must treat the returned object as read-only.
+        """
+        if self._stats is not None:
+            return self._stats
         stats = TraceStats()
         stats.instructions = len(self.records)
         for record in self.records:
@@ -154,6 +178,7 @@ class Trace:
                 stats.calls += 1
             elif opc == OpClass.RET:
                 stats.returns += 1
+        self._stats = stats
         return stats
 
     def memory_footprint(self, line_bytes: int = 64) -> set[int]:
@@ -164,3 +189,163 @@ class Trace:
             for record in self.records
             if record.opc == OpClass.LOAD or record.opc == OpClass.STORE
         }
+
+
+TRACE_FIELDS = ("pc", "opc", "addr", "value", "dst", "src1", "src2",
+                "taken", "target_pc", "ras_top")
+"""Column order shared by :class:`CompiledTrace`, the trace cache's
+serialized form, and :mod:`repro.isa.traceio`."""
+
+TRACE_FIELD_TYPECODES = ("q", "b", "q", "q", "b", "b", "b", "b", "q", "q")
+""":mod:`array` typecode per column for serialization (``q`` = signed
+64-bit, ``b`` = signed 8-bit; register operands fit in a byte, ``-1``
+included)."""
+
+
+class CompiledTrace:
+    """A dynamic trace compiled to one list column per record field.
+
+    The columns are plain Python lists of ints (``taken`` holds bools):
+    indexing a list returns the stored object directly, so the timing
+    model's hot loop reads ``col[i]`` at slot-attribute speed without
+    materializing a record object per instruction.  ``records`` lazily
+    materializes classic :class:`TraceRecord` views for the
+    prefetcher-observation API and for analyses that want per-record
+    objects; the views are built once and cached.
+
+    ``memory`` is the same post-execution data image a :class:`Trace`
+    carries (P1's chain FSM dereferences it).
+    """
+
+    __slots__ = ("name", "memory", "pc", "opc", "addr", "value", "dst",
+                 "src1", "src2", "taken", "target_pc", "ras_top",
+                 "_stats", "_records")
+
+    def __init__(self, name: str, columns: tuple, memory: dict[int, int]):
+        self.name = name
+        self.memory = memory
+        (self.pc, self.opc, self.addr, self.value, self.dst, self.src1,
+         self.src2, self.taken, self.target_pc, self.ras_top) = columns
+        self._stats: TraceStats | None = None
+        self._records: list[TraceRecord] | None = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "CompiledTrace":
+        """Compile an object trace; the memory image is shared, not copied."""
+        records = trace.records
+        columns = tuple(
+            [getattr(r, name) for r in records] for name in TRACE_FIELDS
+        )
+        return cls(trace.name, columns, trace.memory)
+
+    def to_trace(self) -> Trace:
+        """Materialize a classic object :class:`Trace` (shared memory dict)."""
+        return Trace(name=self.name, records=list(self.records),
+                     memory=self.memory)
+
+    # ------------------------------------------------------------------
+    @property
+    def columns(self) -> tuple:
+        """The ten columns in :data:`TRACE_FIELDS` order."""
+        return (self.pc, self.opc, self.addr, self.value, self.dst,
+                self.src1, self.src2, self.taken, self.target_pc,
+                self.ras_top)
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        """Lazily materialized per-record views (cached)."""
+        if self._records is None:
+            self._records = [
+                TraceRecord(pc, opc, addr=addr, value=value, dst=dst,
+                            src1=src1, src2=src2, taken=taken,
+                            target_pc=target_pc, ras_top=ras_top)
+                for pc, opc, addr, value, dst, src1, src2, taken,
+                target_pc, ras_top in zip(*self.columns)
+            ]
+        return self._records
+
+    def record(self, index: int) -> TraceRecord:
+        """One :class:`TraceRecord` view of row ``index``."""
+        return TraceRecord(
+            self.pc[index], self.opc[index], addr=self.addr[index],
+            value=self.value[index], dst=self.dst[index],
+            src1=self.src1[index], src2=self.src2[index],
+            taken=self.taken[index], target_pc=self.target_pc[index],
+            ras_top=self.ras_top[index],
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.pc)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompiledTrace(name={self.name!r}, n={len(self.pc)})"
+
+    def stats(self) -> TraceStats:
+        """Aggregate statistics from the columns, cached after first call."""
+        if self._stats is not None:
+            return self._stats
+        opc = self.opc
+        stats = TraceStats()
+        stats.instructions = len(opc)
+        stats.loads = opc.count(OpClass.LOAD)
+        stats.stores = opc.count(OpClass.STORE)
+        stats.branches = opc.count(OpClass.BRANCH)
+        stats.calls = opc.count(OpClass.CALL)
+        stats.returns = opc.count(OpClass.RET)
+        if stats.branches:
+            branch = int(OpClass.BRANCH)
+            stats.taken_branches = sum(
+                1 for o, t in zip(opc, self.taken) if t and o == branch
+            )
+        self._stats = stats
+        return stats
+
+    def memory_footprint(self, line_bytes: int = 64) -> set[int]:
+        """Unique cache-line addresses touched by loads and stores."""
+        shift = line_bytes.bit_length() - 1
+        load = int(OpClass.LOAD)
+        store = int(OpClass.STORE)
+        return {
+            a >> shift
+            for o, a in zip(self.opc, self.addr)
+            if o == load or o == store
+        }
+
+    # ------------------------------------------------------------------
+    def column_bytes(self) -> dict[str, bytes]:
+        """Serialize every column through :mod:`array` (one C pass each)."""
+        return {
+            name: array(code, col).tobytes()
+            for name, code, col in zip(TRACE_FIELDS, TRACE_FIELD_TYPECODES,
+                                       self.columns)
+        }
+
+    @classmethod
+    def from_column_bytes(cls, name: str, blobs: dict[str, bytes],
+                          memory: dict[int, int]) -> "CompiledTrace":
+        """Inverse of :meth:`column_bytes`.
+
+        ``taken`` is normalized back to bools so a cache-loaded trace is
+        indistinguishable from a freshly compiled one.
+        """
+        columns = []
+        for field_name, code in zip(TRACE_FIELDS, TRACE_FIELD_TYPECODES):
+            col = array(code)
+            col.frombytes(blobs[field_name])
+            values = col.tolist()
+            if field_name == "taken":
+                values = [v != 0 for v in values]
+            columns.append(values)
+        return cls(name, tuple(columns), memory)
+
+
+def compile_trace(trace: Trace | CompiledTrace) -> CompiledTrace:
+    """Compile ``trace`` to columnar form (no-op if already compiled)."""
+    if isinstance(trace, CompiledTrace):
+        return trace
+    return CompiledTrace.from_trace(trace)

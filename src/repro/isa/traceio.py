@@ -4,19 +4,45 @@ Functional execution is cheap, but sharing a trace between processes (or
 pinning an exact trace for regression hunting) needs a stable on-disk
 form.  Records are stored as parallel numpy arrays; the memory image as
 two aligned arrays of addresses and values.
+
+Both trace representations serialize to the same format: a compiled
+:class:`~repro.isa.trace.CompiledTrace` writes its columns directly (one
+vectorized conversion per field), an object :class:`~repro.isa.trace.Trace`
+is walked record by record.  ``load_trace`` reconstructs the object form,
+``load_compiled`` the columnar form — from the same file.
+
+This is the *archival* format (compressed, numpy-portable).  The hot
+read-through trace cache (:mod:`repro.workloads.tracecache`) uses its own
+lighter container tuned for load speed.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.isa.trace import Trace, TraceRecord
+from repro.isa.trace import CompiledTrace, Trace, TraceRecord
 
 _FORMAT_VERSION = 1
 
 
-def save_trace(trace: Trace, path: str) -> None:
-    """Write ``trace`` to ``path`` (.npz)."""
+def _arrays_from_trace(trace: Trace | CompiledTrace):
+    """The eight npz arrays, built columnar-fast when possible."""
+    if isinstance(trace, CompiledTrace):
+        n = len(trace)
+        regs = np.empty((n, 3), dtype=np.int8)
+        regs[:, 0] = np.asarray(trace.dst, dtype=np.int8)
+        regs[:, 1] = np.asarray(trace.src1, dtype=np.int8)
+        regs[:, 2] = np.asarray(trace.src2, dtype=np.int8)
+        return (
+            np.asarray(trace.pc, dtype=np.int64),
+            np.asarray([int(o) for o in trace.opc], dtype=np.int8),
+            np.asarray(trace.addr, dtype=np.int64),
+            np.asarray(trace.value, dtype=np.int64),
+            regs,
+            np.asarray(trace.taken, dtype=np.bool_),
+            np.asarray(trace.target_pc, dtype=np.int64),
+            np.asarray(trace.ras_top, dtype=np.int64),
+        )
     n = len(trace.records)
     pc = np.empty(n, dtype=np.int64)
     opc = np.empty(n, dtype=np.int8)
@@ -37,6 +63,14 @@ def save_trace(trace: Trace, path: str) -> None:
         taken[i] = r.taken
         target_pc[i] = r.target_pc
         ras_top[i] = r.ras_top
+    return pc, opc, addr, value, regs, taken, target_pc, ras_top
+
+
+def save_trace(trace: Trace | CompiledTrace, path: str) -> None:
+    """Write ``trace`` (object or compiled) to ``path`` (.npz)."""
+    pc, opc, addr, value, regs, taken, target_pc, ras_top = (
+        _arrays_from_trace(trace)
+    )
     memory_addresses = np.fromiter(trace.memory.keys(), dtype=np.int64,
                                    count=len(trace.memory))
     memory_values = np.fromiter(
@@ -55,8 +89,7 @@ def save_trace(trace: Trace, path: str) -> None:
     )
 
 
-def load_trace(path: str) -> Trace:
-    """Read a trace written by :func:`save_trace`."""
+def _load_arrays(path: str):
     with np.load(path, allow_pickle=False) as data:
         version = int(data["version"])
         if version != _FORMAT_VERSION:
@@ -64,27 +97,53 @@ def load_trace(path: str) -> Trace:
                 f"unsupported trace format version {version}"
             )
         name = str(data["name"])
-        pc = data["pc"]
-        opc = data["opc"]
-        addr = data["addr"]
-        value = data["value"]
-        regs = data["regs"]
-        taken = data["taken"]
-        target_pc = data["target_pc"]
-        ras_top = data["ras_top"]
-        records = [
-            TraceRecord(
-                int(pc[i]), int(opc[i]), addr=int(addr[i]),
-                value=int(value[i]), dst=int(regs[i, 0]),
-                src1=int(regs[i, 1]), src2=int(regs[i, 2]),
-                taken=bool(taken[i]), target_pc=int(target_pc[i]),
-                ras_top=int(ras_top[i]),
-            )
-            for i in range(len(pc))
-        ]
+        arrays = {key: data[key] for key in
+                  ("pc", "opc", "addr", "value", "regs", "taken",
+                   "target_pc", "ras_top")}
         memory = {
             int(a): int(v)
             for a, v in zip(data["memory_addresses"],
                             data["memory_values"])
         }
+    return name, arrays, memory
+
+
+def load_trace(path: str) -> Trace:
+    """Read a trace written by :func:`save_trace` as an object trace."""
+    name, a, memory = _load_arrays(path)
+    pc, opc, addr, value = a["pc"], a["opc"], a["addr"], a["value"]
+    regs, taken = a["regs"], a["taken"]
+    target_pc, ras_top = a["target_pc"], a["ras_top"]
+    records = [
+        TraceRecord(
+            int(pc[i]), int(opc[i]), addr=int(addr[i]),
+            value=int(value[i]), dst=int(regs[i, 0]),
+            src1=int(regs[i, 1]), src2=int(regs[i, 2]),
+            taken=bool(taken[i]), target_pc=int(target_pc[i]),
+            ras_top=int(ras_top[i]),
+        )
+        for i in range(len(pc))
+    ]
     return Trace(name=name, records=records, memory=memory)
+
+
+def load_compiled(path: str) -> CompiledTrace:
+    """Read a trace written by :func:`save_trace` as a compiled trace.
+
+    Columns come out of numpy with ``tolist()`` — no per-record Python
+    loop — so this is the fast path for replaying archived traces.
+    """
+    name, a, memory = _load_arrays(path)
+    columns = (
+        a["pc"].tolist(),
+        a["opc"].tolist(),
+        a["addr"].tolist(),
+        a["value"].tolist(),
+        a["regs"][:, 0].tolist(),
+        a["regs"][:, 1].tolist(),
+        a["regs"][:, 2].tolist(),
+        a["taken"].tolist(),
+        a["target_pc"].tolist(),
+        a["ras_top"].tolist(),
+    )
+    return CompiledTrace(name, columns, memory)

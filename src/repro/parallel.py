@@ -3,35 +3,63 @@
 Every figure experiment walks a (workload x prefetcher spec x config
 tag) matrix in which each cell is an independent, deterministic
 simulation — the classic embarrassingly-parallel sweep shape.  This
-module dispatches those cells over a ``ProcessPoolExecutor`` and merges
-the results **in submission order**, so the merged outcome is
-bit-identical to running the same jobs serially:
+module dispatches those cells over a **persistent** process pool and
+merges the results **in submission order**, so the merged outcome is
+bit-identical to running the same jobs serially.
 
-* each worker regenerates the workload trace itself (trace generation is
-  seeded and deterministic; the per-process registry cache keeps it to
-  one build per workload per worker),
+What makes the fan-out a speedup rather than the PR-2 slowdown:
+
+* **Persistent pool** — the executor is created once per process and
+  reused across every ``run_jobs`` call (``report_all`` used to pay pool
+  spin-up/tear-down per figure).  ``shutdown_pool()`` runs at interpreter
+  exit, or sooner if the worker count changes.
+* **No per-worker trace rebuilds** — the parent warms the compiled
+  columnar traces (:mod:`repro.workloads.tracecache`) before dispatching;
+  fork-based workers share the parent's already-loaded columns
+  copy-on-write, and workers forked earlier read the on-disk trace cache
+  instead of re-running the functional machine.
+* **Chunked submission** — jobs ship through ``Executor.map`` with a
+  chunksize sized to the pool, amortizing IPC per batch instead of per
+  cell.
+* **Slim result payloads** — workers pack the per-line footprint
+  Counters and attempted-line sets into flat ``array('q')`` blobs
+  (:func:`_pack_result`); the parent restores equal objects.  The stats
+  dataclasses and per-component counters travel as-is; nothing
+  telemetry-sized ever crosses the pipe (profiled runs are never
+  fanned out).
+
+Correctness properties preserved from the serial path:
+
 * every simulation constructs its own prefetcher/hierarchy/DRAM state
   (the DRAM controller RNG is seeded per instance), so nothing leaks
   between jobs regardless of which worker runs them,
 * completion order never matters: results are collected ``map``-style,
-  aligned with the job list.
-
-Specs that cannot cross a process boundary (closures over local state)
-fall back to serial execution in the parent, after the picklable jobs
-have been handed to the pool — correctness never depends on
-picklability, only the achievable parallelism does.
+  aligned with the job list,
+* specs that cannot cross a process boundary (closures over local
+  state) fall back to serial execution in the parent — correctness
+  never depends on picklability, only the achievable parallelism does,
+* a broken pool (a worker killed mid-flight) degrades to in-process
+  serial execution of the unfinished cells.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 import pickle
+import time
+from array import array
+from collections import Counter
 from typing import Sequence
 
 from repro.engine.config import SystemConfig
 
 SimJob = tuple  # (workload, spec, tag) — see ``normalize_job``
+
+_EXECUTOR = None
+_EXECUTOR_WORKERS = 0
+_SHUTDOWN_REGISTERED = False
 
 
 def default_jobs() -> int:
@@ -58,62 +86,208 @@ def _is_picklable(spec) -> bool:
         return False
 
 
+# ----------------------------------------------------------------------
+# Persistent pool
+# ----------------------------------------------------------------------
+def pool_workers() -> int:
+    """Worker count of the live persistent pool (0 when none)."""
+    return _EXECUTOR_WORKERS if _EXECUTOR is not None else 0
+
+
+def shutdown_pool(wait: bool = True) -> None:
+    """Tear down the persistent pool (no-op when none is running)."""
+    global _EXECUTOR, _EXECUTOR_WORKERS
+    executor = _EXECUTOR
+    _EXECUTOR = None
+    _EXECUTOR_WORKERS = 0
+    if executor is not None:
+        executor.shutdown(wait=wait)
+
+
+def _get_executor(workers: int):
+    """The persistent pool, (re)created only when the size changes."""
+    global _EXECUTOR, _EXECUTOR_WORKERS, _SHUTDOWN_REGISTERED
+    if _EXECUTOR is not None and _EXECUTOR_WORKERS != workers:
+        shutdown_pool()
+    if _EXECUTOR is None:
+        from concurrent.futures import ProcessPoolExecutor
+
+        # Fork (where available) inherits the parent's warmed compiled
+        # traces copy-on-write; spawn-based platforms re-import
+        # everything and read the disk trace cache, which is merely
+        # slower.
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context()
+        _EXECUTOR = ProcessPoolExecutor(max_workers=workers,
+                                        mp_context=context)
+        _EXECUTOR_WORKERS = workers
+        if not _SHUTDOWN_REGISTERED:
+            atexit.register(shutdown_pool)
+            _SHUTDOWN_REGISTERED = True
+    return _EXECUTOR
+
+
+# ----------------------------------------------------------------------
+# Slim wire format
+# ----------------------------------------------------------------------
+def _pack_counter(counter) -> tuple[bytes, bytes]:
+    return (array("q", counter.keys()).tobytes(),
+            array("q", counter.values()).tobytes())
+
+
+def _unpack_counter(packed: tuple[bytes, bytes]) -> Counter:
+    keys = array("q")
+    keys.frombytes(packed[0])
+    values = array("q")
+    values.frombytes(packed[1])
+    counter: Counter = Counter()
+    counter.update(dict(zip(keys.tolist(), values.tolist())))
+    return counter
+
+
+def _pack_lines(lines) -> bytes:
+    return array("q", lines).tobytes()
+
+
+def _unpack_lines(packed: bytes) -> set:
+    lines = array("q")
+    lines.frombytes(packed)
+    return set(lines.tolist())
+
+
+def _pack_result(result):
+    """Strip the bulky per-line collections into flat array blobs.
+
+    The pickled payload shrinks to the stats dataclasses plus
+    per-component counters; the footprint Counters/sets — tens of
+    thousands of boxed ints when pickled naively — travel as C buffers
+    and are restored to equal objects by :func:`_unpack_result`.
+    """
+    core = result.core
+    blobs = (
+        _pack_counter(result.miss_lines_l1),
+        _pack_counter(result.miss_lines_l2),
+        _pack_counter(core.miss_pcs),
+        _pack_counter(core.miss_latency_by_pc),
+        _pack_lines(result.attempted_prefetch_lines),
+        {component: _pack_lines(lines)
+         for component, lines in result.attempted_by_component.items()},
+    )
+    result.miss_lines_l1 = Counter()
+    result.miss_lines_l2 = Counter()
+    core.miss_pcs = Counter()
+    core.miss_latency_by_pc = Counter()
+    result.attempted_prefetch_lines = set()
+    result.attempted_by_component = {}
+    return result, blobs
+
+
+def _unpack_result(payload):
+    result, blobs = payload
+    (miss1, miss2, miss_pcs, miss_latency, attempted, by_component) = blobs
+    result.miss_lines_l1 = _unpack_counter(miss1)
+    result.miss_lines_l2 = _unpack_counter(miss2)
+    result.core.miss_pcs = _unpack_counter(miss_pcs)
+    result.core.miss_latency_by_pc = _unpack_counter(miss_latency)
+    result.attempted_prefetch_lines = _unpack_lines(attempted)
+    result.attempted_by_component = {
+        component: _unpack_lines(lines)
+        for component, lines in by_component.items()
+    }
+    return result
+
+
 def _simulate_payload(payload: tuple[str, object, str, SystemConfig]):
-    """Worker entry point: one independent simulation."""
+    """Worker entry point: one independent simulation, slim-packed."""
     from repro.experiments.runner import simulate_spec
 
     workload, spec, tag, config = payload
-    return simulate_spec(workload, spec, tag, config)
+    return _pack_result(simulate_spec(workload, spec, tag, config))
+
+
+# ----------------------------------------------------------------------
+def warm_traces(workloads) -> float:
+    """Build/load the compiled traces for ``workloads`` in this process.
+
+    Called by :func:`run_jobs` before dispatching so workers never
+    regenerate traces: fork shares the parent's columns copy-on-write
+    and the on-disk trace cache covers workers forked earlier.  Returns
+    the seconds spent.
+    """
+    from repro.workloads import get_workload
+
+    started = time.perf_counter()
+    for workload in dict.fromkeys(workloads):
+        get_workload(workload).trace()
+    return time.perf_counter() - started
 
 
 def run_jobs(jobs: Sequence[SimJob], config: SystemConfig,
-             n_jobs: int) -> list:
-    """Simulate ``jobs`` with up to ``n_jobs`` workers.
+             n_jobs: int, timings: dict | None = None) -> list:
+    """Simulate ``jobs`` with up to ``n_jobs`` persistent workers.
 
     Returns results aligned with ``jobs``.  ``n_jobs <= 1`` runs
-    everything serially in-process (same code path the workers use).
+    everything serially in-process (same code path the workers use), as
+    does a job list with at most one pool-eligible cell — a pool that
+    could only ever run one job is pure overhead.  ``timings``, when
+    given, is filled with a phase breakdown (``trace_warm_seconds``,
+    ``simulate_seconds``, ``merge_seconds``).
     """
     from repro.experiments.runner import simulate_spec
 
-    normalized = [normalize_job(job) for job in jobs]
-    if n_jobs <= 1 or len(normalized) <= 1:
-        return [
-            simulate_spec(workload, spec, tag, config)
-            for workload, spec, tag in normalized
-        ]
+    def serial(indices, results):
+        for i in indices:
+            workload, spec, tag = normalized[i]
+            results[i] = simulate_spec(workload, spec, tag, config)
 
+    normalized = [normalize_job(job) for job in jobs]
     results: list = [None] * len(normalized)
     remote: list[int] = []
     local: list[int] = []
-    for i, (_, spec, _) in enumerate(normalized):
-        (remote if _is_picklable(spec) else local).append(i)
+    if n_jobs > 1 and len(normalized) > 1:
+        for i, (_, spec, _) in enumerate(normalized):
+            (remote if _is_picklable(spec) else local).append(i)
+    if len(remote) <= 1:
+        # Serial path: nothing (or a single cell) is pool-eligible.
+        started = time.perf_counter()
+        serial(range(len(normalized)), results)
+        if timings is not None:
+            timings["trace_warm_seconds"] = 0.0
+            timings["simulate_seconds"] = round(
+                time.perf_counter() - started, 3)
+            timings["merge_seconds"] = 0.0
+        return results
 
-    futures = {}
-    executor = _make_executor(min(n_jobs, max(len(remote), 1)))
+    from concurrent.futures.process import BrokenProcessPool
+
+    warm_seconds = warm_traces(normalized[i][0] for i in remote)
+    workers = min(n_jobs, len(remote))
+    executor = _get_executor(workers)
+    payloads = [normalized[i] + (config,) for i in remote]
+    chunksize = max(1, len(payloads) // (workers * 4) or 1)
+    merge_seconds = 0.0
+    started = time.perf_counter()
     try:
-        for i in remote:
-            workload, spec, tag = normalized[i]
-            futures[i] = executor.submit(
-                _simulate_payload, (workload, spec, tag, config)
-            )
+        packed_iter = executor.map(_simulate_payload, payloads,
+                                   chunksize=chunksize)
         # Overlap the non-picklable stragglers with the pool.
-        for i in local:
-            workload, spec, tag = normalized[i]
-            results[i] = simulate_spec(workload, spec, tag, config)
+        serial(local, results)
         for i in remote:
-            results[i] = futures[i].result()
-    finally:
-        executor.shutdown(wait=True)
+            packed = next(packed_iter)
+            merge_started = time.perf_counter()
+            results[i] = _unpack_result(packed)
+            merge_seconds += time.perf_counter() - merge_started
+    except BrokenProcessPool:
+        # A worker died (OOM-killed, signaled): degrade gracefully and
+        # finish the missing cells in-process.
+        shutdown_pool(wait=False)
+        serial((i for i in range(len(normalized)) if results[i] is None),
+               results)
+    if timings is not None:
+        timings["trace_warm_seconds"] = round(warm_seconds, 3)
+        timings["simulate_seconds"] = round(
+            time.perf_counter() - started - merge_seconds, 3)
+        timings["merge_seconds"] = round(merge_seconds, 3)
     return results
-
-
-def _make_executor(workers: int):
-    from concurrent.futures import ProcessPoolExecutor
-
-    # Fork (where available) inherits the parent's warmed trace registry;
-    # spawn-based platforms re-import everything, which is merely slower.
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        context = multiprocessing.get_context()
-    return ProcessPoolExecutor(max_workers=workers, mp_context=context)

@@ -47,6 +47,32 @@ _SIM_SOURCE_MODULES = ("prefetcher_registry.py",)
 _code_version_cache: str | None = None
 
 
+def digest_sources(paths, salt: str) -> str:
+    """sha1 over ``salt`` plus the name and bytes of every path, sorted.
+
+    Shared keying scheme for every code-versioned cache in the repo (the
+    result cache here and the trace cache in
+    :mod:`repro.workloads.tracecache`): editing any covered source file —
+    committed or not — changes the digest and thereby orphans stale
+    entries wholesale.
+    """
+    digest = hashlib.sha1(salt.encode())
+    for path in sorted(Path(p) for p in paths):
+        digest.update(path.name.encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+def sim_source_paths() -> list[Path]:
+    """Every source file that can influence a simulation result."""
+    root = Path(__file__).resolve().parent
+    paths: list[Path] = []
+    for package in _SIM_SOURCE_PACKAGES:
+        paths.extend((root / package).glob("*.py"))
+    paths.extend(root / module for module in _SIM_SOURCE_MODULES)
+    return paths
+
+
 def code_version() -> str:
     """Digest of every source file that can influence a simulation result.
 
@@ -56,16 +82,9 @@ def code_version() -> str:
     """
     global _code_version_cache
     if _code_version_cache is None:
-        root = Path(__file__).resolve().parent
-        digest = hashlib.sha1(f"cache-v{CACHE_VERSION}".encode())
-        paths: list[Path] = []
-        for package in _SIM_SOURCE_PACKAGES:
-            paths.extend((root / package).glob("*.py"))
-        paths.extend(root / module for module in _SIM_SOURCE_MODULES)
-        for path in sorted(paths):
-            digest.update(path.name.encode())
-            digest.update(path.read_bytes())
-        _code_version_cache = digest.hexdigest()[:16]
+        _code_version_cache = digest_sources(
+            sim_source_paths(), f"cache-v{CACHE_VERSION}"
+        )
     return _code_version_cache
 
 

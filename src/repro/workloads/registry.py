@@ -1,8 +1,17 @@
-"""Workload registry with per-process trace caching.
+"""Workload registry with read-through compiled-trace caching.
 
 A :class:`Workload` pairs a name with a deferred program builder; its
-functional trace (the "simpoint") is generated once and cached, since
-every prefetcher comparison replays the same trace.
+functional trace (the "simpoint") is compiled to columnar form
+(:class:`~repro.isa.trace.CompiledTrace`) exactly once, since every
+prefetcher comparison replays the same trace.  Three cache layers stack:
+
+1. the per-process memo on the :class:`Workload` instance,
+2. the on-disk trace cache (:mod:`repro.workloads.tracecache`), keyed by
+   builder-code version — one build per workload per machine, ever,
+3. a fresh :class:`~repro.isa.machine.Machine` run when both miss.
+
+Forked parallel workers inherit layer 1 copy-on-write and read layer 2
+for anything loaded after the fork, so workers never rebuild traces.
 """
 
 from __future__ import annotations
@@ -12,7 +21,7 @@ from typing import Callable
 
 from repro.isa.machine import Machine
 from repro.isa.program import Program
-from repro.isa.trace import Trace
+from repro.isa.trace import CompiledTrace, Trace, compile_trace
 
 DEFAULT_SIMPOINT = 160_000
 """Default dynamic-instruction budget per workload (the paper uses 10M
@@ -28,18 +37,43 @@ class Workload:
     build: Callable[[], Program]
     simpoint: int = DEFAULT_SIMPOINT
     description: str = ""
-    _trace: Trace | None = field(default=None, repr=False)
+    _trace: CompiledTrace | None = field(default=None, repr=False)
 
     def program(self) -> Program:
         return self.build()
 
-    def trace(self) -> Trace:
-        """Functional trace, cached for the process lifetime."""
-        if self._trace is None:
-            machine = Machine(max_instructions=self.simpoint, truncate=True)
-            self._trace = machine.run(self.program())
-            self._trace.name = self.name
-        return self._trace
+    def object_trace(self) -> Trace:
+        """The reference object trace, rebuilt from the program.
+
+        This path never touches the trace cache: it is the ground truth
+        the compiled/cached representation is verified against
+        (``tests/test_tracecache.py``) and is not memoized.
+        """
+        from repro.workloads import tracecache
+
+        tracecache.count("builds")
+        machine = Machine(max_instructions=self.simpoint, truncate=True)
+        trace = machine.run(self.program())
+        trace.name = self.name
+        return trace
+
+    def trace(self) -> CompiledTrace:
+        """Compiled functional trace (memo -> disk cache -> build)."""
+        from repro.workloads import tracecache
+
+        if self._trace is not None:
+            tracecache.count("memory_hits")
+            return self._trace
+        cache = tracecache.TraceCache()
+        cached = cache.get(self.name, self.simpoint)
+        if cached is not None:
+            tracecache.count("disk_hits")
+            self._trace = cached
+            return cached
+        compiled = compile_trace(self.object_trace())
+        cache.put(compiled, self.simpoint)
+        self._trace = compiled
+        return compiled
 
 
 _REGISTRY: dict[str, Workload] = {}

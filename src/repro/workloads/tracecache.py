@@ -1,0 +1,225 @@
+"""Persistent on-disk cache of compiled workload traces.
+
+Functional trace generation is deterministic but not free: every process
+(and, before this cache existed, every *worker* process) used to re-run
+the :class:`~repro.isa.machine.Machine` over each workload it touched.
+This module persists the compiled columnar form
+(:class:`~repro.isa.trace.CompiledTrace`) so a trace is built **once per
+builder-code version**, ever, per machine:
+
+* **Key** — workload name + simpoint + ``trace_code_version()``, a sha1
+  over every source file that can change what the machine emits (the
+  whole ``repro.isa`` package and the ``repro.workloads`` package,
+  builders included).  This mirrors :mod:`repro.resultcache`'s
+  code-version scheme and shares its digest helper.
+* **Layout** — ``<root>/<trace_code_version>/<workload>__<simpoint>.trace``
+  (default root ``runs/traces``; override with the ``REPRO_TRACE_CACHE``
+  environment variable, empty string disables the cache).
+* **Format** — a pickled dict of per-column ``bytes`` blobs produced by
+  :meth:`CompiledTrace.column_bytes` plus the memory image as two
+  ``array('q')`` blobs.  Loading is a handful of C-level
+  ``frombytes``/``tolist`` passes — no per-record Python loop.
+* **Invalidation** — entries from other code versions sit in their own
+  directories and are never read; ``repro cache stats`` counts them and
+  ``repro cache clear --stale`` deletes them.  Corrupt entries behave as
+  misses.
+
+Module-level counters (``builds``/``disk_hits``/``memory_hits``) expose
+how many traces were actually generated in this process — a warm
+``report_all`` run must show zero builds.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import re
+from array import array
+from pathlib import Path
+
+from repro.isa.trace import CompiledTrace
+
+TRACE_CACHE_VERSION = 1
+DEFAULT_TRACE_CACHE_DIR = "runs/traces"
+TRACE_CACHE_ENV = "REPRO_TRACE_CACHE"
+
+_SIGNED_64_MIN = -(1 << 63)
+_SIGNED_64_MAX = (1 << 63) - 1
+
+_trace_code_version_cache: str | None = None
+
+_counters = {"builds": 0, "disk_hits": 0, "memory_hits": 0}
+
+
+def trace_counters() -> dict:
+    """Snapshot of this process's trace-generation counters."""
+    return dict(_counters)
+
+
+def count(event: str) -> None:
+    """Bump one of the trace counters (``builds``/``disk_hits``/...)."""
+    _counters[event] += 1
+
+
+def reset_trace_counters() -> None:
+    for key in _counters:
+        _counters[key] = 0
+
+
+def trace_code_version() -> str:
+    """Digest of every source file that can change a generated trace.
+
+    Covers the functional substrate (``repro.isa``: machine, ISA,
+    assembler) and the workload definitions (``repro.workloads``:
+    builders, suites, registry, this module).  Editing any of them —
+    committed or not — orphans every cached trace.
+    """
+    global _trace_code_version_cache
+    if _trace_code_version_cache is None:
+        from repro.resultcache import digest_sources
+
+        here = Path(__file__).resolve().parent
+        paths = list(here.glob("*.py"))
+        paths.extend((here.parent / "isa").glob("*.py"))
+        _trace_code_version_cache = digest_sources(
+            paths, f"trace-cache-v{TRACE_CACHE_VERSION}"
+        )
+    return _trace_code_version_cache
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", text).strip("-") or "x"
+
+
+def default_root() -> str | None:
+    """Cache root honoring ``REPRO_TRACE_CACHE`` (empty = disabled)."""
+    root = os.environ.get(TRACE_CACHE_ENV)
+    if root is None:
+        return DEFAULT_TRACE_CACHE_DIR
+    return root or None
+
+
+class TraceCache:
+    """Read-through store of compiled traces, keyed by builder code."""
+
+    def __init__(self, root: str | None = None) -> None:
+        if root is None:
+            root = default_root()
+        self.root = Path(root) if root else None
+
+    @property
+    def enabled(self) -> bool:
+        return self.root is not None
+
+    # ------------------------------------------------------------------
+    def entry_path(self, name: str, simpoint: int) -> Path:
+        return (self.root / trace_code_version()
+                / f"{_slug(name)}__{simpoint}.trace")
+
+    def get(self, name: str, simpoint: int) -> CompiledTrace | None:
+        """Cached compiled trace or ``None``; corrupt entries are misses."""
+        if self.root is None:
+            return None
+        path = self.entry_path(name, simpoint)
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+            if payload["format"] != TRACE_CACHE_VERSION:
+                return None
+            addresses = array("q")
+            addresses.frombytes(payload["memory_addr"])
+            values = array("q")
+            values.frombytes(payload["memory_val"])
+            memory = dict(zip(addresses.tolist(), values.tolist()))
+            return CompiledTrace.from_column_bytes(
+                payload["name"], payload["columns"], memory
+            )
+        except FileNotFoundError:
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError, KeyError,
+                ValueError, TypeError):
+            # Torn write or incompatible payload: drop and rebuild.
+            path.unlink(missing_ok=True)
+            return None
+
+    def put(self, trace: CompiledTrace, simpoint: int) -> Path | None:
+        """Serialize ``trace``; atomic rename so concurrent builders of
+        the same workload cannot tear each other's entries.
+
+        Returns ``None`` (entry skipped) when the cache is disabled or
+        the memory image holds a value outside signed 64-bit range — the
+        columnar format could not round-trip it bit-identically.
+        """
+        if self.root is None:
+            return None
+        memory = trace.memory
+        for address, value in memory.items():
+            if not (_SIGNED_64_MIN <= value <= _SIGNED_64_MAX
+                    and 0 <= address <= _SIGNED_64_MAX):
+                return None
+        payload = {
+            "format": TRACE_CACHE_VERSION,
+            "name": trace.name,
+            "simpoint": simpoint,
+            "columns": trace.column_bytes(),
+            "memory_addr": array("q", memory.keys()).tobytes(),
+            "memory_val": array("q", memory.values()).tobytes(),
+        }
+        path = self.entry_path(trace.name, simpoint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid():x}")
+        with open(tmp, "wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(path)
+        return path
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Entry/byte counts split current vs stale, plus the process's
+        build counters."""
+        report = {
+            "root": str(self.root) if self.root else "(disabled)",
+            "trace_code_version": trace_code_version(),
+            "entries": 0,
+            "bytes": 0,
+            "stale_entries": 0,
+            "stale_bytes": 0,
+            "stale_versions": [],
+            "counters": trace_counters(),
+        }
+        if self.root is None or not self.root.is_dir():
+            return report
+        current = trace_code_version()
+        for version_dir in sorted(self.root.iterdir()):
+            if not version_dir.is_dir():
+                continue
+            entries = list(version_dir.glob("*.trace"))
+            size = sum(p.stat().st_size for p in entries)
+            if version_dir.name == current:
+                report["entries"] = len(entries)
+                report["bytes"] = size
+            else:
+                report["stale_entries"] += len(entries)
+                report["stale_bytes"] += size
+                report["stale_versions"].append(version_dir.name)
+        return report
+
+    def clear(self, stale_only: bool = False) -> int:
+        """Delete entries (all, or only stale builder versions)."""
+        if self.root is None or not self.root.is_dir():
+            return 0
+        current = trace_code_version()
+        removed = 0
+        for version_dir in sorted(self.root.iterdir()):
+            if not version_dir.is_dir():
+                continue
+            if stale_only and version_dir.name == current:
+                continue
+            for path in version_dir.glob("*.trace"):
+                path.unlink(missing_ok=True)
+                removed += 1
+            try:
+                version_dir.rmdir()
+            except OSError:
+                pass
+        return removed

@@ -19,7 +19,14 @@ from repro.experiments.runner import (
 )
 from repro.core.base import Prefetcher
 from repro.core.composite import make_tpc
-from repro.parallel import normalize_job, run_jobs
+from repro import parallel
+from repro.parallel import (
+    _pack_result,
+    _unpack_result,
+    normalize_job,
+    run_jobs,
+    shutdown_pool,
+)
 from repro.resultcache import ResultCache, code_version, config_digest
 
 APPS = ["spec.libquantum", "spec.astar"]
@@ -93,6 +100,67 @@ def test_figures_identical_at_jobs_1_and_4(figure, kwargs):
     fanned = figure.run(runner=ExperimentRunner(jobs=4), apps=APPS, **kwargs)
     assert figure.render(serial) == figure.render(fanned)
     assert serial == fanned
+
+
+def test_single_job_runs_in_process(monkeypatch):
+    """One pool-eligible cell must never pay process-pool overhead."""
+    def fail(workers):
+        raise AssertionError("pool created for a single job")
+
+    monkeypatch.setattr(parallel, "_get_executor", fail)
+    results = run_jobs([(APPS[0], "none")], EXPERIMENT_CONFIG, 8)
+    assert results[0].workload == APPS[0]
+
+
+def test_pool_persists_across_run_jobs_calls():
+    jobs = [(app, spec) for app in APPS for spec in ("none", "bop")]
+    shutdown_pool()
+    try:
+        run_jobs(jobs, EXPERIMENT_CONFIG, 2)
+        first = parallel._EXECUTOR
+        assert first is not None and parallel.pool_workers() == 2
+        run_jobs(jobs, EXPERIMENT_CONFIG, 2)
+        assert parallel._EXECUTOR is first  # reused, not respawned
+        run_jobs(jobs, EXPERIMENT_CONFIG, 3)
+        assert parallel._EXECUTOR is not first  # size change recreates
+        assert parallel.pool_workers() == 3
+    finally:
+        shutdown_pool()
+    assert parallel.pool_workers() == 0
+
+
+def test_packed_result_roundtrip():
+    from repro.experiments.runner import simulate_spec
+
+    reference = simulate_spec(APPS[0], "tpc", "", EXPERIMENT_CONFIG)
+    packed = _pack_result(
+        simulate_spec(APPS[0], "tpc", "", EXPERIMENT_CONFIG))
+    # The wire payload really is slim: the bulky collections are blobs.
+    stripped = packed[0]
+    assert stripped.miss_lines_l1 == {} == stripped.attempted_by_component
+    restored = _unpack_result(packed)
+    assert restored.miss_lines_l1 == reference.miss_lines_l1
+    assert restored.miss_lines_l2 == reference.miss_lines_l2
+    assert restored.core.miss_pcs == reference.core.miss_pcs
+    assert restored.core.miss_latency_by_pc \
+        == reference.core.miss_latency_by_pc
+    assert restored.attempted_prefetch_lines \
+        == reference.attempted_prefetch_lines
+    assert restored.attempted_by_component \
+        == reference.attempted_by_component
+    assert restored.core.cycles == reference.core.cycles
+
+
+def test_run_jobs_reports_phase_timings():
+    jobs = [(app, "none") for app in APPS]
+    timings: dict = {}
+    try:
+        run_jobs(jobs, EXPERIMENT_CONFIG, 2, timings=timings)
+    finally:
+        shutdown_pool()
+    assert set(timings) == {"trace_warm_seconds", "simulate_seconds",
+                            "merge_seconds"}
+    assert all(v >= 0 for v in timings.values())
 
 
 def test_prefill_matches_on_demand_results():
