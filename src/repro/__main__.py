@@ -14,8 +14,15 @@ Commands
 ``bench``      wall-clock benchmark -> BENCH_simulator.json
 
 ``simulate``/``compare``/``profile``/``report`` accept ``--jobs N``
-(parallel fan-out, bit-identical to serial) and ``--cache-dir DIR``
-(persistent result reuse); see docs/performance.md.
+(parallel fan-out, bit-identical to serial), ``--cache-dir DIR``
+(persistent result reuse), and ``--journal-dir DIR`` (resumable
+matrices: an interrupted run resumed with the same cache + journal
+re-simulates nothing that completed); see docs/performance.md and
+docs/robustness.md.  Parallel cells are fault-isolated with bounded
+retry/backoff and an optional per-cell timeout (``REPRO_RETRY_MAX`` /
+``REPRO_RETRY_BACKOFF`` / ``REPRO_CELL_TIMEOUT``); degradations are
+JSONL-logged to ``runs/journal/faults.jsonl``, which ``repro events``
+reads like any lifecycle trace.
 """
 
 from __future__ import annotations
@@ -30,7 +37,8 @@ def _runner_for(args):
     from repro.experiments.runner import ExperimentRunner
 
     return ExperimentRunner(jobs=getattr(args, "jobs", 1),
-                            cache_dir=getattr(args, "cache_dir", None))
+                            cache_dir=getattr(args, "cache_dir", None),
+                            journal_dir=getattr(args, "journal_dir", None))
 
 
 def _cmd_simulate(args) -> None:
@@ -189,6 +197,8 @@ def _cmd_report(args) -> None:
     argv += ["--jobs", str(args.jobs)]
     if args.cache_dir:
         argv += ["--cache-dir", args.cache_dir]
+    if args.journal_dir:
+        argv += ["--journal-dir", args.journal_dir]
     report_all.main(argv)
 
 
@@ -267,6 +277,11 @@ def main(argv: list[str] | None = None) -> None:
         subparser.add_argument(
             "--cache-dir", default=None, metavar="DIR",
             help="persistent result cache (e.g. runs/cache)",
+        )
+        subparser.add_argument(
+            "--journal-dir", default=None, metavar="DIR",
+            help="resumable-matrix journal (e.g. runs/journal; pairs "
+                 "with --cache-dir)",
         )
 
     simulate_parser = commands.add_parser(

@@ -27,6 +27,17 @@ hosts skip the parallel gate, annotated in the report.  The committed
 baseline in ``benchmarks/BENCH_baseline.json`` was measured *before*
 the hot-loop optimization, so ``improvement_vs_baseline`` in the output
 doubles as the optimization's scoreboard on comparable hardware.
+
+``--chaos`` switches the harness into degraded-mode verification (see
+docs/robustness.md): it measures a clean serial reference, then re-runs
+the matrix through the fault-tolerant stack with deterministic chaos
+injected — one worker killed mid-cell, one cell slowed past the
+per-cell timeout, one result-cache entry corrupted on disk — and a
+resume pass on the journal.  The gate fails (exit 1) unless the matrix
+completes with zero failed cells, final figures bit-identical to the
+clean reference, and the resume pass re-simulating only the corrupted
+cell.  This is the CI proof that the robustness layer degrades instead
+of breaking.
 """
 
 from __future__ import annotations
@@ -174,6 +185,130 @@ def bench_cache(matrix, config) -> dict:
         shutil.rmtree(scratch, ignore_errors=True)
 
 
+def _cell_figures(result) -> tuple:
+    """The per-cell identity tuple the chaos gate compares on."""
+    return (result.core.cycles, result.core.instructions,
+            result.l1d.demand_misses, result.dram_traffic)
+
+
+def run_chaos_bench(quick: bool = True, jobs: int = 0,
+                    progress=None) -> dict:
+    """Degraded-mode verification pass (``repro bench --chaos``).
+
+    Clean serial reference first, then the same matrix through
+    ``ExperimentRunner.prefill`` at ``jobs`` workers with deterministic
+    chaos: the first cell's worker killed, the second slowed past the
+    per-cell timeout, the third's result-cache entry corrupted.  A
+    second runner then resumes from the journal, which must re-simulate
+    only the corrupted cell.  Returns a report whose ``ok`` field is
+    the gate.
+    """
+    from repro import parallel
+    from repro.experiments.runner import ExperimentRunner, simulate_spec
+    from repro.faults import (RetryPolicy, chaos, fault_counters,
+                              reset_fault_counters)
+
+    def say(line: str) -> None:
+        if progress is not None:
+            progress(line)
+
+    config = EXPERIMENT_CONFIG
+    workloads = QUICK_WORKLOADS if quick else FULL_WORKLOADS
+    matrix = [(w, p) for w in workloads for p in FULL_PREFETCHERS]
+    # The slow cell must dispatch *after* the kill has broken the first
+    # pool, so it still carries attempt 0 (chaos fires on the first
+    # attempt only).  Dispatch is windowed at ``jobs`` when a timeout is
+    # set, so cap the worker count below the matrix size and aim the
+    # slow directive at the last cell.
+    jobs = jobs or parallel.default_jobs()
+    jobs = max(2, min(jobs, len(matrix) - 2))
+
+    say(f"chaos: clean serial reference over {len(matrix)} cells")
+    _warm_traces(matrix)
+    reference = {}
+    slowest = 0.0
+    for workload, spec in matrix:
+        started = time.perf_counter()
+        reference[(workload, spec)] = _cell_figures(
+            simulate_spec(workload, spec, "", config))
+        slowest = max(slowest, time.perf_counter() - started)
+
+    timeout = max(4.0 * slowest, 2.0)
+    kill_w, kill_s = matrix[0]
+    corrupt_w, corrupt_s = matrix[1]
+    slow_w, slow_s = matrix[-1]
+    spec_text = (f"kill={kill_w}/{kill_s};"
+                 f"slow={slow_w}/{slow_s}:{3.0 * timeout:.1f};"
+                 f"corrupt={corrupt_w}/{corrupt_s}")
+    policy = RetryPolicy(max_attempts=3, backoff_seconds=0.05,
+                         timeout_seconds=timeout)
+
+    scratch = tempfile.mkdtemp(prefix="repro-bench-chaos-")
+    previous_env = os.environ.get(chaos.CHAOS_ENV)
+    parallel.shutdown_pool()
+    chaos.reset_chaos()
+    reset_fault_counters()
+    os.environ[chaos.CHAOS_ENV] = spec_text
+    try:
+        say(f"chaos: degraded pass at {jobs} jobs "
+            f"(timeout {timeout:.1f}s) — {spec_text}")
+        cache_dir = os.path.join(scratch, "cache")
+        journal_dir = os.path.join(scratch, "journal")
+        degraded = ExperimentRunner(config, cache_dir=cache_dir,
+                                    journal_dir=journal_dir, jobs=jobs,
+                                    retry=policy)
+        degraded.prefill(matrix)
+        degraded_ok = degraded.counters["failed_cells"] == 0
+        degraded_identical = all(
+            _cell_figures(degraded.run(w, s)) == reference[(w, s)]
+            for w, s in matrix
+        )
+
+        say("chaos: resume pass (journal + corrupted cache entry)")
+        resumed = ExperimentRunner(config, cache_dir=cache_dir,
+                                   journal_dir=journal_dir, jobs=jobs,
+                                   retry=policy)
+        resumed.prefill(matrix)
+        resumed_identical = all(
+            _cell_figures(resumed.run(w, s)) == reference[(w, s)]
+            for w, s in matrix
+        )
+        counters = fault_counters()
+        report = {
+            "quick": quick,
+            "jobs": jobs,
+            "cells": len(matrix),
+            "chaos_spec": spec_text,
+            "timeout_seconds": round(timeout, 2),
+            "degraded": {
+                "failed_cells": degraded.counters["failed_cells"],
+                "fresh_simulations": degraded.counters["simulated"],
+                "identical_to_serial": degraded_identical,
+            },
+            "resume": {
+                # The corrupted entry is the only legitimate re-simulation.
+                "fresh_simulations": resumed.counters["simulated"],
+                "resume_hits": resumed.counters["resume_hits"],
+                "identical_to_serial": resumed_identical,
+            },
+            "degradations": counters,
+            "ok": (degraded_ok and degraded_identical and resumed_identical
+                   and resumed.counters["simulated"] <= 1
+                   and counters.get("worker_lost", 0) >= 1
+                   and counters.get("cell_timeout", 0) >= 1
+                   and counters.get("cache_corrupt", 0) >= 1),
+        }
+        return report
+    finally:
+        if previous_env is None:
+            os.environ.pop(chaos.CHAOS_ENV, None)
+        else:
+            os.environ[chaos.CHAOS_ENV] = previous_env
+        chaos.reset_chaos()
+        parallel.shutdown_pool()
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
 def run_bench(quick: bool = False, jobs: int = 0,
               progress=None) -> dict:
     from repro.parallel import default_jobs
@@ -282,7 +417,29 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--tolerance", type=float,
                         default=DEFAULT_TOLERANCE,
                         help="allowed fractional regression (default 0.30)")
+    parser.add_argument("--chaos", action="store_true",
+                        help="degraded-mode verification instead of timing: "
+                             "inject worker kill / slow cell / corrupted "
+                             "cache entry and gate on bit-identical figures")
     args = parser.parse_args(argv)
+
+    if args.chaos:
+        report = run_chaos_bench(
+            quick=args.quick, jobs=args.jobs,
+            progress=lambda line: print(line, file=sys.stderr))
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        append_bench_log({"kind": "bench-chaos", "output": args.output,
+                          "report": report})
+        print(f"wrote {args.output}", file=sys.stderr)
+        print(json.dumps(report, indent=2, sort_keys=True))
+        if not report["ok"]:
+            print("FAIL: chaos gate — degraded or resume pass did not "
+                  "reproduce the clean-serial figures (see report)",
+                  file=sys.stderr)
+            return 1
+        return 0
 
     report = run_bench(quick=args.quick, jobs=args.jobs,
                        progress=lambda line: print(line, file=sys.stderr))

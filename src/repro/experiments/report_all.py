@@ -8,7 +8,15 @@ you want the tables without the benchmarking machinery.
 
 ``--jobs N`` fans the simulation matrix out across processes (results
 are bit-identical to serial); ``--cache-dir DIR`` reuses simulations
-across invocations, so a warm re-run performs zero simulations.
+across invocations, so a warm re-run performs zero simulations;
+``--journal-dir DIR`` records completed cells so an interrupted run
+resumes with zero re-simulations of settled cells.
+
+Sections are fault-isolated: a section that raises is reported as
+failed (with its traceback inlined in the report and a
+``section_failed`` fault-log record) while every other section still
+renders — pass ``--fail-fast`` to restore abort-on-first-error.  The
+exit code is nonzero when any section failed.
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+import traceback
 
 from repro.experiments import (
     ablations,
@@ -68,18 +77,37 @@ SECTIONS = [
 
 
 def generate(runner: ExperimentRunner | None = None,
-             progress=None, jobs: int = 1, cache_dir=None) -> str:
+             progress=None, jobs: int = 1, cache_dir=None,
+             journal_dir=None, fail_fast: bool = False,
+             section_errors: list | None = None) -> str:
     """Run every section and return the combined report text.
 
-    ``jobs`` / ``cache_dir`` configure the default runner (ignored when
-    an explicit ``runner`` is passed).
+    ``jobs`` / ``cache_dir`` / ``journal_dir`` configure the default
+    runner (ignored when an explicit ``runner`` is passed).
+
+    Each section is fault-isolated: an exception becomes a ``SECTION
+    FAILED`` block carrying the traceback (and appends the title to
+    ``section_errors`` when the caller passes a list) instead of
+    aborting the remaining sections.  ``fail_fast=True`` restores the
+    old propagate-immediately behavior.
     """
     if runner is None:
-        runner = ExperimentRunner(jobs=jobs, cache_dir=cache_dir)
+        runner = ExperimentRunner(jobs=jobs, cache_dir=cache_dir,
+                                  journal_dir=journal_dir)
     parts = []
     for title, render in SECTIONS:
         started = time.time()
-        body = render(runner)
+        try:
+            body = render(runner)
+        except Exception:
+            if fail_fast:
+                raise
+            from repro.faults import SECTION_FAILED, log_fault
+
+            log_fault(SECTION_FAILED, detail=title)
+            if section_errors is not None:
+                section_errors.append(title)
+            body = "SECTION FAILED\n\n" + traceback.format_exc()
         elapsed = time.time() - started
         if progress is not None:
             progress(f"{title} ({elapsed:.0f}s)")
@@ -97,15 +125,27 @@ def main(argv: list[str] | None = None) -> None:
                         help="worker processes (0 = one per CPU)")
     parser.add_argument("--cache-dir", default=None,
                         help="persistent result-cache directory")
+    parser.add_argument("--journal-dir", default=None,
+                        help="resumable-matrix journal directory "
+                             "(pairs with --cache-dir)")
+    parser.add_argument("--fail-fast", action="store_true",
+                        help="abort on the first failing section instead "
+                             "of isolating it")
     args = parser.parse_args(argv)
-    runner = ExperimentRunner(jobs=args.jobs, cache_dir=args.cache_dir)
+    runner = ExperimentRunner(jobs=args.jobs, cache_dir=args.cache_dir,
+                              journal_dir=args.journal_dir)
+    section_errors: list = []
     report = generate(runner,
-                      progress=lambda line: print(line, file=sys.stderr))
+                      progress=lambda line: print(line, file=sys.stderr),
+                      fail_fast=args.fail_fast,
+                      section_errors=section_errors)
     counts = runner.counters
     print(
         f"simulations: {counts['simulated']} fresh, "
         f"{counts['memory_hits']} memoized, "
-        f"{counts['disk_hits']} from disk cache",
+        f"{counts['disk_hits']} from disk cache, "
+        f"{counts['resume_hits']} resumed from journal, "
+        f"{counts['failed_cells']} failed cells",
         file=sys.stderr,
     )
     # A warm run (trace cache populated) must show zero builds here.
@@ -122,6 +162,10 @@ def main(argv: list[str] | None = None) -> None:
         print(f"wrote {args.output}", file=sys.stderr)
     else:
         print(report)
+    if section_errors:
+        print(f"FAILED sections: {', '.join(section_errors)}",
+              file=sys.stderr)
+        sys.exit(1)
 
 
 if __name__ == "__main__":  # pragma: no cover

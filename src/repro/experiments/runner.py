@@ -18,6 +18,18 @@ Two optional layers extend the in-process memo:
   the compiled-trace cache (:mod:`repro.workloads.tracecache`), so
   neither the parent nor any worker rebuilds a functional trace that
   the current builder code has generated before.
+* ``journal_dir`` — a resumable-matrix journal
+  (:class:`repro.faults.MatrixJournal`): every completed cell is
+  recorded under the result-cache key scheme, so an interrupted matrix
+  resumed with the same cache and journal performs **zero**
+  re-simulations of completed cells (counted as ``resume_hits``).
+  Failed cells land in the journal too, for post-mortems.
+
+Fan-out is fault-isolated (docs/robustness.md): a cell that exhausts
+its retries surfaces as a :class:`repro.faults.CellFailure`, is counted
+under ``failed_cells``, journaled, and **skipped** — the rest of the
+matrix completes.  A later :meth:`run` of that cell simulates serially
+and raises the real exception in context.
 
 With ``runs_dir`` set, every fresh (non-cached) simulation also writes a
 provenance manifest to ``<runs_dir>/<run_id>/manifest.json`` (see
@@ -137,17 +149,33 @@ class ExperimentRunner:
     jobs:
         Default worker count for :meth:`prefill`; ``1`` keeps everything
         serial and ``0`` means one worker per CPU.
+    journal_dir:
+        Optional; resumable-matrix journal directory (pairs with
+        ``cache_dir`` — the journal stores completion keys, the cache
+        stores the payloads).
+    retry:
+        Optional :class:`repro.faults.RetryPolicy` for :meth:`prefill`
+        fan-out (default: from the environment).
     """
 
     def __init__(self, config: SystemConfig | None = None,
-                 runs_dir=None, cache_dir=None, jobs: int = 1) -> None:
+                 runs_dir=None, cache_dir=None, jobs: int = 1,
+                 journal_dir=None, retry=None) -> None:
         self.config = config or EXPERIMENT_CONFIG
         self.runs_dir = runs_dir
         self.jobs = jobs
+        self.retry = retry
         self.disk = ResultCache(cache_dir) if cache_dir else None
         self._config_digest = config_digest(self.config)
+        if journal_dir:
+            from repro.faults import MatrixJournal
+
+            self.journal = MatrixJournal(journal_dir, self._config_digest)
+        else:
+            self.journal = None
         self._cache: dict[tuple[str, str, str], SimulationResult] = {}
-        self.counters = {"simulated": 0, "memory_hits": 0, "disk_hits": 0}
+        self.counters = {"simulated": 0, "memory_hits": 0, "disk_hits": 0,
+                         "resume_hits": 0, "failed_cells": 0}
 
     def _record(self, result: SimulationResult) -> None:
         if self.runs_dir is not None and result.manifest is not None:
@@ -164,6 +192,8 @@ class ExperimentRunner:
         if self.disk is not None:
             self.disk.put(key[0], key[1], key[2], self._config_digest,
                           result)
+        if self.journal is not None:
+            self.journal.record_ok(*key)
 
     def _disk_get(self, key: tuple[str, str, str]
                   ) -> SimulationResult | None:
@@ -173,6 +203,14 @@ class ExperimentRunner:
         if result is not None:
             self._cache[key] = result
             self.counters["disk_hits"] += 1
+            if self.journal is not None and self.journal.has(key):
+                # A journaled cell served from the cache: the resume
+                # contract (zero re-simulations) at work, made visible.
+                from repro.faults import RESUME_HIT, log_fault
+
+                self.counters["resume_hits"] += 1
+                log_fault(RESUME_HIT, workload=key[0], spec=key[1],
+                          tag=key[2])
         return result
 
     def run(self, workload: str, prefetcher: PrefetcherSpec = "none",
@@ -205,9 +243,14 @@ class ExperimentRunner:
         merge deterministically, so subsequent :meth:`run` calls are
         hits.  With one worker — or a single surviving cell — this
         stays in-process: :func:`repro.parallel.run_jobs` never pays
-        pool overhead it cannot win back.  Returns the number of fresh
-        simulations.
+        pool overhead it cannot win back.
+
+        Cells that exhaust their retries are **not** fatal here: each is
+        journaled/counted as a failure and skipped, so one bad cell
+        cannot abort the matrix.  Returns the number of fresh
+        simulations that succeeded.
         """
+        from repro.faults import CellFailure
         from repro.parallel import default_jobs, normalize_job, run_jobs
 
         n = self.jobs if n_jobs is None else n_jobs
@@ -226,10 +269,18 @@ class ExperimentRunner:
             pending[key] = (workload, spec, tag)
         if not pending:
             return 0
-        results = run_jobs(list(pending.values()), self.config, n)
+        results = run_jobs(list(pending.values()), self.config, n,
+                           policy=self.retry)
+        stored = 0
         for key, result in zip(pending, results):
+            if isinstance(result, CellFailure):
+                self.counters["failed_cells"] += 1
+                if self.journal is not None:
+                    self.journal.record_failure(result)
+                continue
             self._store(key, result)
-        return len(results)
+            stored += 1
+        return stored
 
     def run_tracked(self, workload: str, prefetcher: PrefetcherSpec,
                     tracker, tag: str = "") -> SimulationResult:

@@ -1,0 +1,58 @@
+"""The one atomic-write helper every on-disk cache goes through.
+
+Both persistent stores (results in :mod:`repro.resultcache`, compiled
+traces in :mod:`repro.workloads.tracecache`) used to hand-roll the
+write-temp-then-rename dance — and the result cache named its temp file
+after ``id(result)``, which can collide across processes and tear
+concurrent writes of the same key.  This helper fixes the scheme once
+for everyone:
+
+* the temp name embeds ``os.getpid()``, which two live writers can
+  never share, so concurrent ``put``\\ s of the same key each write a
+  private file and the final ``os.replace`` is the only visible step;
+* the temp file lives next to its target (same filesystem, so the
+  rename is atomic) with a name no cache glob matches;
+* every write carries a ``label`` (``"result:<workload>/<spec>:<tag>"``,
+  ``"trace:<name>"``) that the chaos harness
+  (:func:`repro.faults.chaos.filter_write`) uses to deterministically
+  tear or corrupt selected entries — which is how the caches' corrupt-
+  entry-is-a-miss contract stays tested.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+
+from repro.faults import chaos
+
+
+def tmp_path_for(path: Path) -> Path:
+    """Private sibling temp path for ``path`` (pid-unique, glob-proof)."""
+    return path.parent / f"{path.name}.tmp.{os.getpid():x}"
+
+
+def atomic_write_bytes(path, data: bytes, label: str = "") -> Path:
+    """Write ``data`` to ``path`` via a pid-named temp + atomic rename."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    data = chaos.filter_write(label, data)
+    tmp = tmp_path_for(path)
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    finally:
+        # A failed write (disk full, interrupt) must not strand a temp
+        # file that the next writer with this pid would then clobber.
+        if tmp.exists():
+            tmp.unlink(missing_ok=True)
+    return path
+
+
+def atomic_write_pickle(path, obj, label: str = "") -> Path:
+    """Pickle ``obj`` and :func:`atomic_write_bytes` it."""
+    return atomic_write_bytes(
+        path, pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL), label
+    )

@@ -1,0 +1,128 @@
+"""Resumable-matrix journal: which cells already completed, on disk.
+
+An interrupted ``report_all --jobs N`` (Ctrl-C, OOM kill, preempted CI
+runner) used to restart from scratch.  With a journal attached, the
+:class:`~repro.experiments.runner.ExperimentRunner` appends one record
+per completed cell — same ``(workload, spec key, tag)`` identity as the
+result cache, scoped by the same ``(code version, config digest)`` pair
+— so the next invocation knows exactly which cells are settled and
+serves them from the result cache as **resume hits** with zero
+re-simulations.
+
+* **Layout** — ``<root>/<code_version>__<config_digest>.jsonl`` (default
+  root ``runs/journal``).  One JSON object per line, append-only; a
+  torn final line (the crash that motivates the journal) is skipped on
+  load rather than fatal.
+* **Record** — ``{"status": "ok"|"failed", "workload", "spec", "tag",
+  "attempts", "seconds", ...}``; failures carry the failure kind and
+  error string so a post-mortem does not depend on scrollback.
+* **Scoping** — the code version and config digest live in the file
+  name: editing simulator code or changing the config starts a fresh
+  journal, mirroring the result cache's invalidation story.
+
+The journal deliberately stores *keys*, not results — the result cache
+already persists the payloads, and duplicating them would double the
+write volume for nothing.  Resume therefore needs both layers enabled
+(``--cache-dir`` + ``--journal-dir``), which the CLI wires together.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+
+DEFAULT_JOURNAL_DIR = "runs/journal"
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", text).strip("-") or "x"
+
+
+class MatrixJournal:
+    """Append-only journal of completed (and failed) matrix cells."""
+
+    def __init__(self, root, cfg_digest: str,
+                 code_version: "str | None" = None) -> None:
+        if code_version is None:
+            from repro.resultcache import code_version as current
+
+            code_version = current()
+        self.root = Path(root)
+        self.path = self.root / (
+            f"{_slug(code_version)}__{_slug(cfg_digest)}.jsonl"
+        )
+        self.completed: set = set()
+        self.failed: list = []
+        self._load()
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                lines = fh.readlines()
+        except OSError:
+            return
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                key = (record["workload"], record["spec"], record["tag"])
+            except (ValueError, KeyError, TypeError):
+                continue  # torn final line from an interrupted writer
+            if record.get("status") == "ok":
+                self.completed.add(key)
+            else:
+                self.failed.append(record)
+
+    def _append(self, record: dict) -> None:
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        except OSError:
+            pass  # journaling is best-effort; the run itself must go on
+
+    # ------------------------------------------------------------------
+    def has(self, key) -> bool:
+        """Was ``(workload, spec, tag)`` journaled as completed?"""
+        return tuple(key) in self.completed
+
+    def record_ok(self, workload: str, spec: str, tag: str,
+                  attempts: int = 1, seconds: float = 0.0) -> None:
+        key = (workload, spec, tag)
+        if key in self.completed:
+            return
+        self.completed.add(key)
+        self._append({"status": "ok", "workload": workload, "spec": spec,
+                      "tag": tag, "attempts": attempts,
+                      "seconds": round(seconds, 3)})
+
+    def record_failure(self, failure) -> None:
+        """Journal a :class:`~repro.faults.CellFailure` for post-mortems."""
+        record = {"status": "failed", "workload": failure.workload,
+                  "spec": failure.spec, "tag": failure.tag,
+                  "kind": failure.kind, "attempts": failure.attempts,
+                  "error": failure.error}
+        self.failed.append(record)
+        self._append(record)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "path": str(self.path),
+            "completed": len(self.completed),
+            "failed": len(self.failed),
+        }
+
+    def clear(self) -> None:
+        """Forget this matrix's journal (fresh start)."""
+        self.completed.clear()
+        self.failed.clear()
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass

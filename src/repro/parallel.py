@@ -1,4 +1,4 @@
-"""Parallel fan-out of independent simulations across worker processes.
+"""Fault-tolerant parallel fan-out of independent simulations.
 
 Every figure experiment walks a (workload x prefetcher spec x config
 tag) matrix in which each cell is an independent, deterministic
@@ -7,39 +7,52 @@ module dispatches those cells over a **persistent** process pool and
 merges the results **in submission order**, so the merged outcome is
 bit-identical to running the same jobs serially.
 
-What makes the fan-out a speedup rather than the PR-2 slowdown:
+Performance properties (PR 2-3):
 
 * **Persistent pool** — the executor is created once per process and
-  reused across every ``run_jobs`` call (``report_all`` used to pay pool
-  spin-up/tear-down per figure).  ``shutdown_pool()`` runs at interpreter
-  exit, or sooner if the worker count changes.
+  reused across every ``run_jobs`` call.  ``shutdown_pool()`` runs at
+  interpreter exit, or sooner if the worker count changes.
 * **No per-worker trace rebuilds** — the parent warms the compiled
-  columnar traces (:mod:`repro.workloads.tracecache`) before dispatching;
-  fork-based workers share the parent's already-loaded columns
-  copy-on-write, and workers forked earlier read the on-disk trace cache
-  instead of re-running the functional machine.
-* **Chunked submission** — jobs ship through ``Executor.map`` with a
-  chunksize sized to the pool, amortizing IPC per batch instead of per
-  cell.
+  columnar traces (:mod:`repro.workloads.tracecache`) before
+  dispatching; fork-based workers share the parent's already-loaded
+  columns copy-on-write, and workers forked earlier read the on-disk
+  trace cache instead of re-running the functional machine.
 * **Slim result payloads** — workers pack the per-line footprint
   Counters and attempted-line sets into flat ``array('q')`` blobs
-  (:func:`_pack_result`); the parent restores equal objects.  The stats
-  dataclasses and per-component counters travel as-is; nothing
-  telemetry-sized ever crosses the pipe (profiled runs are never
-  fanned out).
+  (:func:`_pack_result`); the parent restores equal objects.
 
-Correctness properties preserved from the serial path:
+Fault-tolerance properties (this layer; see docs/robustness.md):
 
-* every simulation constructs its own prefetcher/hierarchy/DRAM state
-  (the DRAM controller RNG is seeded per instance), so nothing leaks
-  between jobs regardless of which worker runs them,
-* completion order never matters: results are collected ``map``-style,
-  aligned with the job list,
-* specs that cannot cross a process boundary (closures over local
-  state) fall back to serial execution in the parent — correctness
-  never depends on picklability, only the achievable parallelism does,
-* a broken pool (a worker killed mid-flight) degrades to in-process
-  serial execution of the unfinished cells.
+* **Per-cell isolation** — a cell that raises is retried under the
+  :class:`~repro.faults.RetryPolicy` (bounded attempts, deterministic
+  exponential backoff) and, if it keeps failing, its slot holds a
+  structured :class:`~repro.faults.CellFailure` instead of aborting the
+  matrix.  ``run_jobs`` itself never raises for a cell-level problem.
+* **Hung-worker replacement** — with ``policy.timeout_seconds`` set,
+  cells are dispatched at most ``workers`` at a time so the per-cell
+  wall clock is honest; a cell that overruns is declared timed out, the
+  whole pool is forcibly replaced (:func:`kill_pool` — the only
+  portable way to reclaim a stuck worker), innocent in-flight cells are
+  resubmitted without an attempt penalty, and the timed-out cell
+  retries fresh.
+* **Worker-death recovery** — a broken pool (a worker OOM-killed or
+  chaos-killed mid-cell) is detected, torn down, and replaced; all
+  in-flight cells are rescheduled with one attempt consumed, and a cell
+  that keeps losing workers gets one last in-parent serial attempt
+  before being declared failed.
+* **Deterministic chaos** — the worker entry point and the serial path
+  run the :mod:`repro.faults.chaos` checkpoint, so injected kills and
+  slowdowns exercise exactly these recovery paths in CI.
+* **Timings always fill** — the ``timings`` dict is populated on every
+  exit path (the old code left it empty when trace warming or the
+  overlapped serial stragglers raised).
+
+Correctness properties preserved from the serial path: every simulation
+constructs its own prefetcher/hierarchy/DRAM state, completion order
+never matters (results align with the job list), and specs that cannot
+cross a process boundary fall back to serial execution in the parent.
+Every degradation is counted and JSONL-logged via
+:mod:`repro.faults.faultlog` (``python -m repro events`` reads it).
 """
 
 from __future__ import annotations
@@ -49,8 +62,9 @@ import multiprocessing
 import os
 import pickle
 import time
+import traceback
 from array import array
-from collections import Counter
+from collections import Counter, deque
 from typing import Sequence
 
 from repro.engine.config import SystemConfig
@@ -86,6 +100,16 @@ def _is_picklable(spec) -> bool:
         return False
 
 
+def _safe_spec_key(spec) -> str:
+    """A cell-identity string that never raises (failure reporting)."""
+    try:
+        from repro.experiments.runner import spec_key
+
+        return spec_key(spec)
+    except Exception:
+        return repr(spec)
+
+
 # ----------------------------------------------------------------------
 # Persistent pool
 # ----------------------------------------------------------------------
@@ -102,6 +126,40 @@ def shutdown_pool(wait: bool = True) -> None:
     _EXECUTOR_WORKERS = 0
     if executor is not None:
         executor.shutdown(wait=wait)
+
+
+def kill_pool() -> None:
+    """Forcibly terminate the pool's workers and discard the executor.
+
+    Used to replace a hung worker: ``Executor.shutdown`` waits for
+    running calls, which is exactly what a stuck cell never allows, so
+    the watchdog terminates the worker processes outright.  In-flight
+    futures complete with ``BrokenProcessPool``; callers resubmit to a
+    fresh pool.
+    """
+    global _EXECUTOR, _EXECUTOR_WORKERS
+    executor = _EXECUTOR
+    _EXECUTOR = None
+    _EXECUTOR_WORKERS = 0
+    if executor is None:
+        return
+    processes = getattr(executor, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:  # already gone
+            pass
+    try:
+        executor.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+
+
+def _worker_init() -> None:
+    """Runs in every pool worker: lets chaos know kills are safe here."""
+    from repro.faults import chaos
+
+    chaos.mark_worker()
 
 
 def _get_executor(workers: int):
@@ -121,7 +179,8 @@ def _get_executor(workers: int):
         except ValueError:  # pragma: no cover - non-POSIX platforms
             context = multiprocessing.get_context()
         _EXECUTOR = ProcessPoolExecutor(max_workers=workers,
-                                        mp_context=context)
+                                        mp_context=context,
+                                        initializer=_worker_init)
         _EXECUTOR_WORKERS = workers
         if not _SHUTDOWN_REGISTERED:
             atexit.register(shutdown_pool)
@@ -199,11 +258,18 @@ def _unpack_result(payload):
     return result
 
 
-def _simulate_payload(payload: tuple[str, object, str, SystemConfig]):
-    """Worker entry point: one independent simulation, slim-packed."""
-    from repro.experiments.runner import simulate_spec
+def _simulate_payload(payload: tuple[str, object, str, SystemConfig, int]):
+    """Worker entry point: one independent simulation, slim-packed.
 
-    workload, spec, tag, config = payload
+    The chaos checkpoint runs first: under injection this is where a
+    targeted cell sleeps or its worker dies — deterministically, on
+    attempt 0 only, so the retry always runs clean.
+    """
+    from repro.experiments.runner import simulate_spec
+    from repro.faults import chaos
+
+    workload, spec, tag, config, attempt = payload
+    chaos.on_cell_start(workload, spec, tag, attempt)
     return _pack_result(simulate_spec(workload, spec, tag, config))
 
 
@@ -224,24 +290,30 @@ def warm_traces(workloads) -> float:
     return time.perf_counter() - started
 
 
+# ----------------------------------------------------------------------
+# Fault-tolerant scheduler
+# ----------------------------------------------------------------------
 def run_jobs(jobs: Sequence[SimJob], config: SystemConfig,
-             n_jobs: int, timings: dict | None = None) -> list:
+             n_jobs: int, timings: dict | None = None,
+             policy=None) -> list:
     """Simulate ``jobs`` with up to ``n_jobs`` persistent workers.
 
-    Returns results aligned with ``jobs``.  ``n_jobs <= 1`` runs
-    everything serially in-process (same code path the workers use), as
-    does a job list with at most one pool-eligible cell — a pool that
-    could only ever run one job is pure overhead.  ``timings``, when
-    given, is filled with a phase breakdown (``trace_warm_seconds``,
-    ``simulate_seconds``, ``merge_seconds``).
+    Returns a list aligned with ``jobs`` where each slot holds either a
+    ``SimulationResult`` or, for a cell that exhausted its retries, a
+    :class:`~repro.faults.CellFailure` — one bad cell never aborts the
+    matrix, and ``run_jobs`` does not raise for cell-level problems.
+
+    ``n_jobs <= 1`` runs everything serially in-process (same code path
+    the workers use, same isolation), as does a job list with at most
+    one pool-eligible cell.  ``policy`` is the retry/timeout contract
+    (default: :meth:`RetryPolicy.from_env`).  ``timings``, when given,
+    is filled on **every** exit path with the phase breakdown
+    (``trace_warm_seconds``, ``simulate_seconds``, ``merge_seconds``).
     """
-    from repro.experiments.runner import simulate_spec
+    from repro.faults import RetryPolicy
 
-    def serial(indices, results):
-        for i in indices:
-            workload, spec, tag = normalized[i]
-            results[i] = simulate_spec(workload, spec, tag, config)
-
+    if policy is None:
+        policy = RetryPolicy.from_env()
     normalized = [normalize_job(job) for job in jobs]
     results: list = [None] * len(normalized)
     remote: list[int] = []
@@ -249,45 +321,236 @@ def run_jobs(jobs: Sequence[SimJob], config: SystemConfig,
     if n_jobs > 1 and len(normalized) > 1:
         for i, (_, spec, _) in enumerate(normalized):
             (remote if _is_picklable(spec) else local).append(i)
-    if len(remote) <= 1:
-        # Serial path: nothing (or a single cell) is pool-eligible.
-        started = time.perf_counter()
-        serial(range(len(normalized)), results)
-        if timings is not None:
-            timings["trace_warm_seconds"] = 0.0
-            timings["simulate_seconds"] = round(
-                time.perf_counter() - started, 3)
-            timings["merge_seconds"] = 0.0
-        return results
 
-    from concurrent.futures.process import BrokenProcessPool
-
-    warm_seconds = warm_traces(normalized[i][0] for i in remote)
-    workers = min(n_jobs, len(remote))
-    executor = _get_executor(workers)
-    payloads = [normalized[i] + (config,) for i in remote]
-    chunksize = max(1, len(payloads) // (workers * 4) or 1)
+    warm_seconds = 0.0
     merge_seconds = 0.0
     started = time.perf_counter()
     try:
-        packed_iter = executor.map(_simulate_payload, payloads,
-                                   chunksize=chunksize)
-        # Overlap the non-picklable stragglers with the pool.
-        serial(local, results)
-        for i in remote:
-            packed = next(packed_iter)
-            merge_started = time.perf_counter()
+        if len(remote) <= 1:
+            # Serial path: nothing (or a single cell) is pool-eligible —
+            # a pool that could only ever run one job is pure overhead.
+            _run_serial(range(len(normalized)), normalized, config,
+                        results, policy)
+            return results
+        warm_seconds = warm_traces(normalized[i][0] for i in remote)
+        workers = min(n_jobs, len(remote))
+        merge_seconds = _run_pool(remote, local, normalized, config,
+                                  results, workers, policy)
+        return results
+    finally:
+        if timings is not None:
+            timings["trace_warm_seconds"] = round(warm_seconds, 3)
+            timings["simulate_seconds"] = round(
+                time.perf_counter() - started - merge_seconds, 3)
+            timings["merge_seconds"] = round(merge_seconds, 3)
+
+
+def _attempt_serial(i: int, attempt: int, normalized, config):
+    """One in-parent attempt of cell ``i`` (chaos slow applies; chaos
+    kill never fires outside a pool worker)."""
+    from repro.experiments.runner import simulate_spec
+    from repro.faults import chaos
+
+    workload, spec, tag = normalized[i]
+    chaos.on_cell_start(workload, spec, tag, attempt)
+    return simulate_spec(workload, spec, tag, config)
+
+
+def _fail(i: int, normalized, kind: str, attempts: int,
+          exc: "BaseException | None") -> object:
+    """Build the CellFailure for slot ``i`` and log it."""
+    from repro.faults import CellFailure, faultlog
+
+    workload, spec, tag = normalized[i]
+    key = _safe_spec_key(spec)
+    failure = CellFailure(
+        workload=workload, spec=key, tag=tag, kind=kind,
+        error=repr(exc) if exc is not None else "",
+        traceback="".join(traceback.format_exception(exc))
+        if exc is not None else "",
+        attempts=attempts,
+    )
+    faultlog.log_fault(faultlog.CELL_FAILED, workload=workload, spec=key,
+                       tag=tag, attempt=attempts, detail=failure.error)
+    return failure
+
+
+def _run_serial(indices, normalized, config, results, policy) -> None:
+    """In-process execution with the same isolation/retry contract."""
+    from repro.faults import faultlog
+
+    for i in indices:
+        if results[i] is not None:
+            continue
+        attempt = 0
+        while True:
+            try:
+                results[i] = _attempt_serial(i, attempt, normalized, config)
+                break
+            except Exception as exc:
+                attempt += 1
+                if attempt >= policy.max_attempts:
+                    results[i] = _fail(i, normalized, "error", attempt, exc)
+                    break
+                workload, spec, tag = normalized[i]
+                faultlog.log_fault(
+                    faultlog.CELL_RETRY, workload=workload,
+                    spec=_safe_spec_key(spec), tag=tag, attempt=attempt,
+                    detail=repr(exc),
+                )
+                time.sleep(policy.delay(attempt))
+
+
+def _run_pool(remote, local, normalized, config, results, workers,
+              policy) -> float:
+    """Dispatch ``remote`` cells over the pool; returns merge seconds.
+
+    The scheduler keeps at most ``window`` cells in flight (== the
+    worker count when a timeout is set, so the per-cell wall clock is
+    honest; a bit more otherwise to hide submission latency), retries
+    faulted cells with backoff, replaces the pool when a worker dies or
+    hangs, and runs the non-picklable ``local`` stragglers in the
+    parent while the first wave churns.
+    """
+    from concurrent.futures import FIRST_COMPLETED, wait
+    from concurrent.futures.process import BrokenProcessPool
+
+    from repro.faults import faultlog
+
+    window = workers if policy.timeout_seconds else workers * 2
+    # (index, attempt, ready_at) — ready_at is a monotonic instant the
+    # cell's backoff expires at.
+    pending: deque = deque((i, 0, 0.0) for i in remote)
+    inflight: dict = {}  # future -> (index, attempt, dispatched_at)
+    merge_seconds = 0.0
+    executor = _get_executor(workers)
+
+    def cell_tag(i):
+        workload, spec, tag = normalized[i]
+        return workload, _safe_spec_key(spec), tag
+
+    def replace_pool(reason: str) -> None:
+        nonlocal executor
+        kill_pool()
+        executor = _get_executor(workers)
+        faultlog.log_fault(faultlog.POOL_DEGRADED, detail=reason)
+
+    def reschedule(i: int, attempt: int, kind: str,
+                   exc: "BaseException | None", now: float) -> None:
+        """Retry cell ``i`` (attempt consumed), or finalize its slot."""
+        workload, key, tag = cell_tag(i)
+        next_attempt = attempt + 1
+        if next_attempt < policy.max_attempts:
+            faultlog.log_fault(faultlog.CELL_RETRY, workload=workload,
+                               spec=key, tag=tag, attempt=next_attempt,
+                               detail=kind if exc is None else repr(exc))
+            pending.append((i, next_attempt, now + policy.delay(next_attempt)))
+            return
+        if kind == "worker-lost":
+            # Last resort for a cell that keeps losing its worker: one
+            # isolated in-parent attempt (immune to worker death).
+            try:
+                results[i] = _attempt_serial(i, next_attempt, normalized,
+                                             config)
+                return
+            except Exception as final_exc:
+                exc = final_exc
+                next_attempt += 1
+        results[i] = _fail(i, normalized, kind, next_attempt, exc)
+
+    def launch(now: float) -> None:
+        not_ready = []
+        while pending and len(inflight) < window:
+            i, attempt, ready_at = pending.popleft()
+            if ready_at > now:
+                not_ready.append((i, attempt, ready_at))
+                continue
+            payload = normalized[i] + (config, attempt)
+            try:
+                future = executor.submit(_simulate_payload, payload)
+            except Exception:
+                # A worker died between the last wait and this submit:
+                # the executor refuses new work.  Replace it and retry
+                # the submission once on the fresh pool.
+                replace_pool("pool broken at submit")
+                future = executor.submit(_simulate_payload, payload)
+            inflight[future] = (i, attempt, now)
+        pending.extend(not_ready)
+
+    launch(time.monotonic())
+    # Overlap the non-picklable stragglers with the first wave.
+    _run_serial(local, normalized, config, results, policy)
+
+    while pending or inflight:
+        now = time.monotonic()
+        launch(now)
+        waits = [ready_at - now for _, _, ready_at in pending
+                 if ready_at > now]
+        if policy.timeout_seconds:
+            waits += [dispatched + policy.timeout_seconds - now
+                      for _, _, dispatched in inflight.values()]
+        wait_for = max(0.005, min(waits)) if waits else None
+        if not inflight:
+            time.sleep(wait_for if wait_for is not None else 0.005)
+            continue
+        done, _ = wait(inflight, timeout=wait_for,
+                       return_when=FIRST_COMPLETED)
+
+        now = time.monotonic()
+        broken = False
+        merged: list = []
+        for future in done:
+            i, attempt, dispatched = inflight.pop(future)
+            try:
+                merged.append((i, future.result()))
+            except BrokenProcessPool:
+                broken = True
+                workload, key, tag = cell_tag(i)
+                faultlog.log_fault(faultlog.WORKER_LOST, workload=workload,
+                                   spec=key, tag=tag, attempt=attempt,
+                                   seconds=now - dispatched)
+                reschedule(i, attempt, "worker-lost", None, now)
+            except Exception as exc:
+                reschedule(i, attempt, "error", exc, now)
+        if broken:
+            # Every other in-flight future died with the pool; innocent
+            # or not, each consumed an attempt (bounded — a cell that
+            # reliably kills workers must not loop forever).
+            for future, (i, attempt, dispatched) in list(inflight.items()):
+                workload, key, tag = cell_tag(i)
+                faultlog.log_fault(faultlog.WORKER_LOST, workload=workload,
+                                   spec=key, tag=tag, attempt=attempt,
+                                   seconds=now - dispatched)
+                reschedule(i, attempt, "worker-lost", None, now)
+            inflight.clear()
+            replace_pool("worker died mid-cell")
+        elif policy.timeout_seconds:
+            expired = [(future, entry) for future, entry in inflight.items()
+                       if now - entry[2] > policy.timeout_seconds]
+            if expired:
+                # The only portable way to reclaim a hung worker is to
+                # replace the whole pool; survivors resubmit with no
+                # attempt penalty.
+                survivors = [entry for future, entry in inflight.items()
+                             if not any(future is f for f, _ in expired)]
+                inflight.clear()
+                for future, (i, attempt, dispatched) in expired:
+                    workload, key, tag = cell_tag(i)
+                    faultlog.log_fault(
+                        faultlog.CELL_TIMEOUT, workload=workload, spec=key,
+                        tag=tag, attempt=attempt, seconds=now - dispatched,
+                        detail=f"timeout={policy.timeout_seconds}s",
+                    )
+                    reschedule(i, attempt, "timeout", None, now)
+                for i, attempt, _ in survivors:
+                    pending.append((i, attempt, now))
+                replace_pool("hung worker replaced")
+
+        # Submit replacements before paying the unpack cost, so workers
+        # never idle while the parent merges.
+        launch(time.monotonic())
+        merge_started = time.perf_counter()
+        for i, packed in merged:
             results[i] = _unpack_result(packed)
-            merge_seconds += time.perf_counter() - merge_started
-    except BrokenProcessPool:
-        # A worker died (OOM-killed, signaled): degrade gracefully and
-        # finish the missing cells in-process.
-        shutdown_pool(wait=False)
-        serial((i for i in range(len(normalized)) if results[i] is None),
-               results)
-    if timings is not None:
-        timings["trace_warm_seconds"] = round(warm_seconds, 3)
-        timings["simulate_seconds"] = round(
-            time.perf_counter() - started - merge_seconds, 3)
-        timings["merge_seconds"] = round(merge_seconds, 3)
-    return results
+        merge_seconds += time.perf_counter() - merge_started
+    return merge_seconds

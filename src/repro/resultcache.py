@@ -48,17 +48,29 @@ _code_version_cache: str | None = None
 
 
 def digest_sources(paths, salt: str) -> str:
-    """sha1 over ``salt`` plus the name and bytes of every path, sorted.
+    """sha1 over ``salt`` plus the package-relative path and bytes of
+    every file, sorted.
 
     Shared keying scheme for every code-versioned cache in the repo (the
     result cache here and the trace cache in
     :mod:`repro.workloads.tracecache`): editing any covered source file —
     committed or not — changes the digest and thereby orphans stale
     entries wholesale.
+
+    Paths are digested relative to the ``repro`` package root (bare
+    ``path.name`` would let a file *move* between covered packages —
+    say ``core/`` to ``engine/`` — without changing the digest, leaving
+    stale cache entries live); files outside the package fall back to
+    their name.
     """
+    root = Path(__file__).resolve().parent
     digest = hashlib.sha1(salt.encode())
     for path in sorted(Path(p) for p in paths):
-        digest.update(path.name.encode())
+        try:
+            label = path.resolve().relative_to(root).as_posix()
+        except ValueError:
+            label = path.name
+        digest.update(label.encode())
         digest.update(path.read_bytes())
     return digest.hexdigest()[:16]
 
@@ -121,23 +133,28 @@ class ResultCache:
         except FileNotFoundError:
             return None
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError):
+                ImportError) as exc:
             # A torn write or an entry from an incompatible class layout:
-            # drop it so the next put() rewrites a good one.
+            # drop it so the next put() rewrites a good one, and leave a
+            # fault-log record so the degradation is auditable.
+            from repro.faults import CACHE_CORRUPT, log_fault
+
+            log_fault(CACHE_CORRUPT, workload=workload, spec=spec, tag=tag,
+                      detail=f"{type(exc).__name__}: {path.name}")
             path.unlink(missing_ok=True)
             return None
 
     def put(self, workload: str, spec: str, tag: str, cfg_digest: str,
             result) -> Path:
-        """Serialize ``result``; atomic rename so parallel writers of the
-        same key cannot tear each other's entries."""
+        """Serialize ``result`` via the shared pid-keyed atomic-write
+        helper, so parallel writers of the same key — same process or
+        not — cannot tear each other's entries."""
+        from repro.faults import atomic_write_pickle
+
         path = self.entry_path(workload, spec, tag, cfg_digest)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp.{id(result) & 0xFFFFFF:x}")
-        with open(tmp, "wb") as fh:
-            pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
-        tmp.replace(path)
-        return path
+        return atomic_write_pickle(
+            path, result, label=f"result:{workload}/{spec}:{tag}"
+        )
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:

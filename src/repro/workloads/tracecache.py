@@ -137,8 +137,12 @@ class TraceCache:
         except FileNotFoundError:
             return None
         except (OSError, pickle.UnpicklingError, EOFError, KeyError,
-                ValueError, TypeError):
+                ValueError, TypeError) as exc:
             # Torn write or incompatible payload: drop and rebuild.
+            from repro.faults import CACHE_CORRUPT, log_fault
+
+            log_fault(CACHE_CORRUPT, workload=name,
+                      detail=f"{type(exc).__name__}: {path.name}")
             path.unlink(missing_ok=True)
             return None
 
@@ -165,13 +169,11 @@ class TraceCache:
             "memory_addr": array("q", memory.keys()).tobytes(),
             "memory_val": array("q", memory.values()).tobytes(),
         }
+        from repro.faults import atomic_write_pickle
+
         path = self.entry_path(trace.name, simpoint)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp.{os.getpid():x}")
-        with open(tmp, "wb") as fh:
-            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
-        tmp.replace(path)
-        return path
+        return atomic_write_pickle(path, payload,
+                                   label=f"trace:{trace.name}")
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
