@@ -135,7 +135,8 @@ def _cmd_profile(args) -> None:
 
 
 def _cmd_events(args) -> None:
-    from repro.telemetry import filter_events, read_jsonl, summarize
+    from repro.telemetry import (filter_events, normalize_record,
+                                 read_jsonl, summarize)
 
     filters = dict(
         kind=args.kind,
@@ -146,15 +147,21 @@ def _cmd_events(args) -> None:
         min_cycle=args.min_cycle,
         max_cycle=args.max_cycle,
     )
-    events = filter_events(read_jsonl(args.trace), **filters)
+    # normalize_record lets this verb read matrix-journal files too
+    # (cell_ok/cell_failed records with per-cell kernel attribution).
+    events = filter_events(
+        (normalize_record(record) for record in read_jsonl(args.trace)),
+        **filters)
 
     if args.list:
         shown = 0
         for event in events:
+            kernel = event.get("kernel")
             print(
                 f"{event['cycle']:>12}  {event['kind']:<16} "
                 f"{event['component'] or '-':<10} L{event['level']} "
                 f"line={event['line']:#x} pc={event['pc']:#x}"
+                + (f" kernel={kernel}" if kernel else "")
             )
             shown += 1
             if args.limit and shown >= args.limit:
@@ -170,6 +177,8 @@ def _cmd_events(args) -> None:
     rows += [(f"kind {k}", v) for k, v in summary["by_kind"].items()]
     rows += [(f"component {k}", v)
              for k, v in summary["by_component"].items()]
+    rows += [(f"kernel {k}", v)
+             for k, v in summary.get("by_kernel", {}).items()]
     print(format_table(["metric", "value"], rows))
 
 
@@ -221,8 +230,13 @@ def _cmd_cache(args) -> None:
             print(f"removed {removed} result entries ({scope}) "
                   f"from {result_cache.root}")
         if want_traces:
+            # Count the stale share before the files disappear, so the
+            # message can attribute what a version bump orphaned.
+            stale = trace_cache.stats()["stale_entries"]
             removed = trace_cache.clear(stale_only=args.stale)
-            print(f"removed {removed} trace entries ({scope}) "
+            dropped = removed if args.stale else min(stale, removed)
+            print(f"removed {removed} trace entries ({scope}; {dropped} "
+                  f"from stale builder/format versions) "
                   f"from {trace_cache.root}")
         return
 
@@ -252,6 +266,15 @@ def _cmd_cache(args) -> None:
             ("traces: bytes (stale)", stats["stale_bytes"]),
             ("traces: stale versions",
              ", ".join(stats["stale_versions"]) or "-"),
+        ]
+        counters = stats["counters"]
+        rows += [
+            ("traces: builds (this process)", counters["builds"]),
+            ("traces: disk hits (this process)", counters["disk_hits"]),
+            ("traces: derived builds (this process)",
+             counters["derived_builds"]),
+            ("traces: derived hits (this process)",
+             counters["derived_hits"]),
         ]
     print(format_table(["metric", "value"], rows))
 

@@ -1,0 +1,549 @@
+"""Specializing replay kernels: partial evaluation of the step loop.
+
+The generic replay paths in :mod:`repro.engine.ooo` carry a branch for
+every optional feature — instruction-stream feed, per-access observers,
+prefetch-request hooks, fill notifications, the telemetry sampler, the
+choice of branch predictor — and re-derive per-record facts (line index,
+``mPC``, dispatch class, the static predictor's outcome) on every
+retired instruction of every matrix cell.
+
+This module partial-evaluates that loop.  A core's configuration is
+summarized as a small tuple of feature flags (:func:`kernel_flags`);
+for each distinct tuple we generate the *source* of a ``run_fast(core)``
+function with the dead branches simply absent, ``exec``-compile it once
+per process, and cache it (the same technique :mod:`dataclasses` uses
+for ``__init__``).  The trace-invariant facts come precomputed from the
+compiled trace's derived columns (:mod:`repro.isa.trace`), built once
+per workload and persisted by the trace cache.
+
+When the hierarchy carries no credit tracker and no telemetry hub (the
+``leanmem`` flag — every benchmark and experiment-matrix cell), the
+kernel additionally inlines the L1 *hit* leg of
+``Hierarchy.demand_access``: the set-dict probe, LRU touch, shadow-tag
+update, and hit accounting run as straight-line code, and the hierarchy
+is only called on a miss (``Hierarchy._demand_miss``).  Hit-counter
+updates are accumulated in locals and written back once at the end —
+nothing reads them mid-run without telemetry attached.
+
+Bit-identity is the contract: a specialized kernel must retire every
+instruction with exactly the timing of the generic loop — only wall
+clock may change, never a number.  ``tests/test_kernels.py`` pins this
+registry-wide, and ``repro bench`` re-checks it in-run against the
+``REPRO_KERNEL=generic`` escape hatch (which disables specialization
+entirely, e.g. to bisect a suspected kernel bug).
+
+Kernel selection is automatic (``OoOCore.run``): any core replaying a
+:class:`~repro.isa.trace.CompiledTrace` gets a specialized kernel; the
+object-trace path and the escape hatch fall back to the generic
+per-step loop.  The chosen variant name is carried on
+``SimulationResult.kernel`` so benchmarks and the fault journal can
+attribute timings to a kernel.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.base import AccessEvent
+from repro.engine.branch import StaticPredictor
+from repro.isa.trace import CompiledTrace
+
+KERNEL_ENV = "REPRO_KERNEL"
+GENERIC = "generic"
+
+_KERNELS: dict[tuple, object] = {}
+
+
+def kernel_flags(core) -> tuple | None:
+    """The feature-flag tuple for ``core``, or ``None`` for generic.
+
+    Flags (in order): instruction-stream feed, access observer, access
+    hook (request generator), fill hook, sampler attached, static branch
+    predictor, lean memory path (no tracker / no telemetry on the
+    hierarchy).  ``None`` means the generic step loop must run: object
+    trace, or the ``REPRO_KERNEL=generic`` escape hatch.
+    """
+    if os.environ.get(KERNEL_ENV) == GENERIC:
+        return None
+    if not isinstance(core.trace, CompiledTrace):
+        return None
+    hierarchy = core.hierarchy
+    return (
+        core._observe_instruction is not None,
+        core._observe_access is not None,
+        core._on_access is not None,
+        core._on_fill is not None,
+        core._sampler is not None,
+        type(core._branch_predictor) is StaticPredictor,
+        hierarchy.tracker is None and hierarchy.telemetry is None,
+    )
+
+
+def variant_name(flags: tuple) -> str:
+    """Human-readable kernel name, e.g. ``fast+observe+issue+staticbp``."""
+    instr, oa, ona, of, samp, sbp, lean = flags
+    parts = ["fast"]
+    if instr:
+        parts.append("instr")
+    if oa:
+        parts.append("observe")
+    if ona:
+        parts.append("issue")
+    if of:
+        parts.append("fill")
+    if samp:
+        parts.append("sample")
+    if lean:
+        parts.append("leanmem")
+    parts.append("staticbp" if sbp else "dynbp")
+    return "+".join(parts)
+
+
+def get_kernel(flags: tuple):
+    """The compiled ``run_fast`` for ``flags`` (generated on first use)."""
+    kernel = _KERNELS.get(flags)
+    if kernel is None:
+        source = kernel_source(flags)
+        namespace = {"AccessEvent": AccessEvent}
+        exec(compile(source, f"<kernel {variant_name(flags)}>", "exec"),
+             namespace)
+        kernel = namespace["run_fast"]
+        kernel.__kernel_source__ = source
+        _KERNELS[flags] = kernel
+    return kernel
+
+
+# ----------------------------------------------------------------------
+# Source generation.  Every emitted line mirrors a line of the generic
+# loops in engine/ooo.py (and, for leanmem, of Cache.lookup /
+# ShadowTagStore.access / the demand_access hit leg); the specialization
+# only *removes* branches whose condition is decided by the flags, it
+# never reorders effects.
+
+def _hook_lines(flags: tuple, is_load: bool, indent: int, *,
+                served: str, component: str, hit: str, primary: str,
+                level: str, latency: str, value: str, dst: str) -> list[str]:
+    """The post-access hook block, parameterized over where the access
+    outcome lives (an ``AccessResult`` or the inlined hit-path locals).
+
+    ``served`` / ``primary`` / ... are source expressions; ``primary``
+    may be the literal ``"True"``/``"False"`` when the branch outcome is
+    statically known, in which case the guard is folded away.
+    """
+    instr, oa, ona, of, samp, sbp, lean = flags
+    pad = " " * indent
+    lines = []
+    if oa or ona:
+        lines += [
+            pad + "event = AccessEvent(",
+            pad + "    cycle=issue, pc=pc, mpc=d_mpc[index],",
+            pad + f"    addr=addr, line=line, is_load={is_load},",
+            pad + f"    hit={hit},",
+            pad + f"    primary_miss={primary},",
+            pad + f"    latency={latency}, value={value}, dst={dst},",
+            pad + f"    served_by_prefetch={served},",
+            pad + f"    serving_component={component})",
+            pad + f"if {served}:",
+            pad + f"    on_prefetch_hit(line, {level})",
+        ]
+        if oa:
+            lines.append(pad + "observe_access(event)")
+        if ona:
+            lines += [
+                pad + "requests = on_access(event)",
+                pad + "if requests:",
+                pad + "    for request in requests:",
+                pad + "        issued = hier_prefetch(",
+                pad + "            request.line, issue,",
+                pad + "            target_level=request.target_level,",
+                pad + "            component=request.component,",
+                pad + "            pc=pc)",
+            ]
+            if of:
+                lines += [
+                    pad + "        if issued:",
+                    pad + "            on_fill(request.line,",
+                    pad + "                    request.target_level,",
+                    pad + "                    prefetched=True)",
+                ]
+    else:
+        lines += [
+            pad + f"if {served}:",
+            pad + f"    on_prefetch_hit(line, {level})",
+        ]
+    if of:
+        if primary == "True":
+            lines.append(pad + "on_fill(line, 1)")
+        elif primary != "False":
+            lines += [
+                pad + f"if {primary}:",
+                pad + "    on_fill(line, 1)",
+            ]
+    return lines
+
+
+def _shadow_lines(indent: int, want_hit: bool) -> list[str]:
+    """Inlined ``ShadowTagStore.access`` (demand accesses always update
+    the alternative-reality tags).  The hit flag only matters on the
+    miss path, where it decides pollution attribution."""
+    pad = " " * indent
+    if want_hit:
+        return [
+            pad + "sh_set = sh_sets[line & sh_mask]",
+            pad + "if line in sh_set:",
+            pad + "    del sh_set[line]",
+            pad + "    sh_hit = True",
+            pad + "else:",
+            pad + "    sh_hit = False",
+            pad + "    if len(sh_set) >= sh_ways:",
+            pad + "        del sh_set[next(iter(sh_set))]",
+            pad + "sh_set[line] = None",
+        ]
+    return [
+        pad + "sh_set = sh_sets[line & sh_mask]",
+        pad + "if line in sh_set:",
+        pad + "    del sh_set[line]",
+        pad + "elif len(sh_set) >= sh_ways:",
+        pad + "    del sh_set[next(iter(sh_set))]",
+        pad + "sh_set[line] = None",
+    ]
+
+
+def _lean_memory_lines(flags: tuple, is_load: bool) -> list[str]:
+    """The memory-access portion of a LOAD/STORE dispatch arm with the
+    L1 hit leg of ``demand_access`` inlined (leanmem kernels only)."""
+    instr, oa, ona, of, samp, sbp, lean = flags
+    hooks = oa or ona
+    lines = [
+        "            pc = c_pc[index]",
+    ]
+    if hooks:
+        lines.append("            addr = c_addr[index]")
+    lines += [
+        "            line = d_line[index]",
+        "            l1_acc += 1",
+        "            cl = l1_sets[line & l1_mask].get(line)",
+        "            if cl is not None:",
+        "                uc = l1d._use_counter + 1",
+        "                l1d._use_counter = uc",
+        "                cl.last_use = uc",
+    ]
+    if not is_load:
+        lines.append("                cl.dirty = True")
+    lines += [
+        "                first_use = cl.prefetched and not cl.used",
+        "                if first_use:",
+        "                    cl.used = True",
+        *_shadow_lines(16, want_hit=False),
+        "                l1_hits += 1",
+        "                ready = cl.fill_time",
+        "                if first_use:",
+        "                    l1_useful += 1",
+        "                    if ready > issue:",
+        "                        l1_late += 1",
+        "                elif ready > issue and not cl.prefetched:",
+        "                    l1_merges += 1",
+    ]
+    if is_load:
+        lines += [
+            "                if ready < issue:",
+            "                    ready = issue",
+            "                complete = ready + l1_latency",
+            "                latency = complete - issue",
+            "                loads += 1",
+            "                load_latency_total += latency",
+        ]
+    else:
+        lines.append("                stores += 1")
+    lines += _hook_lines(
+        flags, is_load, 16,
+        served="first_use", component="cl.component",
+        hit="True", primary="False", level="1",
+        latency="latency" if is_load else "0",
+        value="c_value[index]" if is_load else "0",
+        dst="c_dst[index]" if is_load else "-1",
+    )
+    lines += [
+        "            else:",
+        *_shadow_lines(16, want_hit=True),
+        f"                result = demand_miss(line, issue, "
+        f"{'False' if is_load else 'True'}, sh_hit, pc)",
+    ]
+    if is_load:
+        lines += [
+            "                complete = result.ready_time",
+            "                latency = complete - issue",
+            "                loads += 1",
+            "                load_latency_total += latency",
+            "                miss_pcs[pc] += 1",
+            "                miss_latency_by_pc[pc] += latency",
+        ]
+    else:
+        lines.append("                stores += 1")
+    lines += _hook_lines(
+        flags, is_load, 16,
+        served="result.served_by_prefetch",
+        component="result.prefetch_component",
+        hit="False", primary="True", level="result.hit_level",
+        latency="latency" if is_load else "0",
+        value="c_value[index]" if is_load else "0",
+        dst="c_dst[index]" if is_load else "-1",
+    )
+    if is_load:
+        lines.append("            reg_ready[c_dst[index]] = complete")
+    else:
+        lines.append("            complete = issue + 1")
+    return lines
+
+
+def _call_memory_lines(flags: tuple, is_load: bool) -> list[str]:
+    """The memory-access portion of a LOAD/STORE dispatch arm that calls
+    ``demand_access`` (kernels with a tracker or telemetry attached)."""
+    lines = [
+        "            pc = c_pc[index]",
+        "            addr = c_addr[index]",
+        f"            result = demand_access(addr, issue, "
+        f"is_write={not is_load},",
+        "                                   pc=pc)",
+    ]
+    if is_load:
+        lines += [
+            "            complete = result.ready_time",
+            "            latency = complete - issue",
+            "            loads += 1",
+            "            load_latency_total += latency",
+            "            if result.primary_miss:",
+            "                miss_pcs[pc] += 1",
+            "                miss_latency_by_pc[pc] += latency",
+        ]
+    else:
+        lines.append("            stores += 1")
+    lines.append("            line = d_line[index]")
+    lines += _hook_lines(
+        flags, is_load, 12,
+        served="result.served_by_prefetch",
+        component="result.prefetch_component",
+        hit="result.l1_hit", primary="result.primary_miss",
+        level="result.hit_level",
+        latency="latency" if is_load else "0",
+        value="c_value[index]" if is_load else "0",
+        dst="c_dst[index]" if is_load else "-1",
+    )
+    if is_load:
+        lines.append("            reg_ready[c_dst[index]] = complete")
+    else:
+        lines.append("            complete = issue + 1")
+    return lines
+
+
+def kernel_source(flags: tuple) -> str:
+    """Generate the ``run_fast(core)`` source for one flag tuple."""
+    instr, oa, ona, of, samp, sbp, lean = flags
+    memory_lines = _lean_memory_lines if lean else _call_memory_lines
+    head = [
+        "def run_fast(core):",
+        "    trace = core.trace",
+        "    stats = core.stats",
+        "    index = core._index",
+        "    n = core._num_records",
+        "    if index >= n:",
+        "        return stats",
+        "    width = core._width",
+        "    alu_latency = core._alu_latency",
+        "    branch_penalty = core._branch_penalty",
+        "    rob_size = core._rob_size",
+        "    commit_ring = core._commit_ring",
+        "    reg_ready = core._reg_ready",
+        "    fetch_cycle = core._fetch_cycle",
+        "    fetch_slot = core._fetch_slot",
+        "    last_commit = core._last_commit_time",
+        "    commits_at_time = core._commits_at_time",
+        "    (c_pc, c_opc, c_addr, c_value, c_dst, c_src1, c_src2,",
+        "     c_taken, c_target, c_ras) = trace.columns",
+        "    d_line, d_mpc, d_disp, d_bp = trace.derived_columns()",
+        "    miss_pcs = stats.miss_pcs",
+        "    miss_latency_by_pc = stats.miss_latency_by_pc",
+        "    on_prefetch_hit = core.prefetcher.on_prefetch_hit",
+        "    loads = 0",
+        "    stores = 0",
+        "    branches = 0",
+        "    mispredicts = 0",
+        "    load_latency_total = 0",
+        "    start_index = index",
+    ]
+    if lean:
+        head += [
+            "    hierarchy = core.hierarchy",
+            "    l1d = hierarchy.l1d",
+            "    l1_stats = l1d.stats",
+            "    l1_sets = l1d._sets",
+            "    l1_mask = l1d._set_mask",
+            "    l1_latency = l1d.hit_latency",
+            "    shadow = hierarchy.shadow_l1",
+            "    sh_sets = shadow._sets",
+            "    sh_mask = shadow._set_mask",
+            "    sh_ways = shadow.ways",
+            "    demand_miss = hierarchy._demand_miss",
+            "    l1_acc = 0",
+            "    l1_hits = 0",
+            "    l1_useful = 0",
+            "    l1_late = 0",
+            "    l1_merges = 0",
+        ]
+    else:
+        head.append("    demand_access = core.hierarchy.demand_access")
+    if instr:
+        head += [
+            "    observe_instruction = core._observe_instruction",
+            "    records = trace.records",
+        ]
+    if oa:
+        head.append("    observe_access = core._observe_access")
+    if ona:
+        head += [
+            "    on_access = core._on_access",
+            "    hier_prefetch = core.hierarchy.prefetch",
+        ]
+    if of:
+        head.append("    on_fill = core._on_fill")
+    if samp:
+        head.append("    sampler_tick = core._sampler.on_instruction")
+    if not sbp:
+        head += [
+            "    predictor = core._branch_predictor",
+            "    predict = predictor.predict",
+            "    update = predictor.update",
+        ]
+
+    body = [
+        "    while index < n:",
+        "        if fetch_slot >= width:",
+        "            fetch_cycle += 1",
+        "            fetch_slot = 0",
+        "        fetch_slot += 1",
+        "        rob_slot = index % rob_size",
+        "        rob_free = commit_ring[rob_slot]",
+        "        if rob_free > fetch_cycle:",
+        "            dispatch = rob_free",
+        "            fetch_cycle = rob_free",
+        "            fetch_slot = 1",
+        "        else:",
+        "            dispatch = fetch_cycle",
+    ]
+    if instr:
+        body.append(
+            "        observe_instruction(records[index], dispatch)")
+    body += [
+        "        disp = d_disp[index]",
+        "        if disp == 2:  # ALU",
+        "            issue = dispatch",
+        "            src = c_src1[index]",
+        "            if src >= 0 and reg_ready[src] > issue:",
+        "                issue = reg_ready[src]",
+        "            src = c_src2[index]",
+        "            if src >= 0 and reg_ready[src] > issue:",
+        "                issue = reg_ready[src]",
+        "            complete = issue + alu_latency",
+        "            dst = c_dst[index]",
+        "            if dst >= 0:",
+        "                reg_ready[dst] = complete",
+        "        elif disp == 0:  # LOAD",
+        "            issue = dispatch",
+        "            src = c_src1[index]",
+        "            if src >= 0 and reg_ready[src] > issue:",
+        "                issue = reg_ready[src]",
+        *memory_lines(flags, is_load=True),
+        "        elif disp == 3:  # conditional branch",
+        "            issue = dispatch",
+        "            src = c_src1[index]",
+        "            if reg_ready[src] > issue:",
+        "                issue = reg_ready[src]",
+        "            src = c_src2[index]",
+        "            if src >= 0 and reg_ready[src] > issue:",
+        "                issue = reg_ready[src]",
+        "            complete = issue + 1",
+        "            branches += 1",
+    ]
+    if sbp:
+        body += [
+            "            if d_bp[index]:",
+            "                mispredicts += 1",
+            "                fetch_cycle = complete + branch_penalty",
+            "                fetch_slot = 0",
+        ]
+    else:
+        body += [
+            "            pc = c_pc[index]",
+            "            target_pc = c_target[index]",
+            "            taken = c_taken[index]",
+            "            predicted_taken = predict(pc, target_pc)",
+            "            update(pc, target_pc, taken)",
+            "            if predicted_taken != taken:",
+            "                mispredicts += 1",
+            "                fetch_cycle = complete + branch_penalty",
+            "                fetch_slot = 0",
+        ]
+    body += [
+        "        elif disp == 1:  # STORE",
+        "            issue = dispatch",
+        "            src = c_src1[index]",
+        "            if src >= 0 and reg_ready[src] > issue:",
+        "                issue = reg_ready[src]",
+        "            data = c_src2[index]",
+        "            if data >= 0 and reg_ready[data] > issue:",
+        "                issue = reg_ready[data]",
+        *memory_lines(flags, is_load=False),
+        "        elif disp == 4:  # unconditional branch",
+        "            issue = dispatch",
+        "            src = c_src2[index]",
+        "            if src >= 0 and reg_ready[src] > issue:",
+        "                issue = reg_ready[src]",
+        "            complete = issue + 1",
+        "            branches += 1",
+        "        else:  # CALL / RET / OTHER: BTB/RAS-predicted, 1 cycle",
+        "            complete = dispatch + 1",
+        "        if complete > last_commit:",
+        "            last_commit = complete",
+        "            commits_at_time = 1",
+        "        else:",
+        "            commits_at_time += 1",
+        "            if commits_at_time > width:",
+        "                last_commit += 1",
+        "                commits_at_time = 1",
+        "        commit_ring[rob_slot] = last_commit",
+        "        index += 1",
+    ]
+    if samp:
+        body += [
+            "        stats.instructions += 1",
+            "        stats.cycles = last_commit",
+            "        sampler_tick()",
+        ]
+
+    tail = [
+        "    core._index = index",
+        "    core._fetch_cycle = fetch_cycle",
+        "    core._fetch_slot = fetch_slot",
+        "    core._last_commit_time = last_commit",
+        "    core._commits_at_time = commits_at_time",
+        "    stats.loads += loads",
+        "    stats.stores += stores",
+        "    stats.branches += branches",
+        "    stats.mispredicts += mispredicts",
+        "    stats.load_latency_total += load_latency_total",
+    ]
+    if lean:
+        tail += [
+            "    l1_stats.demand_accesses += l1_acc",
+            "    l1_stats.demand_hits += l1_hits",
+            "    l1_stats.useful_prefetches += l1_useful",
+            "    l1_stats.late_prefetch_hits += l1_late",
+            "    l1_stats.mshr_merges += l1_merges",
+        ]
+    if not samp:
+        tail += [
+            "    stats.instructions += index - start_index",
+            "    stats.cycles = last_commit",
+        ]
+    tail.append("    return stats")
+    return "\n".join(head + body + tail) + "\n"

@@ -105,6 +105,7 @@ class OoOCore:
         "_width",
         "_alu_latency",
         "_branch_penalty",
+        "kernel_variant",
     )
 
     def __init__(self, trace: Trace, hierarchy: Hierarchy,
@@ -147,6 +148,7 @@ class OoOCore:
         self._on_fill = _bound("on_fill")
         self._telemetry = None
         self._sampler = None
+        self.kernel_variant = "generic"
         # Hot-loop bindings: read once here instead of chasing
         # ``self.config.<attr>`` on every retired instruction.
         self._width = self.config.width
@@ -534,7 +536,23 @@ class OoOCore:
 
     # ------------------------------------------------------------------
     def run(self) -> CoreStats:
-        """Run the whole trace."""
+        """Run the whole trace.
+
+        Whole-trace runs of a compiled trace go through a specialized
+        replay kernel (:mod:`repro.engine.kernel`): the step loop is
+        partial-evaluated for this core's exact hook/telemetry/predictor
+        configuration, bit-identically.  Selected here rather than in
+        ``__init__`` because the sampler attaches after construction.
+        Object traces, incremental ``step()`` callers (the multicore
+        harness), and ``REPRO_KERNEL=generic`` use the generic loop.
+        """
+        from repro.engine.kernel import get_kernel, kernel_flags, \
+            variant_name
+
+        flags = kernel_flags(self)
+        if flags is not None:
+            self.kernel_variant = variant_name(flags)
+            return get_kernel(flags)(self)
         step = self._step
         while step():
             pass

@@ -33,6 +33,10 @@ class SimulationResult:
     attempted_by_component: dict = field(default_factory=dict)
     pollution_misses_l1: int = 0
     pollution_misses_l2: int = 0
+    kernel: str = "generic"
+    """Replay-kernel variant that produced this result (see
+    :mod:`repro.engine.kernel`); lets benchmarks and the fault journal
+    attribute timings to a kernel."""
     manifest: RunManifest | None = None
     """Provenance stamp (config tag, prefetcher spec, git SHA, counter
     snapshot); see :mod:`repro.telemetry.manifest`."""
@@ -130,6 +134,7 @@ def simulate(trace: Trace, prefetcher: Prefetcher | None = None,
         attempted_by_component=hierarchy.attempted_by_component,
         pollution_misses_l1=hierarchy.pollution_misses_l1,
         pollution_misses_l2=hierarchy.pollution_misses_l2,
+        kernel=core.kernel_variant,
     )
     result.manifest = build_manifest(result, spec=spec,
                                      config_tag=config_tag,

@@ -193,7 +193,8 @@ class ExperimentRunner:
             self.disk.put(key[0], key[1], key[2], self._config_digest,
                           result)
         if self.journal is not None:
-            self.journal.record_ok(*key)
+            self.journal.record_ok(
+                *key, kernel=getattr(result, "kernel", "generic"))
 
     def _disk_get(self, key: tuple[str, str, str]
                   ) -> SimulationResult | None:

@@ -92,14 +92,15 @@ class MatrixJournal:
         return tuple(key) in self.completed
 
     def record_ok(self, workload: str, spec: str, tag: str,
-                  attempts: int = 1, seconds: float = 0.0) -> None:
+                  attempts: int = 1, seconds: float = 0.0,
+                  kernel: str = "generic") -> None:
         key = (workload, spec, tag)
         if key in self.completed:
             return
         self.completed.add(key)
         self._append({"status": "ok", "workload": workload, "spec": spec,
                       "tag": tag, "attempts": attempts,
-                      "seconds": round(seconds, 3)})
+                      "seconds": round(seconds, 3), "kernel": kernel})
 
     def record_failure(self, failure) -> None:
         """Journal a :class:`~repro.faults.CellFailure` for post-mortems."""

@@ -27,6 +27,11 @@ from dataclasses import dataclass, field
 
 from repro.isa.instructions import OpClass
 
+LINE_SHIFT = 6
+"""log2 of the cache-line size; the single source of truth shared with
+:mod:`repro.memory.hierarchy` (which re-exports it) and the derived
+``line`` column below."""
+
 
 class TraceRecord:
     """One retired dynamic instruction.
@@ -201,6 +206,40 @@ TRACE_FIELD_TYPECODES = ("q", "b", "q", "q", "b", "b", "b", "b", "q", "q")
 64-bit, ``b`` = signed 8-bit; register operands fit in a byte, ``-1``
 included)."""
 
+# ----------------------------------------------------------------------
+# Derived columns: per-record facts the timing model would otherwise
+# recompute for every (workload x prefetcher) cell.  Computed once per
+# workload at compile time, persisted alongside the primary columns by
+# the trace cache, and consumed by the specialized replay kernels
+# (repro.engine.kernel).
+
+DISP_LOAD = 0
+DISP_STORE = 1
+DISP_ALU = 2
+DISP_BR_COND = 3
+DISP_BR_UNCOND = 4
+DISP_OTHER = 5
+
+DERIVED_FIELDS = ("line", "mpc", "disp", "bp_miss")
+"""Derived column order: cache-line index (``addr >> LINE_SHIFT``),
+miss PC (``pc ^ ras_top``), op-class dispatch tag (``DISP_*``), and the
+static branch predictor's outcome (1 iff a conditional branch
+mispredicts under backward-taken/forward-not-taken)."""
+
+DERIVED_FIELD_TYPECODES = ("q", "q", "b", "b")
+
+_derived_counters = {"derived_builds": 0, "derived_hits": 0}
+
+
+def derived_counters() -> dict:
+    """Snapshot of this process's derived-column build/hit counters."""
+    return dict(_derived_counters)
+
+
+def reset_derived_counters() -> None:
+    for key in _derived_counters:
+        _derived_counters[key] = 0
+
 
 class CompiledTrace:
     """A dynamic trace compiled to one list column per record field.
@@ -219,7 +258,7 @@ class CompiledTrace:
 
     __slots__ = ("name", "memory", "pc", "opc", "addr", "value", "dst",
                  "src1", "src2", "taken", "target_pc", "ras_top",
-                 "_stats", "_records")
+                 "_stats", "_records", "_derived")
 
     def __init__(self, name: str, columns: tuple, memory: dict[int, int]):
         self.name = name
@@ -228,6 +267,7 @@ class CompiledTrace:
          self.src2, self.taken, self.target_pc, self.ras_top) = columns
         self._stats: TraceStats | None = None
         self._records: list[TraceRecord] | None = None
+        self._derived: tuple | None = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -264,6 +304,55 @@ class CompiledTrace:
                 target_pc, ras_top in zip(*self.columns)
             ]
         return self._records
+
+    def derived_columns(self) -> tuple:
+        """The four derived columns in :data:`DERIVED_FIELDS` order.
+
+        Built lazily from the primary columns (one pass per trace) when
+        the trace-cache entry predates them or the trace was compiled in
+        this process; cache-loaded traces carry them pre-built.
+        """
+        if self._derived is None:
+            self._derived = self._build_derived()
+        return self._derived
+
+    def _build_derived(self) -> tuple:
+        _derived_counters["derived_builds"] += 1
+        branch = int(OpClass.BRANCH)
+        load = int(OpClass.LOAD)
+        store = int(OpClass.STORE)
+        alu = int(OpClass.ALU)
+        line = [a >> LINE_SHIFT for a in self.addr]
+        mpc = [p ^ r for p, r in zip(self.pc, self.ras_top)]
+        disp = []
+        bp_miss = []
+        append_disp = disp.append
+        append_bp = bp_miss.append
+        for opc, src1, pc, target_pc, taken in zip(
+                self.opc, self.src1, self.pc, self.target_pc, self.taken):
+            if opc == load:
+                append_disp(DISP_LOAD)
+                append_bp(0)
+            elif opc == store:
+                append_disp(DISP_STORE)
+                append_bp(0)
+            elif opc == alu:
+                append_disp(DISP_ALU)
+                append_bp(0)
+            elif opc == branch:
+                if src1 >= 0:
+                    append_disp(DISP_BR_COND)
+                    # Static BTFNT outcome: predict taken iff the target
+                    # is backward; mispredict iff that differs from the
+                    # recorded outcome.
+                    append_bp(1 if (target_pc < pc) != taken else 0)
+                else:
+                    append_disp(DISP_BR_UNCOND)
+                    append_bp(0)
+            else:
+                append_disp(DISP_OTHER)
+                append_bp(0)
+        return (line, mpc, disp, bp_miss)
 
     def record(self, index: int) -> TraceRecord:
         """One :class:`TraceRecord` view of row ``index``."""
@@ -325,13 +414,26 @@ class CompiledTrace:
                                        self.columns)
         }
 
+    def derived_bytes(self) -> dict[str, bytes]:
+        """Serialize the derived columns (building them if needed)."""
+        return {
+            name: array(code, col).tobytes()
+            for name, code, col in zip(DERIVED_FIELDS,
+                                       DERIVED_FIELD_TYPECODES,
+                                       self.derived_columns())
+        }
+
     @classmethod
     def from_column_bytes(cls, name: str, blobs: dict[str, bytes],
-                          memory: dict[int, int]) -> "CompiledTrace":
+                          memory: dict[int, int],
+                          derived: dict[str, bytes] | None = None,
+                          ) -> "CompiledTrace":
         """Inverse of :meth:`column_bytes`.
 
         ``taken`` is normalized back to bools so a cache-loaded trace is
-        indistinguishable from a freshly compiled one.
+        indistinguishable from a freshly compiled one.  ``derived``, when
+        present (trace-cache format 2+), restores the precomputed derived
+        columns so replay never pays the derivation pass.
         """
         columns = []
         for field_name, code in zip(TRACE_FIELDS, TRACE_FIELD_TYPECODES):
@@ -341,7 +443,17 @@ class CompiledTrace:
             if field_name == "taken":
                 values = [v != 0 for v in values]
             columns.append(values)
-        return cls(name, tuple(columns), memory)
+        trace = cls(name, tuple(columns), memory)
+        if derived is not None:
+            restored = []
+            for field_name, code in zip(DERIVED_FIELDS,
+                                        DERIVED_FIELD_TYPECODES):
+                col = array(code)
+                col.frombytes(derived[field_name])
+                restored.append(col.tolist())
+            trace._derived = tuple(restored)
+            _derived_counters["derived_hits"] += 1
+        return trace
 
 
 def compile_trace(trace: Trace | CompiledTrace) -> CompiledTrace:

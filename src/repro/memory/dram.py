@@ -89,8 +89,11 @@ class Dram:
         "_bank_row",
         "_bus_free",
         "_queues",
+        "_queue_min",
         "_rng",
     )
+
+    _NO_PENDING = 1 << 62
 
     def __init__(self, config: DramConfig | None = None) -> None:
         self.config = config or DramConfig()
@@ -102,6 +105,7 @@ class Dram:
         self._bank_row: list[int | None] = [None] * self._num_banks
         self._bus_free = [0] * cfg.channels
         self._queues: list[list[_QueueEntry]] = [[] for _ in range(cfg.channels)]
+        self._queue_min = [self._NO_PENDING] * cfg.channels
         self._rng = random.Random(cfg.seed)
         self.telemetry = None
         """Optional telemetry hub; emits controller-internal lifecycle
@@ -124,9 +128,21 @@ class Dram:
     # ------------------------------------------------------------------
     # Queue management
     # ------------------------------------------------------------------
-    def _drain(self, queue: list[_QueueEntry], now: int) -> None:
-        if queue:
+    def _drain(self, channel: int, now: int) -> None:
+        """Drop queue entries whose fill already finished.
+
+        Same lazy scheme as ``_MshrFile``: the earliest completion per
+        channel is cached, so the common no-expiry case is a single
+        comparison instead of a list rebuild.  A stale (too small)
+        cached minimum only causes a redundant rebuild, never a missed
+        one — pruning timing is unchanged."""
+        if self._queue_min[channel] <= now:
+            queue = self._queues[channel]
             queue[:] = [entry for entry in queue if entry.completion > now]
+            self._queue_min[channel] = min(
+                (entry.completion for entry in queue),
+                default=self._NO_PENDING,
+            )
 
     def _admit(self, channel: int, now: int, is_prefetch: bool,
                component: str | None) -> tuple[int, bool]:
@@ -135,8 +151,8 @@ class Dram:
         Demands never get rejected; they stall until a slot frees up.
         Prefetches may be dropped according to the drop policy.
         """
+        self._drain(channel, now)
         queue = self._queues[channel]
-        self._drain(queue, now)
         capacity = self.config.queue_capacity
         policy = self.config.drop_policy
         if len(queue) < capacity:
@@ -149,7 +165,7 @@ class Dram:
             if self.telemetry is not None:
                 self.telemetry.emit(ev.DRAM_QUEUE_STALL, now,
                                     dur=earliest - now)
-            self._drain(queue, earliest)
+            self._drain(channel, earliest)
             return earliest, True
 
         # Queue full, incoming prefetch: pick a victim to drop.
@@ -217,6 +233,8 @@ class Dram:
         self._queues[channel].append(
             _QueueEntry(completion, is_prefetch, component)
         )
+        if completion < self._queue_min[channel]:
+            self._queue_min[channel] = completion
         self.stats.reads += 1
         return completion
 
@@ -246,7 +264,7 @@ class Dram:
 
     def queue_occupancy(self, channel: int, now: int) -> int:
         """Pending requests on ``channel`` at cycle ``now`` (for tests)."""
-        self._drain(self._queues[channel], now)
+        self._drain(channel, now)
         return len(self._queues[channel])
 
     def queue_depth(self, now: int) -> int:

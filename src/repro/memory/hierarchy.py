@@ -24,6 +24,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.isa.trace import LINE_SHIFT
 from repro.memory.cache import Cache, CacheLine
 
 if TYPE_CHECKING:  # avoid a circular import with repro.engine.config
@@ -32,8 +33,10 @@ from repro.memory.dram import Dram
 from repro.memory.shadow import ShadowTagStore
 from repro.telemetry import events as ev
 
-LINE_SHIFT = 6
-LINE_BYTES = 64
+# LINE_SHIFT lives with the trace so the compile-time derived ``line``
+# column and the hierarchy can never disagree; re-exported here for the
+# existing importers.
+LINE_BYTES = 1 << LINE_SHIFT
 
 
 @dataclass(slots=True)
@@ -222,7 +225,20 @@ class Hierarchy:
                 prefetch_component=hit.component,
             )
 
-        # Primary L1 miss.
+        return self._demand_miss(line, now, is_write, shadow_l1_hit, pc)
+
+    def _demand_miss(self, line: int, now: int, is_write: bool,
+                     shadow_l1_hit: bool, pc: int = -1) -> AccessResult:
+        """Miss leg of :meth:`demand_access`.
+
+        The caller has already counted the access, missed the L1 lookup,
+        and performed the shadow-tag access.  Split out so the
+        specialized replay kernels (:mod:`repro.engine.kernel`) can
+        inline the L1 hit path and fall back here only on a miss.
+        """
+        l1 = self.l1d
+        stats = l1.stats
+        telemetry = self.telemetry
         stats.demand_misses += 1
         if self.collect_footprint:
             self.miss_lines_l1[line] += 1

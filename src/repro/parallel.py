@@ -19,7 +19,14 @@ Performance properties (PR 2-3):
   trace cache instead of re-running the functional machine.
 * **Slim result payloads** — workers pack the per-line footprint
   Counters and attempted-line sets into flat ``array('q')`` blobs
-  (:func:`_pack_result`); the parent restores equal objects.
+  (:func:`_pack_result`); the parent restores equal objects.  Each
+  result also carries the replay-kernel variant that produced it
+  (``SimulationResult.kernel``) for attribution.
+* **Workload-affine cell fusion** — pool-eligible cells are grouped by
+  workload into fused units (:func:`_fusion_units`), so a worker
+  deserializes/memoizes a compiled trace once and replays all K
+  prefetcher configs against it back-to-back instead of paying trace
+  load per cell.  ``REPRO_FUSION=0`` restores singleton dispatch.
 
 Fault-tolerance properties (this layer; see docs/robustness.md):
 
@@ -258,19 +265,73 @@ def _unpack_result(payload):
     return result
 
 
-def _simulate_payload(payload: tuple[str, object, str, SystemConfig, int]):
-    """Worker entry point: one independent simulation, slim-packed.
+class RemoteCellError(Exception):
+    """One cell of a fused unit failed in its worker.
 
-    The chaos checkpoint runs first: under injection this is where a
+    Carries the worker-side traceback so :func:`_fail` can surface it;
+    ``repr()`` embeds the original error so failure messages read the
+    same as before fusion.
+    """
+
+    def __init__(self, error: str, remote_traceback: str) -> None:
+        super().__init__(error)
+        self.remote_traceback = remote_traceback
+
+
+def _simulate_unit(payload):
+    """Worker entry point: one fused unit of same-workload cells.
+
+    The compiled trace is deserialized/memoized once (workload-registry
+    memo), then every cell replays against it back-to-back.  Each cell
+    is isolated: an exception is captured per cell and returned as data,
+    so one bad prefetcher config never voids its unit-mates' work.
+
+    The chaos checkpoint runs per cell: under injection this is where a
     targeted cell sleeps or its worker dies — deterministically, on
     attempt 0 only, so the retry always runs clean.
     """
     from repro.experiments.runner import simulate_spec
     from repro.faults import chaos
 
-    workload, spec, tag, config, attempt = payload
-    chaos.on_cell_start(workload, spec, tag, attempt)
-    return _pack_result(simulate_spec(workload, spec, tag, config))
+    cells, config, attempt = payload
+    outcomes = []
+    for workload, spec, tag in cells:
+        chaos.on_cell_start(workload, spec, tag, attempt)
+        try:
+            outcomes.append(
+                ("ok", _pack_result(simulate_spec(workload, spec, tag,
+                                                  config))))
+        except Exception as exc:
+            outcomes.append(("err", repr(exc),
+                             "".join(traceback.format_exception(exc))))
+    return outcomes
+
+
+FUSION_ENV = "REPRO_FUSION"
+
+
+def _fusion_units(remote, normalized, workers) -> list[tuple]:
+    """Group pool-eligible cells into workload-affine units.
+
+    Cells sharing a workload land in the same unit (in submission
+    order) so a worker loads/memoizes the compiled trace once and
+    replays all its prefetcher configs back-to-back.  Units are capped
+    at ``ceil(len(remote) / (workers * 2))`` cells so every worker
+    stays busy and a retried unit re-runs a bounded amount of work.
+    ``REPRO_FUSION=0`` disables grouping (singleton units) — the
+    escape hatch the fusion identity test pins against.
+    """
+    if os.environ.get(FUSION_ENV) == "0":
+        return [(i,) for i in remote]
+    groups: dict[str, list[int]] = {}
+    for i in remote:
+        groups.setdefault(normalized[i][0], []).append(i)
+    chunk = max(1, -(-len(remote) // (workers * 2)))
+    units = []
+    for indices in groups.values():
+        for start in range(0, len(indices), chunk):
+            units.append(tuple(indices[start:start + chunk]))
+    return units
 
 
 # ----------------------------------------------------------------------
@@ -363,11 +424,19 @@ def _fail(i: int, normalized, kind: str, attempts: int,
 
     workload, spec, tag = normalized[i]
     key = _safe_spec_key(spec)
+    if exc is None:
+        error, trace = "", ""
+    elif isinstance(exc, RemoteCellError):
+        # The real failure happened in a worker: report the original
+        # error string and the worker-side traceback.
+        error = str(exc)
+        trace = exc.remote_traceback
+    else:
+        error = repr(exc)
+        trace = "".join(traceback.format_exception(exc))
     failure = CellFailure(
         workload=workload, spec=key, tag=tag, kind=kind,
-        error=repr(exc) if exc is not None else "",
-        traceback="".join(traceback.format_exception(exc))
-        if exc is not None else "",
+        error=error, traceback=trace,
         attempts=attempts,
     )
     faultlog.log_fault(faultlog.CELL_FAILED, workload=workload, spec=key,
@@ -405,12 +474,19 @@ def _run_pool(remote, local, normalized, config, results, workers,
               policy) -> float:
     """Dispatch ``remote`` cells over the pool; returns merge seconds.
 
-    The scheduler keeps at most ``window`` cells in flight (== the
-    worker count when a timeout is set, so the per-cell wall clock is
-    honest; a bit more otherwise to hide submission latency), retries
-    faulted cells with backoff, replaces the pool when a worker dies or
-    hangs, and runs the non-picklable ``local`` stragglers in the
-    parent while the first wave churns.
+    Cells are fused into workload-affine units (:func:`_fusion_units`)
+    so each worker pays trace deserialization once per workload, not
+    once per cell.  The scheduler keeps at most ``window`` units in
+    flight (== the worker count when a timeout is set, so the per-unit
+    wall clock is honest; a bit more otherwise to hide submission
+    latency), retries faulted cells with backoff — always as singleton
+    units, so a retry never re-runs its innocent unit-mates — replaces
+    the pool when a worker dies or hangs, and runs the non-picklable
+    ``local`` stragglers in the parent while the first wave churns.
+
+    A unit's timeout budget scales with its size
+    (``policy.timeout_seconds * len(unit)``): the per-cell contract is
+    unchanged, a unit of K cells simply has K cells' worth of clock.
     """
     from concurrent.futures import FIRST_COMPLETED, wait
     from concurrent.futures.process import BrokenProcessPool
@@ -418,16 +494,21 @@ def _run_pool(remote, local, normalized, config, results, workers,
     from repro.faults import faultlog
 
     window = workers if policy.timeout_seconds else workers * 2
-    # (index, attempt, ready_at) — ready_at is a monotonic instant the
-    # cell's backoff expires at.
-    pending: deque = deque((i, 0, 0.0) for i in remote)
-    inflight: dict = {}  # future -> (index, attempt, dispatched_at)
+    # (unit, attempt, ready_at) — unit is a tuple of cell indices,
+    # ready_at a monotonic instant the unit's backoff expires at.
+    pending: deque = deque(
+        (unit, 0, 0.0) for unit in _fusion_units(remote, normalized,
+                                                 workers))
+    inflight: dict = {}  # future -> (unit, attempt, dispatched_at)
     merge_seconds = 0.0
     executor = _get_executor(workers)
 
     def cell_tag(i):
         workload, spec, tag = normalized[i]
         return workload, _safe_spec_key(spec), tag
+
+    def budget(unit) -> float:
+        return policy.timeout_seconds * len(unit)
 
     def replace_pool(reason: str) -> None:
         nonlocal executor
@@ -444,7 +525,8 @@ def _run_pool(remote, local, normalized, config, results, workers,
             faultlog.log_fault(faultlog.CELL_RETRY, workload=workload,
                                spec=key, tag=tag, attempt=next_attempt,
                                detail=kind if exc is None else repr(exc))
-            pending.append((i, next_attempt, now + policy.delay(next_attempt)))
+            pending.append(((i,), next_attempt,
+                            now + policy.delay(next_attempt)))
             return
         if kind == "worker-lost":
             # Last resort for a cell that keeps losing its worker: one
@@ -458,23 +540,33 @@ def _run_pool(remote, local, normalized, config, results, workers,
                 next_attempt += 1
         results[i] = _fail(i, normalized, kind, next_attempt, exc)
 
+    def lose_unit(unit, attempt: int, dispatched: float,
+                  now: float) -> None:
+        """Every cell of a pool-lost unit: log + reschedule."""
+        for i in unit:
+            workload, key, tag = cell_tag(i)
+            faultlog.log_fault(faultlog.WORKER_LOST, workload=workload,
+                               spec=key, tag=tag, attempt=attempt,
+                               seconds=now - dispatched)
+            reschedule(i, attempt, "worker-lost", None, now)
+
     def launch(now: float) -> None:
         not_ready = []
         while pending and len(inflight) < window:
-            i, attempt, ready_at = pending.popleft()
+            unit, attempt, ready_at = pending.popleft()
             if ready_at > now:
-                not_ready.append((i, attempt, ready_at))
+                not_ready.append((unit, attempt, ready_at))
                 continue
-            payload = normalized[i] + (config, attempt)
+            payload = (tuple(normalized[i] for i in unit), config, attempt)
             try:
-                future = executor.submit(_simulate_payload, payload)
+                future = executor.submit(_simulate_unit, payload)
             except Exception:
                 # A worker died between the last wait and this submit:
                 # the executor refuses new work.  Replace it and retry
                 # the submission once on the fresh pool.
                 replace_pool("pool broken at submit")
-                future = executor.submit(_simulate_payload, payload)
-            inflight[future] = (i, attempt, now)
+                future = executor.submit(_simulate_unit, payload)
+            inflight[future] = (unit, attempt, now)
         pending.extend(not_ready)
 
     launch(time.monotonic())
@@ -487,8 +579,8 @@ def _run_pool(remote, local, normalized, config, results, workers,
         waits = [ready_at - now for _, _, ready_at in pending
                  if ready_at > now]
         if policy.timeout_seconds:
-            waits += [dispatched + policy.timeout_seconds - now
-                      for _, _, dispatched in inflight.values()]
+            waits += [dispatched + budget(unit) - now
+                      for unit, _, dispatched in inflight.values()]
         wait_for = max(0.005, min(waits)) if waits else None
         if not inflight:
             time.sleep(wait_for if wait_for is not None else 0.005)
@@ -500,33 +592,38 @@ def _run_pool(remote, local, normalized, config, results, workers,
         broken = False
         merged: list = []
         for future in done:
-            i, attempt, dispatched = inflight.pop(future)
+            unit, attempt, dispatched = inflight.pop(future)
             try:
-                merged.append((i, future.result()))
+                outcomes = future.result()
             except BrokenProcessPool:
                 broken = True
-                workload, key, tag = cell_tag(i)
-                faultlog.log_fault(faultlog.WORKER_LOST, workload=workload,
-                                   spec=key, tag=tag, attempt=attempt,
-                                   seconds=now - dispatched)
-                reschedule(i, attempt, "worker-lost", None, now)
+                lose_unit(unit, attempt, dispatched, now)
+                continue
             except Exception as exc:
-                reschedule(i, attempt, "error", exc, now)
+                for i in unit:
+                    reschedule(i, attempt, "error", exc, now)
+                continue
+            for i, outcome in zip(unit, outcomes):
+                if outcome[0] == "ok":
+                    merged.append((i, outcome[1]))
+                else:
+                    # The cell failed inside its worker; unit-mates'
+                    # results above are kept.  Retry it alone.
+                    reschedule(i, attempt, "error",
+                               RemoteCellError(outcome[1], outcome[2]),
+                               now)
         if broken:
             # Every other in-flight future died with the pool; innocent
             # or not, each consumed an attempt (bounded — a cell that
             # reliably kills workers must not loop forever).
-            for future, (i, attempt, dispatched) in list(inflight.items()):
-                workload, key, tag = cell_tag(i)
-                faultlog.log_fault(faultlog.WORKER_LOST, workload=workload,
-                                   spec=key, tag=tag, attempt=attempt,
-                                   seconds=now - dispatched)
-                reschedule(i, attempt, "worker-lost", None, now)
+            for future, (unit, attempt, dispatched) in list(
+                    inflight.items()):
+                lose_unit(unit, attempt, dispatched, now)
             inflight.clear()
             replace_pool("worker died mid-cell")
         elif policy.timeout_seconds:
             expired = [(future, entry) for future, entry in inflight.items()
-                       if now - entry[2] > policy.timeout_seconds]
+                       if now - entry[2] > budget(entry[0])]
             if expired:
                 # The only portable way to reclaim a hung worker is to
                 # replace the whole pool; survivors resubmit with no
@@ -534,16 +631,18 @@ def _run_pool(remote, local, normalized, config, results, workers,
                 survivors = [entry for future, entry in inflight.items()
                              if not any(future is f for f, _ in expired)]
                 inflight.clear()
-                for future, (i, attempt, dispatched) in expired:
-                    workload, key, tag = cell_tag(i)
-                    faultlog.log_fault(
-                        faultlog.CELL_TIMEOUT, workload=workload, spec=key,
-                        tag=tag, attempt=attempt, seconds=now - dispatched,
-                        detail=f"timeout={policy.timeout_seconds}s",
-                    )
-                    reschedule(i, attempt, "timeout", None, now)
-                for i, attempt, _ in survivors:
-                    pending.append((i, attempt, now))
+                for future, (unit, attempt, dispatched) in expired:
+                    for i in unit:
+                        workload, key, tag = cell_tag(i)
+                        faultlog.log_fault(
+                            faultlog.CELL_TIMEOUT, workload=workload,
+                            spec=key, tag=tag, attempt=attempt,
+                            seconds=now - dispatched,
+                            detail=f"timeout={policy.timeout_seconds}s",
+                        )
+                        reschedule(i, attempt, "timeout", None, now)
+                for unit, attempt, _ in survivors:
+                    pending.append((unit, attempt, now))
                 replace_pool("hung worker replaced")
 
         # Submit replacements before paying the unpack cost, so workers

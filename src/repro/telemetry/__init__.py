@@ -32,6 +32,7 @@ from repro.telemetry.manifest import (
 from repro.telemetry.sampler import Sample, TimeSeriesSampler
 from repro.telemetry.trace_io import (
     filter_events,
+    normalize_record,
     read_jsonl,
     summarize,
     write_jsonl,
@@ -54,5 +55,6 @@ __all__ = [
     "write_jsonl",
     "read_jsonl",
     "filter_events",
+    "normalize_record",
     "summarize",
 ]

@@ -61,12 +61,20 @@ class RunManifest:
     git_sha: str | None
     metrics: dict = field(default_factory=dict)
     counters: dict = field(default_factory=dict)
+    kernel: str = "generic"
     version: int = MANIFEST_VERSION
 
     @property
     def run_id(self) -> str:
-        """Deterministic id: slugged identity + content digest."""
-        payload = json.dumps(self.as_dict(with_id=False), sort_keys=True)
+        """Deterministic id: slugged identity + content digest.
+
+        The replay-kernel variant is excluded from the digest: kernels
+        are bit-identical by contract, so specialized and generic runs
+        of the same configuration share a run directory.
+        """
+        payload = self.as_dict(with_id=False)
+        payload.pop("kernel", None)
+        payload = json.dumps(payload, sort_keys=True)
         digest = hashlib.sha1(payload.encode()).hexdigest()[:10]
         return f"{_slug(self.workload)}__{_slug(self.spec)}__{digest}"
 
@@ -78,6 +86,7 @@ class RunManifest:
             "spec": self.spec,
             "config_tag": self.config_tag,
             "git_sha": self.git_sha,
+            "kernel": self.kernel,
             "metrics": self.metrics,
             "counters": self.counters,
         }
@@ -98,6 +107,7 @@ def build_manifest(result, *, spec: str | None = None, config_tag: str = "",
         spec=spec if spec is not None else result.prefetcher,
         config_tag=config_tag,
         git_sha=current_git_sha(),
+        kernel=getattr(result, "kernel", "generic"),
         metrics={
             "instructions": result.core.instructions,
             "cycles": result.cycles,

@@ -41,6 +41,34 @@ def read_jsonl(path) -> Iterator[dict]:
                 yield json.loads(line)
 
 
+def normalize_record(record: dict) -> dict:
+    """Adapt a matrix-journal record to the lifecycle key set.
+
+    The resumable-matrix journal (:mod:`repro.faults.journal`) stores
+    ``status/workload/spec/tag/attempts/seconds/kernel`` lines; mapping
+    them onto the lifecycle keys (``kind=cell_<status>``,
+    ``component=spec``, ``level=attempts``, ``dur=seconds``, matching
+    the fault-log field conventions of docs/robustness.md) lets
+    ``python -m repro events`` read a journal file directly and
+    attribute per-cell timings to the replay kernel that produced them.
+    Lifecycle records pass through untouched.
+    """
+    if "cycle" in record:
+        return record
+    out = dict(record)
+    status = out.pop("status", None)
+    if "kind" not in out:
+        out["kind"] = f"cell_{status}" if status else "record"
+    if out.get("component") is None:
+        out["component"] = out.get("spec")
+    out.setdefault("cycle", 0)
+    out.setdefault("level", out.get("attempts", 0))
+    out.setdefault("line", -1)
+    out.setdefault("pc", -1)
+    out.setdefault("dur", out.get("seconds", 0))
+    return out
+
+
 def filter_events(events: Iterable, *, kind: str | None = None,
                   component: str | None = None, pc: int | None = None,
                   line: int | None = None, level: int | None = None,
@@ -74,6 +102,7 @@ def summarize(events: Iterable) -> dict:
     """
     by_kind: Counter = Counter()
     by_component: Counter = Counter()
+    by_kernel: Counter = Counter()
     first = None
     last = None
     total = 0
@@ -83,15 +112,24 @@ def summarize(events: Iterable) -> dict:
         component = _field(event, "component")
         if component is not None:
             by_component[component] += 1
+        if isinstance(event, dict):
+            kernel = event.get("kernel")
+            if kernel:
+                by_kernel[kernel] += 1
         cycle = _field(event, "cycle")
         if first is None or cycle < first:
             first = cycle
         if last is None or cycle > last:
             last = cycle
-    return {
+    summary = {
         "total": total,
         "by_kind": dict(by_kind.most_common()),
         "by_component": dict(by_component.most_common()),
         "first_cycle": first,
         "last_cycle": last,
     }
+    if by_kernel:
+        # Journal records carry the replay-kernel variant; lifecycle
+        # events do not, so the key only appears when it has content.
+        summary["by_kernel"] = dict(by_kernel.most_common())
+    return summary

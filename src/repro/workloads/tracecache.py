@@ -16,8 +16,9 @@ builder-code version**, ever, per machine:
   (default root ``runs/traces``; override with the ``REPRO_TRACE_CACHE``
   environment variable, empty string disables the cache).
 * **Format** — a pickled dict of per-column ``bytes`` blobs produced by
-  :meth:`CompiledTrace.column_bytes` plus the memory image as two
-  ``array('q')`` blobs.  Loading is a handful of C-level
+  :meth:`CompiledTrace.column_bytes`, the derived columns from
+  :meth:`CompiledTrace.derived_bytes` (format 2), plus the memory image
+  as two ``array('q')`` blobs.  Loading is a handful of C-level
   ``frombytes``/``tolist`` passes — no per-record Python loop.
 * **Invalidation** — entries from other code versions sit in their own
   directories and are never read; ``repro cache stats`` counts them and
@@ -37,9 +38,17 @@ import re
 from array import array
 from pathlib import Path
 
-from repro.isa.trace import CompiledTrace
+from repro.isa.trace import (
+    CompiledTrace,
+    derived_counters,
+    reset_derived_counters,
+)
 
-TRACE_CACHE_VERSION = 1
+# Version 2: entries carry the derived columns (line/mpc/disp/bp_miss,
+# see repro.isa.trace.DERIVED_FIELDS) precomputed at build time.  The
+# version salts trace_code_version(), so bumping it moves the cache to a
+# fresh directory and format-1 entries become stale wholesale.
+TRACE_CACHE_VERSION = 2
 DEFAULT_TRACE_CACHE_DIR = "runs/traces"
 TRACE_CACHE_ENV = "REPRO_TRACE_CACHE"
 
@@ -52,8 +61,14 @@ _counters = {"builds": 0, "disk_hits": 0, "memory_hits": 0}
 
 
 def trace_counters() -> dict:
-    """Snapshot of this process's trace-generation counters."""
-    return dict(_counters)
+    """Snapshot of this process's trace-generation counters.
+
+    Merges the derived-column build/hit counters kept by
+    :mod:`repro.isa.trace` so ``repro cache stats`` shows both layers.
+    """
+    merged = dict(_counters)
+    merged.update(derived_counters())
+    return merged
 
 
 def count(event: str) -> None:
@@ -64,6 +79,7 @@ def count(event: str) -> None:
 def reset_trace_counters() -> None:
     for key in _counters:
         _counters[key] = 0
+    reset_derived_counters()
 
 
 def trace_code_version() -> str:
@@ -132,7 +148,8 @@ class TraceCache:
             values.frombytes(payload["memory_val"])
             memory = dict(zip(addresses.tolist(), values.tolist()))
             return CompiledTrace.from_column_bytes(
-                payload["name"], payload["columns"], memory
+                payload["name"], payload["columns"], memory,
+                derived=payload.get("derived"),
             )
         except FileNotFoundError:
             return None
@@ -166,6 +183,7 @@ class TraceCache:
             "name": trace.name,
             "simpoint": simpoint,
             "columns": trace.column_bytes(),
+            "derived": trace.derived_bytes(),
             "memory_addr": array("q", memory.keys()).tobytes(),
             "memory_val": array("q", memory.values()).tobytes(),
         }

@@ -1,0 +1,259 @@
+"""Specialized replay kernels (docs/performance.md, "Replay kernels").
+
+The contract under test is bit-identity: a specialized kernel is a
+partial evaluation of the generic step loop, so it may change wall
+clock but never a number.  These tests pin that registry-wide against
+the ``REPRO_KERNEL=generic`` escape hatch, pin workload-affine cell
+fusion against its own escape hatch (``REPRO_FUSION=0``) at ``--jobs
+4``, check the derived trace columns against fresh derivation, and
+follow the kernel-variant attribution through results, manifests, and
+the fault journal.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from conftest import build_chain_trace, build_strided_trace
+from repro.engine.config import EXPERIMENT_CONFIG
+from repro.engine.kernel import GENERIC, KERNEL_ENV, kernel_flags, variant_name
+from repro.engine.system import simulate
+from repro.isa.trace import (
+    DERIVED_FIELDS,
+    LINE_SHIFT,
+    CompiledTrace,
+    compile_trace,
+    derived_counters,
+)
+from repro.parallel import FUSION_ENV, _fusion_units, run_jobs, shutdown_pool
+from repro.prefetcher_registry import available_prefetchers, make_prefetcher
+from repro.telemetry import Telemetry
+
+
+@pytest.fixture(scope="module")
+def strided():
+    return compile_trace(build_strided_trace(elements=1500, name="k-strided"))
+
+
+@pytest.fixture(scope="module")
+def chain():
+    return compile_trace(build_chain_trace(nodes=1200, name="k-chain"))
+
+
+def _identity(result) -> tuple:
+    """Everything a simulation reports, for exact comparison."""
+    return (
+        result.core,
+        result.l1d,
+        result.l2,
+        result.l3,
+        result.dram,
+        result.prefetch,
+        result.miss_lines_l1,
+        result.miss_lines_l2,
+        result.attempted_prefetch_lines,
+        result.attempted_by_component,
+        result.pollution_misses_l1,
+        result.pollution_misses_l2,
+    )
+
+
+# ----------------------------------------------------------------------
+# Registry-wide bit identity
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", available_prefetchers())
+def test_specialized_matches_generic_registry_wide(name, strided, chain,
+                                                   monkeypatch):
+    for trace in (strided, chain):
+        fast = simulate(trace, make_prefetcher(name))
+        monkeypatch.setenv(KERNEL_ENV, GENERIC)
+        slow = simulate(trace, make_prefetcher(name))
+        monkeypatch.delenv(KERNEL_ENV)
+        assert fast.kernel.startswith("fast"), name
+        assert slow.kernel == GENERIC
+        assert _identity(fast) == _identity(slow), (name, trace.name)
+
+
+def test_specialized_matches_generic_with_telemetry(strided, monkeypatch):
+    """Telemetry disables the lean memory path but not specialization."""
+    fast = simulate(strided, make_prefetcher("tpc"), telemetry=Telemetry())
+    monkeypatch.setenv(KERNEL_ENV, GENERIC)
+    slow = simulate(strided, make_prefetcher("tpc"), telemetry=Telemetry())
+    monkeypatch.delenv(KERNEL_ENV)
+    assert fast.kernel.startswith("fast")
+    assert "leanmem" not in fast.kernel
+    assert _identity(fast) == _identity(slow)
+
+
+def test_lean_flag_set_without_telemetry(strided):
+    result = simulate(strided, make_prefetcher("none"))
+    assert "leanmem" in result.kernel
+
+
+# ----------------------------------------------------------------------
+# Kernel selection and the escape hatch
+# ----------------------------------------------------------------------
+def test_object_trace_falls_back_to_generic():
+    trace = build_strided_trace(elements=300, name="k-object")
+    result = simulate(trace)
+    assert result.kernel == GENERIC
+
+
+def test_env_escape_hatch_disables_specialization(strided, monkeypatch):
+    monkeypatch.setenv(KERNEL_ENV, GENERIC)
+    result = simulate(strided)
+    assert result.kernel == GENERIC
+
+
+def test_kernel_flags_none_under_escape_hatch(strided, monkeypatch):
+    class _Probe:
+        trace = strided
+        _observe_instruction = None
+        _observe_access = None
+        _on_access = None
+        _on_fill = None
+        _sampler = None
+        _branch_predictor = object()
+
+        class hierarchy:
+            tracker = None
+            telemetry = None
+
+    assert kernel_flags(_Probe()) is not None
+    monkeypatch.setenv(KERNEL_ENV, GENERIC)
+    assert kernel_flags(_Probe()) is None
+
+
+def test_variant_name_encodes_flags():
+    assert variant_name((False,) * 5 + (True, False)) == "fast+staticbp"
+    name = variant_name((True, True, True, True, True, False, True))
+    assert name == "fast+instr+observe+issue+fill+sample+leanmem+dynbp"
+
+
+# ----------------------------------------------------------------------
+# Derived columns
+# ----------------------------------------------------------------------
+def test_derived_columns_match_primary_columns(strided):
+    line, mpc, disp, bp_miss = strided.derived_columns()
+    assert list(line) == [a >> LINE_SHIFT for a in strided.addr]
+    assert list(mpc) == [p ^ r for p, r in zip(strided.pc, strided.ras_top)]
+    assert len(disp) == len(bp_miss) == len(strided)
+
+
+def test_derived_columns_round_trip(chain):
+    original = chain.derived_columns()
+    blobs = chain.column_bytes()
+    derived = chain.derived_bytes()
+    before = derived_counters()
+
+    restored = CompiledTrace.from_column_bytes(chain.name, blobs,
+                                               chain.memory, derived=derived)
+    after = derived_counters()
+    assert after["derived_hits"] == before["derived_hits"] + 1
+    # Restored from the cache blobs: no derivation pass happened, yet the
+    # columns are exactly what a fresh derivation produces.
+    assert restored._derived is not None
+    assert restored.derived_columns() == original
+    assert after["derived_builds"] == derived_counters()["derived_builds"]
+
+    rebuilt = CompiledTrace.from_column_bytes(chain.name, blobs, chain.memory)
+    assert rebuilt._derived is None
+    assert rebuilt.derived_columns() == original
+    assert set(DERIVED_FIELDS) == set(derived)
+
+
+# ----------------------------------------------------------------------
+# Workload-affine cell fusion
+# ----------------------------------------------------------------------
+def test_fusion_units_group_by_workload(monkeypatch):
+    normalized = [("a", "s1", ""), ("b", "s1", ""), ("a", "s2", ""),
+                  ("b", "s2", "")]
+    units = _fusion_units([0, 1, 2, 3], normalized, 1)
+    assert units == [(0, 2), (1, 3)]
+    monkeypatch.setenv(FUSION_ENV, "0")
+    assert _fusion_units([0, 1, 2, 3], normalized, 1) == [
+        (0,), (1,), (2,), (3,)]
+
+
+def test_fusion_identity_at_jobs_4(monkeypatch):
+    matrix = [(w, s) for w in ("spec.libquantum", "spec.astar")
+              for s in ("none", "bop")]
+    try:
+        fused = run_jobs(matrix, EXPERIMENT_CONFIG, 4)
+        shutdown_pool()
+        monkeypatch.setenv(FUSION_ENV, "0")
+        singleton = run_jobs(matrix, EXPERIMENT_CONFIG, 4)
+    finally:
+        shutdown_pool()
+    assert len(fused) == len(singleton) == len(matrix)
+    for cell, a, b in zip(matrix, fused, singleton):
+        assert _identity(a) == _identity(b), cell
+        assert a.kernel == b.kernel and a.kernel.startswith("fast"), cell
+
+
+# ----------------------------------------------------------------------
+# Attribution
+# ----------------------------------------------------------------------
+def test_manifest_carries_kernel_but_run_id_ignores_it(strided, monkeypatch):
+    fast = simulate(strided, make_prefetcher("bop"), spec="bop")
+    monkeypatch.setenv(KERNEL_ENV, GENERIC)
+    slow = simulate(strided, make_prefetcher("bop"), spec="bop")
+    monkeypatch.delenv(KERNEL_ENV)
+    assert fast.manifest.kernel == fast.kernel != GENERIC
+    assert slow.manifest.kernel == GENERIC
+    # Bit-identical by contract, so both land in the same run directory.
+    assert fast.manifest.run_id == slow.manifest.run_id
+    assert fast.manifest.as_dict()["kernel"] == fast.kernel
+
+
+def test_parallel_phases_reads_both_schemas():
+    """The parallel phase breakdown is serialized once (parallel.phases);
+    the reader must still understand pre-dedupe logs (phases.parallel)."""
+    from repro.bench import parallel_phases
+
+    current = {"parallel": {"phases": {"simulate_seconds": 1.0}},
+               "phases": {"trace_build_seconds": 2.0}}
+    old = {"parallel": {"jobs": 4},
+           "phases": {"parallel": {"simulate_seconds": 3.0}}}
+    assert parallel_phases(current) == {"simulate_seconds": 1.0}
+    assert parallel_phases(old) == {"simulate_seconds": 3.0}
+    assert parallel_phases({}) == {}
+
+
+def test_journal_records_kernel(tmp_path):
+    from repro.faults.journal import MatrixJournal
+
+    journal = MatrixJournal(tmp_path, "cfgdigest", code_version="v-test")
+    journal.record_ok("spec.astar", "bop", "", seconds=1.0,
+                      kernel="fast+issue+fill+leanmem+staticbp")
+    records = [json.loads(line)
+               for line in journal.path.read_text().splitlines()]
+    assert records[-1]["kernel"] == "fast+issue+fill+leanmem+staticbp"
+
+
+def test_events_verb_reads_journal_with_kernel(tmp_path):
+    """``repro events`` on a journal file attributes cells to kernels."""
+    from repro.faults.journal import MatrixJournal
+    from repro.telemetry import (filter_events, normalize_record,
+                                 read_jsonl, summarize)
+
+    journal = MatrixJournal(tmp_path, "cfgdigest", code_version="v-test")
+    journal.record_ok("spec.mcf", "tpc", "", attempts=2, seconds=2.5,
+                      kernel="fast+instr+observe+issue+leanmem+staticbp")
+    events = [normalize_record(r) for r in read_jsonl(journal.path)]
+    assert events[0]["kind"] == "cell_ok"
+    assert events[0]["component"] == "tpc"
+    assert events[0]["level"] == 2
+    assert events[0]["dur"] == 2.5
+    assert list(filter_events(events, kind="cell_ok")) == events
+    summary = summarize(events)
+    assert summary["by_kernel"] == {
+        "fast+instr+observe+issue+leanmem+staticbp": 1}
+    # Lifecycle records pass through normalization untouched, and their
+    # summaries stay kernel-free.
+    lifecycle = {"kind": "issued", "cycle": 7, "line": 1, "component": "T2",
+                 "level": 1, "pc": 4, "dur": 0}
+    assert normalize_record(lifecycle) is lifecycle
+    assert "by_kernel" not in summarize([lifecycle])

@@ -279,5 +279,6 @@ def test_tiny_workload_roundtrips_through_pickle_cache(tmp_path,
     # The cached payload is a plain dict of blobs, not arbitrary objects.
     path = TraceCache().entry_path("test.tiny", 2_000)
     payload = pickle.loads(path.read_bytes())
-    assert sorted(payload) == ["columns", "format", "memory_addr",
-                               "memory_val", "name", "simpoint"]
+    assert sorted(payload) == ["columns", "derived", "format",
+                               "memory_addr", "memory_val", "name",
+                               "simpoint"]
