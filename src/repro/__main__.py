@@ -12,6 +12,14 @@ Commands
 ``report``     regenerate every table/figure (see experiments.report_all)
 ``cache``      inspect or clear the on-disk result and trace caches
 ``bench``      wall-clock benchmark -> BENCH_simulator.json
+``trace``      export a sweep's fabric spans as a Chrome trace (one lane
+               per pool worker) plus a pool-utilization report
+``metrics``    print a sweep's metrics registry (runs/<id>/metrics.json)
+
+Sweeps that fan out (``--jobs`` != 1; force with ``REPRO_OBS=1``, off
+with ``REPRO_OBS=0``) snapshot fabric observability to
+``runs/<sweep-id>/spans.jsonl`` + ``metrics.json``; ``repro trace
+latest`` and ``repro metrics latest`` read them back.
 
 ``simulate``/``compare``/``profile``/``report`` accept ``--jobs N``
 (parallel fan-out, bit-identical to serial), ``--cache-dir DIR``
@@ -33,12 +41,38 @@ import sys
 from repro.analysis.report import format_table
 
 
+def _obs_for(args):
+    """A FabricObs when this invocation should be observed, else None.
+
+    Only the sweep verbs snapshot observability (``report`` wires its
+    own through :mod:`repro.experiments.report_all`).
+    """
+    from repro.obs import FabricObs, obs_enabled
+
+    if args.command not in ("simulate", "compare"):
+        return None
+    if not obs_enabled(getattr(args, "jobs", 1)):
+        return None
+    return FabricObs(label=args.command)
+
+
+def _finish_obs(runner) -> None:
+    """Snapshot the runner's obs (if any) under runs/ and say where."""
+    if getattr(runner, "obs", None) is None:
+        return
+    out = runner.obs.write()
+    print(f"fabric observability: {out}/spans.jsonl — inspect with "
+          f"`repro trace {out.name}` / `repro metrics {out.name}`",
+          file=sys.stderr)
+
+
 def _runner_for(args):
     from repro.experiments.runner import ExperimentRunner
 
     return ExperimentRunner(jobs=getattr(args, "jobs", 1),
                             cache_dir=getattr(args, "cache_dir", None),
-                            journal_dir=getattr(args, "journal_dir", None))
+                            journal_dir=getattr(args, "journal_dir", None),
+                            obs=_obs_for(args))
 
 
 def _cmd_simulate(args) -> None:
@@ -61,6 +95,7 @@ def _cmd_simulate(args) -> None:
         ("by component", dict(result.prefetch.by_component)),
     ]
     print(format_table(["metric", "value"], rows))
+    _finish_obs(runner)
 
 
 def _cmd_compare(args) -> None:
@@ -88,6 +123,7 @@ def _cmd_compare(args) -> None:
          "traffic"],
         rows,
     ))
+    _finish_obs(runner)
 
 
 def _cmd_profile(args) -> None:
@@ -279,6 +315,47 @@ def _cmd_cache(args) -> None:
     print(format_table(["metric", "value"], rows))
 
 
+def _cmd_trace(args) -> None:
+    from repro.obs import read_spans, resolve_run
+    from repro.obs.report import format_pool_report, pool_report
+    from repro.telemetry.chrome import write_fabric_chrome
+
+    path = resolve_run(args.run)
+    spans = read_spans(path)
+    chrome = args.chrome or str(path.parent / "trace.json")
+    count = write_fabric_chrome(spans, chrome)
+    print(f"wrote {count} spans from {path} to {chrome} "
+          f"(load in about://tracing or ui.perfetto.dev)",
+          file=sys.stderr)
+    print(format_pool_report(pool_report(spans)))
+
+
+def _cmd_metrics(args) -> None:
+    import json
+
+    from repro.obs import read_metrics, resolve_run
+
+    path = resolve_run(args.run, filename="metrics.json")
+    snapshot = read_metrics(path)
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return
+    rows = []
+    rows += [(f"counter {name}", value)
+             for name, value in snapshot.get("counters", {}).items()]
+    rows += [(f"gauge {name}", value)
+             for name, value in snapshot.get("gauges", {}).items()]
+    for name, hist in snapshot.get("histograms", {}).items():
+        rows.append((
+            f"histogram {name}",
+            f"n={hist['count']} mean={hist['mean']} "
+            f"p50={hist['p50']} p95={hist['p95']} max={hist['max']}",
+        ))
+    if not rows:
+        rows = [("(empty)", "-")]
+    print(format_table(["metric", "value"], rows))
+
+
 def _cmd_bench(argv: list[str]) -> None:
     from repro import bench
 
@@ -423,6 +500,36 @@ def main(argv: list[str] | None = None) -> None:
         help="with clear: only entries from other code versions",
     )
     cache_parser.set_defaults(func=_cmd_cache)
+
+    trace_parser = commands.add_parser(
+        "trace",
+        help="export a sweep's fabric spans as a Chrome trace + "
+             "pool-utilization report",
+    )
+    trace_parser.add_argument(
+        "run", nargs="?", default="latest",
+        help="run id under runs/, a run directory, a spans.jsonl path, "
+             "or 'latest' (default)",
+    )
+    trace_parser.add_argument(
+        "--chrome", default=None, metavar="OUT.json",
+        help="Chrome trace_event output (default <run>/trace.json)",
+    )
+    trace_parser.set_defaults(func=_cmd_trace)
+
+    metrics_parser = commands.add_parser(
+        "metrics", help="print a sweep's metrics registry"
+    )
+    metrics_parser.add_argument(
+        "run", nargs="?", default="latest",
+        help="run id under runs/, a run directory, a metrics.json path, "
+             "or 'latest' (default)",
+    )
+    metrics_parser.add_argument(
+        "--json", action="store_true",
+        help="print the raw JSON snapshot instead of a table",
+    )
+    metrics_parser.set_defaults(func=_cmd_metrics)
 
     commands.add_parser(
         "bench",

@@ -56,6 +56,7 @@ import tempfile
 import time
 
 from repro.engine.config import EXPERIMENT_CONFIG
+from repro.log import get_logger
 
 FULL_WORKLOADS = ["spec.libquantum", "spec.mcf", "spec.milc", "spec.astar"]
 FULL_PREFETCHERS = ["none", "bop", "tpc"]
@@ -211,19 +212,38 @@ def bench_generic(matrix, config) -> dict:
 
 
 def bench_parallel(matrix, config, jobs: int, serial_seconds: float) -> dict:
+    """Time the matrix through the pool, with fabric observability on.
+
+    Besides the wall clock and phase split, the section reports the host
+    CPU count, per-worker busy/idle seconds (from the sweep's unit
+    spans), and the straggler attribution — so a weak
+    ``speedup_vs_serial`` is diagnosable from the report alone.
+    """
+    from repro.obs import FabricObs
+    from repro.obs.report import pool_report
     from repro.parallel import run_jobs
 
+    obs = FabricObs("bench-parallel")
     timings: dict = {}
     started = time.perf_counter()
-    run_jobs(matrix, config, jobs, timings=timings)
+    run_jobs(matrix, config, jobs, timings=timings, obs=obs)
     elapsed = time.perf_counter() - started
+    obs.finish()
+    report = pool_report(obs.records())
     return {
         "jobs": jobs,
+        "cpus": os.cpu_count() or 1,
         "seconds": round(elapsed, 3),
         "speedup_vs_serial": (
             round(serial_seconds / elapsed, 2) if elapsed else 0.0
         ),
         "phases": timings,
+        "workers": report["workers"],
+        "utilization": {
+            "unit_imbalance": report["unit_imbalance"],
+            "critical_cell": report["critical_cell"],
+            "straggler_worker": report["straggler_worker"],
+        },
     }
 
 
@@ -553,27 +573,26 @@ def main(argv: list[str] | None = None) -> int:
                              "generic replay kernel (CI kernel-parity "
                              "gate)")
     args = parser.parse_args(argv)
+    log = get_logger("bench")
 
     if args.chaos:
-        report = run_chaos_bench(
-            quick=args.quick, jobs=args.jobs,
-            progress=lambda line: print(line, file=sys.stderr))
+        report = run_chaos_bench(quick=args.quick, jobs=args.jobs,
+                                 progress=log.info)
         with open(args.output, "w") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
             handle.write("\n")
         append_bench_log({"kind": "bench-chaos", "output": args.output,
                           "report": report})
-        print(f"wrote {args.output}", file=sys.stderr)
+        log.info(f"wrote {args.output}")
         print(json.dumps(report, indent=2, sort_keys=True))
         if not report["ok"]:
-            print("FAIL: chaos gate — degraded or resume pass did not "
-                  "reproduce the clean-serial figures (see report)",
-                  file=sys.stderr)
+            log.error("FAIL: chaos gate — degraded or resume pass did not "
+                      "reproduce the clean-serial figures (see report)")
             return 1
         return 0
 
     report = run_bench(quick=args.quick, jobs=args.jobs,
-                       progress=lambda line: print(line, file=sys.stderr))
+                       progress=log.info)
     error = None
     if args.require_specialized:
         if report["kernels"]["generic_cells"]:
@@ -591,10 +610,10 @@ def main(argv: list[str] | None = None) -> int:
         handle.write("\n")
     append_bench_log({"kind": "bench", "output": args.output,
                       "report": report})
-    print(f"wrote {args.output}", file=sys.stderr)
+    log.info(f"wrote {args.output}")
     print(json.dumps(report, indent=2, sort_keys=True))
     if error:
-        print(f"FAIL: {error}", file=sys.stderr)
+        log.error(f"FAIL: {error}")
         return 1
     return 0
 

@@ -53,6 +53,32 @@ GENERIC = "generic"
 
 _KERNELS: dict[tuple, object] = {}
 
+_kernel_counters: dict[str, int] = {}
+
+
+def kernel_counters() -> dict:
+    """Per-variant selection/compile counts for this process.
+
+    ``selected.<variant>`` increments on every :func:`get_kernel` call,
+    ``compiled.<variant>`` on the first (the exec-compile).  Mirrored
+    into the current fabric obs (when one is active) so kernel-variant
+    usage shows up in a sweep's ``metrics.json``.
+    """
+    return dict(_kernel_counters)
+
+
+def reset_kernel_counters() -> None:
+    _kernel_counters.clear()
+
+
+def _count(event: str) -> None:
+    _kernel_counters[event] = _kernel_counters.get(event, 0) + 1
+    from repro.obs import current
+
+    obs = current()
+    if obs is not None:
+        obs.metrics.count(f"kernel.{event}")
+
 
 def kernel_flags(core) -> tuple | None:
     """The feature-flag tuple for ``core``, or ``None`` for generic.
@@ -101,11 +127,14 @@ def variant_name(flags: tuple) -> str:
 
 def get_kernel(flags: tuple):
     """The compiled ``run_fast`` for ``flags`` (generated on first use)."""
+    variant = variant_name(flags)
+    _count(f"selected.{variant}")
     kernel = _KERNELS.get(flags)
     if kernel is None:
+        _count(f"compiled.{variant}")
         source = kernel_source(flags)
         namespace = {"AccessEvent": AccessEvent}
-        exec(compile(source, f"<kernel {variant_name(flags)}>", "exec"),
+        exec(compile(source, f"<kernel {variant}>", "exec"),
              namespace)
         kernel = namespace["run_fast"]
         kernel.__kernel_source__ = source

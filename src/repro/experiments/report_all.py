@@ -42,6 +42,7 @@ from repro.experiments import (
     tables,
 )
 from repro.experiments.runner import ExperimentRunner
+from repro.log import get_logger
 from repro.workloads.tracecache import trace_counters
 
 SECTIONS = [
@@ -132,39 +133,43 @@ def main(argv: list[str] | None = None) -> None:
                         help="abort on the first failing section instead "
                              "of isolating it")
     args = parser.parse_args(argv)
+    log = get_logger("report")
+    from repro.obs import FabricObs, obs_enabled
+
+    obs = FabricObs("report_all") if obs_enabled(args.jobs) else None
     runner = ExperimentRunner(jobs=args.jobs, cache_dir=args.cache_dir,
-                              journal_dir=args.journal_dir)
+                              journal_dir=args.journal_dir, obs=obs)
     section_errors: list = []
-    report = generate(runner,
-                      progress=lambda line: print(line, file=sys.stderr),
+    report = generate(runner, progress=log.info,
                       fail_fast=args.fail_fast,
                       section_errors=section_errors)
     counts = runner.counters
-    print(
+    log.info(
         f"simulations: {counts['simulated']} fresh, "
         f"{counts['memory_hits']} memoized, "
         f"{counts['disk_hits']} from disk cache, "
         f"{counts['resume_hits']} resumed from journal, "
         f"{counts['failed_cells']} failed cells",
-        file=sys.stderr,
     )
     # A warm run (trace cache populated) must show zero builds here.
     traces = trace_counters()
-    print(
+    log.info(
         f"traces: {traces['builds']} built, "
         f"{traces['disk_hits']} from trace cache, "
         f"{traces['memory_hits']} memoized",
-        file=sys.stderr,
     )
+    if obs is not None:
+        out = obs.write()
+        log.info(f"fabric observability: {out}/spans.jsonl — inspect with "
+                 f"`repro trace {out.name}`")
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(report)
-        print(f"wrote {args.output}", file=sys.stderr)
+        log.info(f"wrote {args.output}")
     else:
         print(report)
     if section_errors:
-        print(f"FAILED sections: {', '.join(section_errors)}",
-              file=sys.stderr)
+        log.error(f"FAILED sections: {', '.join(section_errors)}")
         sys.exit(1)
 
 

@@ -39,6 +39,7 @@ provenance manifest to ``<runs_dir>/<run_id>/manifest.json`` (see
 from __future__ import annotations
 
 import hashlib
+import time
 from typing import Callable, Iterable
 
 from repro.core.base import Prefetcher
@@ -156,15 +157,21 @@ class ExperimentRunner:
     retry:
         Optional :class:`repro.faults.RetryPolicy` for :meth:`prefill`
         fan-out (default: from the environment).
+    obs:
+        Optional :class:`repro.obs.FabricObs`; traces cache gets/puts,
+        journal-resume hits, and fresh serial simulations as spans, and
+        threads through :meth:`prefill` fan-out.  ``None`` (the
+        default) executes the exact unobserved code path.
     """
 
     def __init__(self, config: SystemConfig | None = None,
                  runs_dir=None, cache_dir=None, jobs: int = 1,
-                 journal_dir=None, retry=None) -> None:
+                 journal_dir=None, retry=None, obs=None) -> None:
         self.config = config or EXPERIMENT_CONFIG
         self.runs_dir = runs_dir
         self.jobs = jobs
         self.retry = retry
+        self.obs = obs
         self.disk = ResultCache(cache_dir) if cache_dir else None
         self._config_digest = config_digest(self.config)
         if journal_dir:
@@ -190,8 +197,14 @@ class ExperimentRunner:
         self.counters["simulated"] += 1
         self._record(result)
         if self.disk is not None:
-            self.disk.put(key[0], key[1], key[2], self._config_digest,
-                          result)
+            if self.obs is None:
+                self.disk.put(key[0], key[1], key[2], self._config_digest,
+                              result)
+            else:
+                with self.obs.span("cache_put", workload=key[0],
+                                   spec=key[1], tag=key[2]):
+                    self.disk.put(key[0], key[1], key[2],
+                                  self._config_digest, result)
         if self.journal is not None:
             self.journal.record_ok(
                 *key, kernel=getattr(result, "kernel", "generic"))
@@ -200,7 +213,15 @@ class ExperimentRunner:
                   ) -> SimulationResult | None:
         if self.disk is None:
             return None
-        result = self.disk.get(key[0], key[1], key[2], self._config_digest)
+        if self.obs is None:
+            result = self.disk.get(key[0], key[1], key[2],
+                                   self._config_digest)
+        else:
+            with self.obs.span("cache_get", workload=key[0], spec=key[1],
+                               tag=key[2]) as extra:
+                result = self.disk.get(key[0], key[1], key[2],
+                                       self._config_digest)
+                extra["hit"] = result is not None
         if result is not None:
             self._cache[key] = result
             self.counters["disk_hits"] += 1
@@ -208,10 +229,19 @@ class ExperimentRunner:
                 # A journaled cell served from the cache: the resume
                 # contract (zero re-simulations) at work, made visible.
                 from repro.faults import RESUME_HIT, log_fault
+                from repro.obs import cell_span_id
 
                 self.counters["resume_hits"] += 1
                 log_fault(RESUME_HIT, workload=key[0], spec=key[1],
-                          tag=key[2])
+                          tag=key[2], span=cell_span_id(*key, 0))
+                if self.obs is not None:
+                    self.obs.record(
+                        "journal_resume", t0=time.time(), dur=0.0,
+                        sid=f"journal_resume:{key[0]}/{key[1]}"
+                            + (f"#{key[2]}" if key[2] else ""),
+                        workload=key[0], spec=key[1], tag=key[2],
+                    )
+                    self.obs.metrics.count("runner.resume_hits")
         return result
 
     def run(self, workload: str, prefetcher: PrefetcherSpec = "none",
@@ -222,6 +252,8 @@ class ExperimentRunner:
         cached = self._cache.get(key)
         if cached is not None:
             self.counters["memory_hits"] += 1
+            if self.obs is not None:
+                self.obs.metrics.count("runner.memory_hits")
             return cached
         cached = self._disk_get(key)
         if cached is not None:
@@ -229,8 +261,20 @@ class ExperimentRunner:
         if built is None:
             built = build_prefetcher(prefetcher)
         trace = get_workload(workload).trace()
-        result = simulate(trace, built, self.config,
-                          config_tag=tag, spec=key_spec)
+        if self.obs is None:
+            result = simulate(trace, built, self.config,
+                              config_tag=tag, spec=key_spec)
+        else:
+            from repro.obs import cell_span_id
+
+            with self.obs.span("cell",
+                               sid=cell_span_id(workload, key_spec, tag, 0),
+                               workload=workload, spec=key_spec,
+                               tag=tag) as extra:
+                result = simulate(trace, built, self.config,
+                                  config_tag=tag, spec=key_spec)
+                extra["kernel"] = getattr(result, "kernel", "generic")
+                extra["instructions"] = result.core.instructions
         self._store(key, result)
         return result
 
@@ -271,7 +315,7 @@ class ExperimentRunner:
         if not pending:
             return 0
         results = run_jobs(list(pending.values()), self.config, n,
-                           policy=self.retry)
+                           policy=self.retry, obs=self.obs)
         stored = 0
         for key, result in zip(pending, results):
             if isinstance(result, CellFailure):

@@ -18,11 +18,18 @@ key, ``level`` is the attempt number, ``cycle`` is wall-clock
 milliseconds since the epoch, ``dur`` is the fault's duration in
 milliseconds where meaningful (e.g. how long a timed-out cell had been
 running).  Extra keys (``workload``, ``tag``, ``detail``) ride along;
-the event readers ignore keys they do not know.
+the event readers ignore keys they do not know.  Callers that know the
+affected cell attempt pass ``span`` — the deterministic
+:func:`repro.obs.cell_span_id` of that attempt — so fault records
+correlate with the sweep's ``runs/<id>/spans.jsonl`` and ``repro
+events`` output lines up with ``repro trace``.
 
 A module-level counter mirror (:func:`fault_counters`) gives in-process
 consumers — ``repro bench --chaos``, the runner, tests — the same
-totals without re-reading the log.
+totals without re-reading the log.  When a fabric obs is current
+(:func:`repro.obs.current`), each fault also increments its
+``faults.<kind>`` metric, which is how retry and chaos-recovery counts
+land in ``metrics.json``.
 """
 
 from __future__ import annotations
@@ -77,10 +84,15 @@ def fault_log_path() -> "str | None":
 
 def log_fault(kind: str, *, workload: str = "", spec: str = "",
               tag: str = "", attempt: int = 0, seconds: float = 0.0,
-              detail: str = "") -> None:
+              detail: str = "", span: str = "") -> None:
     """Count one fault and append its JSONL record (best-effort: a
     failing log write never takes the run down with it)."""
     _counters[kind] += 1
+    from repro.obs import current
+
+    obs = current()
+    if obs is not None:
+        obs.metrics.count(f"faults.{kind}")
     path = fault_log_path()
     if not path:
         return
@@ -96,6 +108,8 @@ def log_fault(kind: str, *, workload: str = "", spec: str = "",
         "tag": tag,
         "detail": detail,
     }
+    if span:
+        record["span"] = span
     try:
         parent = os.path.dirname(path)
         if parent:

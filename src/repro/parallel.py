@@ -59,7 +59,18 @@ constructs its own prefetcher/hierarchy/DRAM state, completion order
 never matters (results align with the job list), and specs that cannot
 cross a process boundary fall back to serial execution in the parent.
 Every degradation is counted and JSONL-logged via
-:mod:`repro.faults.faultlog` (``python -m repro events`` reads it).
+:mod:`repro.faults.faultlog` (``python -m repro events`` reads it); the
+records carry the cell's deterministic span id, so they correlate with
+``repro trace`` output.
+
+Observability (this PR; see docs/observability.md "Fabric"): pass an
+``obs`` (:class:`repro.obs.FabricObs`) and the scheduler traces every
+trace warm, fused unit, cell attempt, retry/backoff wait, pool rebuild,
+and merge batch as spans.  Worker-side cell spans (wall start, duration,
+kernel variant, instruction count, pid) travel back inside the slim
+result payloads and are merged parent-side in deterministic order.
+``obs=None`` — the default — executes the exact prior code path:
+payloads, scheduling, and figures are bit-identical.
 """
 
 from __future__ import annotations
@@ -75,6 +86,7 @@ from collections import Counter, deque
 from typing import Sequence
 
 from repro.engine.config import SystemConfig
+from repro.obs.spans import cell_span_id
 
 SimJob = tuple  # (workload, spec, tag) — see ``normalize_job``
 
@@ -289,21 +301,54 @@ def _simulate_unit(payload):
     The chaos checkpoint runs per cell: under injection this is where a
     targeted cell sleeps or its worker dies — deterministically, on
     attempt 0 only, so the retry always runs clean.
+
+    A 3-tuple payload is the classic form and returns the bare outcome
+    list — byte-for-byte what pre-observability workers returned.  A
+    4-tuple payload (``collect_spans`` appended by an obs-enabled
+    parent) additionally times each cell and returns ``(outcomes,
+    meta)`` where ``meta`` carries the worker pid and one span dict per
+    cell (wall start, duration, kernel variant, instruction count) for
+    the parent to merge.
     """
     from repro.experiments.runner import simulate_spec
     from repro.faults import chaos
 
-    cells, config, attempt = payload
+    if len(payload) == 4:
+        cells, config, attempt, collect_spans = payload
+    else:
+        cells, config, attempt = payload
+        collect_spans = False
     outcomes = []
+    spans = []
     for workload, spec, tag in cells:
         chaos.on_cell_start(workload, spec, tag, attempt)
+        if not collect_spans:
+            try:
+                outcomes.append(
+                    ("ok", _pack_result(simulate_spec(workload, spec, tag,
+                                                      config))))
+            except Exception as exc:
+                outcomes.append(("err", repr(exc),
+                                 "".join(traceback.format_exception(exc))))
+            continue
+        span = {"t0": time.time(), "workload": workload,
+                "spec": _safe_spec_key(spec), "tag": tag,
+                "attempt": attempt}
+        started = time.perf_counter()
         try:
-            outcomes.append(
-                ("ok", _pack_result(simulate_spec(workload, spec, tag,
-                                                  config))))
+            result = simulate_spec(workload, spec, tag, config)
+            span["dur"] = time.perf_counter() - started
+            span["kernel"] = getattr(result, "kernel", "generic")
+            span["instructions"] = result.core.instructions
+            outcomes.append(("ok", _pack_result(result)))
         except Exception as exc:
+            span["dur"] = time.perf_counter() - started
+            span["error"] = repr(exc)
             outcomes.append(("err", repr(exc),
                              "".join(traceback.format_exception(exc))))
+        spans.append(span)
+    if collect_spans:
+        return outcomes, {"pid": os.getpid(), "spans": spans}
     return outcomes
 
 
@@ -335,19 +380,24 @@ def _fusion_units(remote, normalized, workers) -> list[tuple]:
 
 
 # ----------------------------------------------------------------------
-def warm_traces(workloads) -> float:
+def warm_traces(workloads, obs=None) -> float:
     """Build/load the compiled traces for ``workloads`` in this process.
 
     Called by :func:`run_jobs` before dispatching so workers never
     regenerate traces: fork shares the parent's columns copy-on-write
     and the on-disk trace cache covers workers forked earlier.  Returns
-    the seconds spent.
+    the seconds spent.  With ``obs``, each workload's warm becomes a
+    ``trace_warm`` span.
     """
     from repro.workloads import get_workload
 
     started = time.perf_counter()
     for workload in dict.fromkeys(workloads):
-        get_workload(workload).trace()
+        if obs is None:
+            get_workload(workload).trace()
+        else:
+            with obs.span("trace_warm", workload=workload):
+                get_workload(workload).trace()
     return time.perf_counter() - started
 
 
@@ -356,7 +406,7 @@ def warm_traces(workloads) -> float:
 # ----------------------------------------------------------------------
 def run_jobs(jobs: Sequence[SimJob], config: SystemConfig,
              n_jobs: int, timings: dict | None = None,
-             policy=None) -> list:
+             policy=None, obs=None) -> list:
     """Simulate ``jobs`` with up to ``n_jobs`` persistent workers.
 
     Returns a list aligned with ``jobs`` where each slot holds either a
@@ -370,6 +420,8 @@ def run_jobs(jobs: Sequence[SimJob], config: SystemConfig,
     (default: :meth:`RetryPolicy.from_env`).  ``timings``, when given,
     is filled on **every** exit path with the phase breakdown
     (``trace_warm_seconds``, ``simulate_seconds``, ``merge_seconds``).
+    ``obs`` (a :class:`repro.obs.FabricObs`) attaches fabric span
+    tracing; ``None`` executes the exact unobserved code path.
     """
     from repro.faults import RetryPolicy
 
@@ -391,12 +443,12 @@ def run_jobs(jobs: Sequence[SimJob], config: SystemConfig,
             # Serial path: nothing (or a single cell) is pool-eligible —
             # a pool that could only ever run one job is pure overhead.
             _run_serial(range(len(normalized)), normalized, config,
-                        results, policy)
+                        results, policy, obs)
             return results
-        warm_seconds = warm_traces(normalized[i][0] for i in remote)
+        warm_seconds = warm_traces((normalized[i][0] for i in remote), obs)
         workers = min(n_jobs, len(remote))
         merge_seconds = _run_pool(remote, local, normalized, config,
-                                  results, workers, policy)
+                                  results, workers, policy, obs)
         return results
     finally:
         if timings is not None:
@@ -440,38 +492,71 @@ def _fail(i: int, normalized, kind: str, attempts: int,
         attempts=attempts,
     )
     faultlog.log_fault(faultlog.CELL_FAILED, workload=workload, spec=key,
-                       tag=tag, attempt=attempts, detail=failure.error)
+                       tag=tag, attempt=attempts, detail=failure.error,
+                       span=cell_span_id(workload, key, tag,
+                                         max(attempts - 1, 0)))
     return failure
 
 
-def _run_serial(indices, normalized, config, results, policy) -> None:
+def _run_serial(indices, normalized, config, results, policy,
+                obs=None) -> None:
     """In-process execution with the same isolation/retry contract."""
     from repro.faults import faultlog
 
     for i in indices:
         if results[i] is not None:
             continue
+        workload, spec, tag = normalized[i]
+        key = _safe_spec_key(spec)
         attempt = 0
         while True:
+            t0 = time.time()
+            p0 = time.perf_counter()
             try:
-                results[i] = _attempt_serial(i, attempt, normalized, config)
+                result = _attempt_serial(i, attempt, normalized, config)
+                if obs is not None:
+                    obs.record(
+                        "cell", t0=t0, dur=time.perf_counter() - p0,
+                        sid=cell_span_id(workload, key, tag, attempt),
+                        workload=workload, spec=key, tag=tag,
+                        attempt=attempt,
+                        kernel=getattr(result, "kernel", "generic"),
+                        instructions=result.core.instructions,
+                    )
+                results[i] = result
                 break
             except Exception as exc:
+                if obs is not None:
+                    obs.record(
+                        "cell", t0=t0, dur=time.perf_counter() - p0,
+                        sid=cell_span_id(workload, key, tag, attempt),
+                        workload=workload, spec=key, tag=tag,
+                        attempt=attempt, error=repr(exc),
+                    )
+                failed_attempt = attempt
                 attempt += 1
                 if attempt >= policy.max_attempts:
                     results[i] = _fail(i, normalized, "error", attempt, exc)
                     break
-                workload, spec, tag = normalized[i]
                 faultlog.log_fault(
                     faultlog.CELL_RETRY, workload=workload,
-                    spec=_safe_spec_key(spec), tag=tag, attempt=attempt,
+                    spec=key, tag=tag, attempt=attempt,
                     detail=repr(exc),
+                    span=cell_span_id(workload, key, tag, failed_attempt),
                 )
-                time.sleep(policy.delay(attempt))
+                delay = policy.delay(attempt)
+                if obs is not None:
+                    obs.record(
+                        "retry_wait", t0=time.time(), dur=delay,
+                        sid=f"retry_wait:{cell_span_id(workload, key, tag, attempt)}",
+                        workload=workload, spec=key, tag=tag,
+                        attempt=attempt,
+                    )
+                time.sleep(delay)
 
 
 def _run_pool(remote, local, normalized, config, results, workers,
-              policy) -> float:
+              policy, obs=None) -> float:
     """Dispatch ``remote`` cells over the pool; returns merge seconds.
 
     Cells are fused into workload-affine units (:func:`_fusion_units`)
@@ -494,12 +579,15 @@ def _run_pool(remote, local, normalized, config, results, workers,
     from repro.faults import faultlog
 
     window = workers if policy.timeout_seconds else workers * 2
-    # (unit, attempt, ready_at) — unit is a tuple of cell indices,
-    # ready_at a monotonic instant the unit's backoff expires at.
+    # (unit, attempt, ready_at, enqueued) — unit is a tuple of cell
+    # indices, ready_at a monotonic instant the unit's backoff expires
+    # at, enqueued when it entered the queue (queue-wait attribution).
+    start = time.monotonic()
     pending: deque = deque(
-        (unit, 0, 0.0) for unit in _fusion_units(remote, normalized,
-                                                 workers))
-    inflight: dict = {}  # future -> (unit, attempt, dispatched_at)
+        (unit, 0, 0.0, start) for unit in _fusion_units(remote, normalized,
+                                                        workers))
+    # future -> (unit, attempt, dispatched_at, wall_t0, queue_wait)
+    inflight: dict = {}
     merge_seconds = 0.0
     executor = _get_executor(workers)
 
@@ -512,8 +600,13 @@ def _run_pool(remote, local, normalized, config, results, workers,
 
     def replace_pool(reason: str) -> None:
         nonlocal executor
-        kill_pool()
-        executor = _get_executor(workers)
+        if obs is None:
+            kill_pool()
+            executor = _get_executor(workers)
+        else:
+            with obs.span("pool_rebuild", reason=reason):
+                kill_pool()
+                executor = _get_executor(workers)
         faultlog.log_fault(faultlog.POOL_DEGRADED, detail=reason)
 
     def reschedule(i: int, attempt: int, kind: str,
@@ -524,9 +617,19 @@ def _run_pool(remote, local, normalized, config, results, workers,
         if next_attempt < policy.max_attempts:
             faultlog.log_fault(faultlog.CELL_RETRY, workload=workload,
                                spec=key, tag=tag, attempt=next_attempt,
-                               detail=kind if exc is None else repr(exc))
-            pending.append(((i,), next_attempt,
-                            now + policy.delay(next_attempt)))
+                               detail=kind if exc is None else repr(exc),
+                               span=cell_span_id(workload, key, tag,
+                                                 attempt))
+            delay = policy.delay(next_attempt)
+            if obs is not None:
+                obs.record(
+                    "retry_wait", t0=time.time(), dur=delay,
+                    sid=("retry_wait:"
+                         + cell_span_id(workload, key, tag, next_attempt)),
+                    workload=workload, spec=key, tag=tag,
+                    attempt=next_attempt,
+                )
+            pending.append(((i,), next_attempt, now + delay, now))
             return
         if kind == "worker-lost":
             # Last resort for a cell that keeps losing its worker: one
@@ -547,17 +650,25 @@ def _run_pool(remote, local, normalized, config, results, workers,
             workload, key, tag = cell_tag(i)
             faultlog.log_fault(faultlog.WORKER_LOST, workload=workload,
                                spec=key, tag=tag, attempt=attempt,
-                               seconds=now - dispatched)
+                               seconds=now - dispatched,
+                               span=cell_span_id(workload, key, tag,
+                                                 attempt))
             reschedule(i, attempt, "worker-lost", None, now)
 
     def launch(now: float) -> None:
         not_ready = []
         while pending and len(inflight) < window:
-            unit, attempt, ready_at = pending.popleft()
+            unit, attempt, ready_at, enqueued = pending.popleft()
             if ready_at > now:
-                not_ready.append((unit, attempt, ready_at))
+                not_ready.append((unit, attempt, ready_at, enqueued))
                 continue
-            payload = (tuple(normalized[i] for i in unit), config, attempt)
+            cells = tuple(normalized[i] for i in unit)
+            if obs is None:
+                payload = (cells, config, attempt)
+            else:
+                payload = (cells, config, attempt, True)
+                obs.metrics.observe("pool.queue_wait_seconds",
+                                    max(now - enqueued, 0.0))
             try:
                 future = executor.submit(_simulate_unit, payload)
             except Exception:
@@ -566,21 +677,22 @@ def _run_pool(remote, local, normalized, config, results, workers,
                 # the submission once on the fresh pool.
                 replace_pool("pool broken at submit")
                 future = executor.submit(_simulate_unit, payload)
-            inflight[future] = (unit, attempt, now)
+            inflight[future] = (unit, attempt, now, time.time(),
+                                max(now - enqueued, 0.0))
         pending.extend(not_ready)
 
     launch(time.monotonic())
     # Overlap the non-picklable stragglers with the first wave.
-    _run_serial(local, normalized, config, results, policy)
+    _run_serial(local, normalized, config, results, policy, obs)
 
     while pending or inflight:
         now = time.monotonic()
         launch(now)
-        waits = [ready_at - now for _, _, ready_at in pending
+        waits = [ready_at - now for _, _, ready_at, _ in pending
                  if ready_at > now]
         if policy.timeout_seconds:
             waits += [dispatched + budget(unit) - now
-                      for unit, _, dispatched in inflight.values()]
+                      for unit, _, dispatched, _, _ in inflight.values()]
         wait_for = max(0.005, min(waits)) if waits else None
         if not inflight:
             time.sleep(wait_for if wait_for is not None else 0.005)
@@ -592,7 +704,8 @@ def _run_pool(remote, local, normalized, config, results, workers,
         broken = False
         merged: list = []
         for future in done:
-            unit, attempt, dispatched = inflight.pop(future)
+            unit, attempt, dispatched, wall_t0, queue_wait = \
+                inflight.pop(future)
             try:
                 outcomes = future.result()
             except BrokenProcessPool:
@@ -603,6 +716,28 @@ def _run_pool(remote, local, normalized, config, results, workers,
                 for i in unit:
                     reschedule(i, attempt, "error", exc, now)
                 continue
+            if obs is not None:
+                outcomes, meta = outcomes
+                lane = obs.lane_for(meta["pid"])
+                obs.record(
+                    "unit", t0=wall_t0, dur=now - dispatched,
+                    sid=f"unit:{'-'.join(map(str, unit))}@{attempt}",
+                    worker=lane, workload=normalized[unit[0]][0],
+                    attempt=attempt, cells=len(unit),
+                    queue_seconds=round(queue_wait, 6),
+                )
+                for span in meta["spans"]:
+                    obs.record(
+                        "cell", t0=span["t0"], dur=span["dur"],
+                        sid=cell_span_id(span["workload"], span["spec"],
+                                         span["tag"], span["attempt"]),
+                        worker=lane, workload=span["workload"],
+                        spec=span["spec"], tag=span["tag"],
+                        attempt=span["attempt"],
+                        parent=f"unit:{'-'.join(map(str, unit))}@{attempt}",
+                        **{k: v for k, v in span.items()
+                           if k in ("kernel", "instructions", "error")},
+                    )
             for i, outcome in zip(unit, outcomes):
                 if outcome[0] == "ok":
                     merged.append((i, outcome[1]))
@@ -616,7 +751,7 @@ def _run_pool(remote, local, normalized, config, results, workers,
             # Every other in-flight future died with the pool; innocent
             # or not, each consumed an attempt (bounded — a cell that
             # reliably kills workers must not loop forever).
-            for future, (unit, attempt, dispatched) in list(
+            for future, (unit, attempt, dispatched, *_rest) in list(
                     inflight.items()):
                 lose_unit(unit, attempt, dispatched, now)
             inflight.clear()
@@ -631,7 +766,7 @@ def _run_pool(remote, local, normalized, config, results, workers,
                 survivors = [entry for future, entry in inflight.items()
                              if not any(future is f for f, _ in expired)]
                 inflight.clear()
-                for future, (unit, attempt, dispatched) in expired:
+                for future, (unit, attempt, dispatched, *_rest) in expired:
                     for i in unit:
                         workload, key, tag = cell_tag(i)
                         faultlog.log_fault(
@@ -639,17 +774,23 @@ def _run_pool(remote, local, normalized, config, results, workers,
                             spec=key, tag=tag, attempt=attempt,
                             seconds=now - dispatched,
                             detail=f"timeout={policy.timeout_seconds}s",
+                            span=cell_span_id(workload, key, tag, attempt),
                         )
                         reschedule(i, attempt, "timeout", None, now)
-                for unit, attempt, _ in survivors:
-                    pending.append((unit, attempt, now))
+                for unit, attempt, *_rest in survivors:
+                    pending.append((unit, attempt, now, now))
                 replace_pool("hung worker replaced")
 
         # Submit replacements before paying the unpack cost, so workers
         # never idle while the parent merges.
         launch(time.monotonic())
         merge_started = time.perf_counter()
+        merge_wall = time.time()
         for i, packed in merged:
             results[i] = _unpack_result(packed)
-        merge_seconds += time.perf_counter() - merge_started
+        batch_seconds = time.perf_counter() - merge_started
+        merge_seconds += batch_seconds
+        if obs is not None and merged:
+            obs.record("merge", t0=merge_wall, dur=batch_seconds,
+                       cells=len(merged))
     return merge_seconds

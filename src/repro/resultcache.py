@@ -124,13 +124,25 @@ class ResultCache:
         name = f"{_slug(workload)}__{_slug(spec)}__{content}.pkl"
         return self.root / code_version() / name
 
+    @staticmethod
+    def _count(metric: str) -> None:
+        """Mirror a cache event into the current fabric obs (if any)."""
+        from repro.obs import current
+
+        obs = current()
+        if obs is not None:
+            obs.metrics.count(metric)
+
     def get(self, workload: str, spec: str, tag: str, cfg_digest: str):
         """Cached result or ``None``; unreadable entries count as misses."""
         path = self.entry_path(workload, spec, tag, cfg_digest)
         try:
             with open(path, "rb") as fh:
-                return pickle.load(fh)
+                result = pickle.load(fh)
+            self._count("result_cache.disk_hit")
+            return result
         except FileNotFoundError:
+            self._count("result_cache.disk_miss")
             return None
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError) as exc:
@@ -141,6 +153,7 @@ class ResultCache:
 
             log_fault(CACHE_CORRUPT, workload=workload, spec=spec, tag=tag,
                       detail=f"{type(exc).__name__}: {path.name}")
+            self._count("result_cache.corrupt")
             path.unlink(missing_ok=True)
             return None
 
@@ -152,6 +165,7 @@ class ResultCache:
         from repro.faults import atomic_write_pickle
 
         path = self.entry_path(workload, spec, tag, cfg_digest)
+        self._count("result_cache.put")
         return atomic_write_pickle(
             path, result, label=f"result:{workload}/{spec}:{tag}"
         )

@@ -12,6 +12,13 @@ Maps the lifecycle trace onto the trace-viewer model:
 
 Cycles are written as microseconds (1 cycle = 1 us): absolute time is
 meaningless in trace-viewer space and this keeps the UI zoomable.
+
+:func:`fabric_chrome_trace` maps a *sweep's* fabric spans
+(``runs/<id>/spans.jsonl``, see :mod:`repro.obs`) onto the same model:
+one lane per pool worker (lane 0 is the parent — trace warms, cache
+traffic, merges), cells and fused units as ``X`` slices in wall-clock
+microseconds.  ``repro trace <run>`` writes it; open in
+ui.perfetto.dev.
 """
 
 from __future__ import annotations
@@ -80,3 +87,59 @@ def write_chrome(events: Iterable, path) -> int:
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(trace, fh, separators=(",", ":"))
     return len(trace["traceEvents"])
+
+
+def fabric_chrome_trace(spans: Iterable[dict]) -> dict:
+    """Build a trace-viewer object from fabric span records.
+
+    Each span's ``worker`` picks its lane (tid): 0 is the parent
+    process, 1..N the pool workers, named via metadata events.  Spans
+    are ``X`` slices on a wall-clock axis rebased to the sweep's
+    earliest start (Perfetto dislikes epoch-sized timestamps).
+    """
+    spans = [s for s in spans if "start" in s]
+    base = min((s["start"] for s in spans), default=0.0)
+    lanes: set[int] = set()
+    trace_events: list[dict] = []
+    for span in spans:
+        worker = span.get("worker", 0)
+        lanes.add(worker)
+        workload = span.get("workload") or ""
+        component = span.get("component") or ""
+        if span.get("kind") == "cell" and workload:
+            name = f"{workload}/{component}"
+        elif workload:
+            name = f"{span.get('kind')} {workload}"
+        else:
+            name = span.get("kind", "span")
+        args = {"span": span.get("span"),
+                "attempt": span.get("level", 0)}
+        for key in ("kernel", "instructions", "cells", "hit", "error",
+                    "reason", "queue_seconds"):
+            if key in span:
+                args[key] = span[key]
+        trace_events.append({
+            "name": name,
+            "cat": "fabric",
+            "ph": "X",
+            "pid": 0,
+            "tid": worker,
+            "ts": round((span["start"] - base) * 1e6, 1),
+            "dur": max(round(span.get("seconds", 0.0) * 1e6, 1), 1),
+            "args": args,
+        })
+    metadata = [
+        {"ph": "M", "name": "thread_name", "pid": 0, "tid": lane,
+         "args": {"name": "parent" if lane == 0 else f"worker {lane}"}}
+        for lane in sorted(lanes)
+    ]
+    return {"traceEvents": metadata + trace_events,
+            "displayTimeUnit": "ms"}
+
+
+def write_fabric_chrome(spans: Iterable[dict], path) -> int:
+    """Write the fabric sweep trace; returns the slice count."""
+    trace = fabric_chrome_trace(spans)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh, separators=(",", ":"))
+    return sum(1 for e in trace["traceEvents"] if e["ph"] == "X")

@@ -72,8 +72,18 @@ def trace_counters() -> dict:
 
 
 def count(event: str) -> None:
-    """Bump one of the trace counters (``builds``/``disk_hits``/...)."""
+    """Bump one of the trace counters (``builds``/``disk_hits``/...).
+
+    When a fabric obs is current, the event also lands in its metrics
+    registry as ``trace_cache.<event>`` — how trace-cache hit rates
+    reach ``metrics.json``.
+    """
     _counters[event] += 1
+    from repro.obs import current
+
+    obs = current()
+    if obs is not None:
+        obs.metrics.count(f"trace_cache.{event}")
 
 
 def reset_trace_counters() -> None:
