@@ -307,6 +307,8 @@ def _cmd_cache(args) -> None:
         rows += [
             ("traces: builds (this process)", counters["builds"]),
             ("traces: disk hits (this process)", counters["disk_hits"]),
+            ("traces: stale-format drops (this process)",
+             counters["cache_stale_format"]),
             ("traces: derived builds (this process)",
              counters["derived_builds"]),
             ("traces: derived hits (this process)",

@@ -9,9 +9,16 @@ writes a machine-readable ``BENCH_simulator.json``:
 * **kernels** — the same matrix re-run under ``REPRO_KERNEL=generic``,
   reporting the specialized-vs-generic speedup, per-cell kernel
   variants, and whether the figures were bit-identical (they must be;
-  ``--check`` and ``--require-specialized`` gate on this section);
+  ``--check`` and ``--require-specialized`` gate on this section).
+  Its ``batch`` subsection re-times the cells that selected the
+  vectorized batch tier (:mod:`repro.engine.batch`) against the
+  ``REPRO_KERNEL=scalar`` comparator, reporting
+  ``speedup_vs_scalar`` and in-run bit-identity (``--require-batch``
+  gates on it);
 * **parallel** — the same matrix through :func:`repro.parallel.run_jobs`
-  at ``--jobs N``, reported as speedup over the serial pass;
+  at ``--jobs N``, reported as speedup over the serial pass; on hosts
+  where the pool would lose (``<= 2`` CPUs, tiny matrix) the pass
+  auto-falls back to serial and records ``parallel.fallback``;
 * **cache** — a cold run populating a scratch on-disk result cache vs a
   warm run reading it back, with the warm run's fresh-simulation count
   (which must be zero) recorded alongside the times.
@@ -211,6 +218,74 @@ def bench_generic(matrix, config) -> dict:
     return {"seconds": round(elapsed, 3), "cell_figures": figures}
 
 
+def bench_batch(matrix, config, variants: dict) -> dict:
+    """The kernels section's ``batch`` subsection.
+
+    Re-times the cells whose serial pass selected the vectorized batch
+    tier (the hookless ``none``/baseline cells) against the
+    ``REPRO_KERNEL=scalar`` comparator — the scalar specialized kernels
+    with only the batch tier disabled — and proves in-run bit-identity
+    between the two.  Each leg gets one untimed settle pass (the scalar
+    kernels for these cells may not be exec-compiled yet; the batch
+    plans are memoized from the serial pass) and then fastest-of-3.
+    """
+    from repro.engine.batch import BATCH_VARIANT
+    from repro.engine.kernel import KERNEL_ENV, SCALAR
+    from repro.experiments.runner import simulate_spec
+
+    cells = [(w, s) for w, s in matrix
+             if variants.get(f"{w}/{s}") == BATCH_VARIANT]
+    section: dict = {
+        "variant": BATCH_VARIANT,
+        "cells": [f"{w}/{s}" for w, s in cells],
+    }
+    if not cells:
+        section.update({
+            "batch_seconds": 0.0,
+            "scalar_seconds": 0.0,
+            "speedup_vs_scalar": 0.0,
+            "identical": True,
+        })
+        return section
+
+    def timed_pass() -> tuple[float, list]:
+        for workload, spec in cells:
+            simulate_spec(workload, spec, "", config)
+        best = None
+        figures: list = []
+        for _ in range(3):
+            started = time.perf_counter()
+            figures = [
+                _cell_figures(simulate_spec(workload, spec, "", config))
+                for workload, spec in cells
+            ]
+            elapsed = time.perf_counter() - started
+            if best is None or elapsed < best:
+                best = elapsed
+        return best, figures
+
+    batch_seconds, batch_figures = timed_pass()
+    previous = os.environ.get(KERNEL_ENV)
+    os.environ[KERNEL_ENV] = SCALAR
+    try:
+        scalar_seconds, scalar_figures = timed_pass()
+    finally:
+        if previous is None:
+            os.environ.pop(KERNEL_ENV, None)
+        else:
+            os.environ[KERNEL_ENV] = previous
+    section.update({
+        "batch_seconds": round(batch_seconds, 3),
+        "scalar_seconds": round(scalar_seconds, 3),
+        "speedup_vs_scalar": (
+            round(scalar_seconds / batch_seconds, 2)
+            if batch_seconds else 0.0
+        ),
+        "identical": batch_figures == scalar_figures,
+    })
+    return section
+
+
 def bench_parallel(matrix, config, jobs: int, serial_seconds: float) -> dict:
     """Time the matrix through the pool, with fabric observability on.
 
@@ -226,11 +301,12 @@ def bench_parallel(matrix, config, jobs: int, serial_seconds: float) -> dict:
     obs = FabricObs("bench-parallel")
     timings: dict = {}
     started = time.perf_counter()
-    run_jobs(matrix, config, jobs, timings=timings, obs=obs)
+    run_jobs(matrix, config, jobs, timings=timings, obs=obs,
+             auto_serial=True)
     elapsed = time.perf_counter() - started
     obs.finish()
     report = pool_report(obs.records())
-    return {
+    section = {
         "jobs": jobs,
         "cpus": os.cpu_count() or 1,
         "seconds": round(elapsed, 3),
@@ -245,6 +321,12 @@ def bench_parallel(matrix, config, jobs: int, serial_seconds: float) -> dict:
             "straggler_worker": report["straggler_worker"],
         },
     }
+    if timings.get("fallback"):
+        # run_jobs predicted the pool would lose here and ran serially;
+        # check_regression skips the speedup gate when this is set.
+        section["fallback"] = timings["fallback"]
+        section["fallback_reason"] = timings.get("fallback_reason")
+    return section
 
 
 def bench_cache(matrix, config) -> dict:
@@ -438,6 +520,11 @@ def run_bench(quick: bool = False, jobs: int = 0,
     }
     say(f"kernels: {kernels['speedup_vs_generic']}x vs generic, "
         f"identical={kernels['identical']}")
+    say("batch-tier parity pass (REPRO_KERNEL=scalar comparator)")
+    kernels["batch"] = bench_batch(matrix, config, variants)
+    say(f"batch: {kernels['batch']['speedup_vs_scalar']}x vs scalar "
+        f"over {len(kernels['batch']['cells'])} cells, "
+        f"identical={kernels['batch']['identical']}")
     say(f"parallel pass at {jobs} jobs")
     parallel = bench_parallel(matrix, config, jobs, serial["seconds"])
     say("cache cold/warm passes")
@@ -492,13 +579,18 @@ def check_regression(report: dict, baseline_path: str,
     A second gate covers the parallel layer: at ``jobs >= 2`` on a
     multi-core host, ``speedup_vs_serial`` below 1.0 means the pool made
     things *slower* and fails the check.  Single-core hosts cannot show
-    a real speedup, so the gate is skipped (and the report says so).
+    a real speedup, so the gate is skipped (and the report says so), as
+    is a pass that recorded an explicit serial fallback
+    (``parallel.fallback``) — falling back *is* the fix on such hosts.
 
     Two more gates cover the replay kernels: the specialized pass must
     be bit-identical to the ``REPRO_KERNEL=generic`` reference (this is
     the invariant, never tolerance-scaled), and the specialized-vs-
     generic speedup must not fall below 1.0 — a specialization that no
-    longer pays for itself is a regression.
+    longer pays for itself is a regression.  The same pair applies to
+    the batch tier when any cell selected it: ``batch.identical`` must
+    hold and ``batch.speedup_vs_scalar`` must not fall below 1.0 (the
+    stricter >= 2.0 target is ``--require-batch``'s gate).
     """
     with open(baseline_path) as handle:
         baseline = json.load(handle)
@@ -506,8 +598,16 @@ def check_regression(report: dict, baseline_path: str,
     reference = baseline[mode]["instr_per_sec"]
     current = report["serial"]["instr_per_sec"]
     parallel = report["parallel"]
+    fallback = parallel.get("fallback") == "serial"
     gate_applies = (parallel["jobs"] >= 2
-                    and (os.cpu_count() or 1) >= 2)
+                    and (os.cpu_count() or 1) >= 2
+                    and not fallback)
+    if fallback:
+        parallel_gate = "skipped (serial fallback)"
+    elif gate_applies:
+        parallel_gate = "enforced"
+    else:
+        parallel_gate = "skipped (single-core host)"
     report["baseline"] = {
         "path": baseline_path,
         "mode": mode,
@@ -516,9 +616,7 @@ def check_regression(report: dict, baseline_path: str,
             round(current / reference, 2) if reference else 0.0
         ),
         "tolerance": tolerance,
-        "parallel_gate": (
-            "enforced" if gate_applies else "skipped (single-core host)"
-        ),
+        "parallel_gate": parallel_gate,
     }
     floor = (1.0 - tolerance) * reference
     if current < floor:
@@ -545,6 +643,18 @@ def check_regression(report: dict, baseline_path: str,
                 f"specialized kernels slower than the generic loop: "
                 f"{kernels['speedup_vs_generic']}x < 1.0"
             )
+        batch = kernels.get("batch")
+        if batch is not None and batch["cells"]:
+            if not batch["identical"]:
+                return (
+                    "batch tier is not bit-identical to the scalar "
+                    "kernels (REPRO_KERNEL=scalar) — figures diverged"
+                )
+            if batch["speedup_vs_scalar"] < 1.0:
+                return (
+                    f"batch tier slower than the scalar kernels: "
+                    f"{batch['speedup_vs_scalar']}x < 1.0"
+                )
     return None
 
 
@@ -572,6 +682,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="fail if any matrix cell fell back to the "
                              "generic replay kernel (CI kernel-parity "
                              "gate)")
+    parser.add_argument("--require-batch", action="store_true",
+                        help="fail unless the hookless cells ran the "
+                             "vectorized batch tier bit-identically at "
+                             ">= 2x over REPRO_KERNEL=scalar (CI "
+                             "kernel-parity gate)")
     args = parser.parse_args(argv)
     log = get_logger("bench")
 
@@ -603,6 +718,18 @@ def main(argv: list[str] | None = None) -> int:
         elif not report["kernels"]["identical"]:
             error = ("specialized kernels are not bit-identical to the "
                      "generic loop")
+    if args.require_batch and error is None:
+        batch = report["kernels"]["batch"]
+        if not batch["cells"]:
+            error = ("no matrix cell selected the batch tier "
+                     f"({batch['variant']}) — hookless cells missing "
+                     "or fell back to scalar")
+        elif not batch["identical"]:
+            error = ("batch tier is not bit-identical to the scalar "
+                     "kernels (REPRO_KERNEL=scalar)")
+        elif batch["speedup_vs_scalar"] < 2.0:
+            error = (f"batch tier below the 2x target: "
+                     f"{batch['speedup_vs_scalar']}x vs scalar")
     if args.check and error is None:
         error = check_regression(report, args.check, args.tolerance)
     with open(args.output, "w") as handle:

@@ -50,6 +50,11 @@ from repro.isa.trace import CompiledTrace
 
 KERNEL_ENV = "REPRO_KERNEL"
 GENERIC = "generic"
+SCALAR = "scalar"
+"""``REPRO_KERNEL=scalar`` disables only the vectorized batch tier
+(:mod:`repro.engine.batch`), keeping the scalar specialized kernels —
+the comparator ``repro bench`` measures ``batch.speedup_vs_scalar``
+against.  ``REPRO_KERNEL=generic`` still disables all specialization."""
 
 _KERNELS: dict[tuple, object] = {}
 

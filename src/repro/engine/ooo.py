@@ -546,11 +546,19 @@ class OoOCore:
         Object traces, incremental ``step()`` callers (the multicore
         harness), and ``REPRO_KERNEL=generic`` use the generic loop.
         """
+        from repro.engine.batch import maybe_run_batch
         from repro.engine.kernel import get_kernel, kernel_flags, \
             variant_name
 
         flags = kernel_flags(self)
         if flags is not None:
+            # Hook-free traces first try the vectorized batch tier
+            # (repro.engine.batch); it declines — warm state, shared or
+            # subclassed hierarchy components, REPRO_KERNEL=scalar —
+            # by returning None, and the scalar kernel runs instead.
+            result = maybe_run_batch(self, flags)
+            if result is not None:
+                return result
             self.kernel_variant = variant_name(flags)
             return get_kernel(flags)(self)
         step = self._step

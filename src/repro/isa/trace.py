@@ -228,6 +228,20 @@ mispredicts under backward-taken/forward-not-taken)."""
 
 DERIVED_FIELD_TYPECODES = ("q", "q", "b", "b")
 
+_FIELD_INDEX = {name: i for i, name in enumerate(TRACE_FIELDS)}
+
+SEGMENT_DTYPE = "q"
+"""Typecode/dtype of the serialized segment-event column (signed 64-bit
+positions into the trace)."""
+
+
+def _np():
+    """Lazy numpy import; keeps ``repro.isa`` importable without it."""
+    import numpy
+
+    return numpy
+
+
 _derived_counters = {"derived_builds": 0, "derived_hits": 0}
 
 
@@ -258,16 +272,38 @@ class CompiledTrace:
 
     __slots__ = ("name", "memory", "pc", "opc", "addr", "value", "dst",
                  "src1", "src2", "taken", "target_pc", "ras_top",
-                 "_stats", "_records", "_derived")
+                 "_stats", "_records", "_derived", "_arrays",
+                 "_derived_arrays", "_segments", "_plans")
 
-    def __init__(self, name: str, columns: tuple, memory: dict[int, int]):
+    def __init__(self, name: str, columns: tuple | None,
+                 memory: dict[int, int]):
         self.name = name
         self.memory = memory
-        (self.pc, self.opc, self.addr, self.value, self.dst, self.src1,
-         self.src2, self.taken, self.target_pc, self.ras_top) = columns
+        self._arrays: tuple | None = None
+        self._derived_arrays: tuple | None = None
+        self._segments = None
+        self._plans: dict = {}
         self._stats: TraceStats | None = None
         self._records: list[TraceRecord] | None = None
         self._derived: tuple | None = None
+        if columns is not None:
+            (self.pc, self.opc, self.addr, self.value, self.dst,
+             self.src1, self.src2, self.taken, self.target_pc,
+             self.ras_top) = columns
+
+    def __getattr__(self, attr):
+        # Array-backed traces leave the ten list-column slots unset; the
+        # first touch of one materializes the list from the canonical
+        # numpy array (``taken`` arrays are bool dtype, so ``tolist``
+        # yields Python bools, indistinguishable from a compiled list).
+        index = _FIELD_INDEX.get(attr)
+        if index is not None and self._arrays is not None:
+            values = self._arrays[index].tolist()
+            setattr(self, attr, values)
+            return values
+        raise AttributeError(
+            f"{type(self).__name__!s} object has no attribute {attr!r}"
+        )
 
     # ------------------------------------------------------------------
     @classmethod
@@ -278,6 +314,22 @@ class CompiledTrace:
             [getattr(r, name) for r in records] for name in TRACE_FIELDS
         )
         return cls(trace.name, columns, trace.memory)
+
+    @classmethod
+    def from_arrays(cls, name: str, arrays: tuple,
+                    memory: dict[int, int]) -> "CompiledTrace":
+        """Build an array-backed trace (trace cache format 3 / traceio).
+
+        ``arrays`` holds one numpy array per :data:`TRACE_FIELDS` entry
+        (``taken`` must be bool dtype).  The list columns are *not*
+        materialized here — scalar consumers get them lazily through
+        ``__getattr__`` while vectorized consumers read the arrays
+        directly, so the ``tolist()`` round-trip disappears from every
+        path that never leaves numpy.
+        """
+        trace = cls(name, None, memory)
+        trace._arrays = tuple(arrays)
+        return trace
 
     def to_trace(self) -> Trace:
         """Materialize a classic object :class:`Trace` (shared memory dict)."""
@@ -305,16 +357,77 @@ class CompiledTrace:
             ]
         return self._records
 
+    def array_columns(self) -> tuple:
+        """The ten columns as numpy arrays (cached both directions).
+
+        Array-backed traces return their canonical arrays; list-backed
+        traces pay one ``asarray`` pass per column on first call.
+        """
+        if self._arrays is None:
+            np = _np()
+            cols = []
+            for name, code in zip(TRACE_FIELDS, TRACE_FIELD_TYPECODES):
+                col = getattr(self, name)
+                if name == "taken":
+                    cols.append(np.asarray(col, dtype=np.bool_))
+                else:
+                    dtype = np.int64 if code == "q" else np.int8
+                    cols.append(np.asarray(col, dtype=dtype))
+            self._arrays = tuple(cols)
+        return self._arrays
+
     def derived_columns(self) -> tuple:
         """The four derived columns in :data:`DERIVED_FIELDS` order.
 
         Built lazily from the primary columns (one pass per trace) when
         the trace-cache entry predates them or the trace was compiled in
-        this process; cache-loaded traces carry them pre-built.
+        this process; cache-loaded traces carry them pre-built (as
+        arrays under format 3, materialized to lists here on demand).
         """
         if self._derived is None:
-            self._derived = self._build_derived()
+            if self._derived_arrays is not None:
+                self._derived = tuple(
+                    a.tolist() for a in self._derived_arrays
+                )
+            else:
+                self._derived = self._build_derived()
         return self._derived
+
+    def derived_arrays(self) -> tuple:
+        """The derived columns as numpy arrays (cached).
+
+        Built from :meth:`derived_columns` so array and list views are
+        derived from the same pass and can never disagree.
+        """
+        if self._derived_arrays is None:
+            np = _np()
+            line, mpc, disp, bp_miss = self.derived_columns()
+            self._derived_arrays = (
+                np.asarray(line, dtype=np.int64),
+                np.asarray(mpc, dtype=np.int64),
+                np.asarray(disp, dtype=np.int8),
+                np.asarray(bp_miss, dtype=np.int8),
+            )
+        return self._derived_arrays
+
+    def segment_events(self):
+        """Sorted positions of batch-segment boundary events (numpy).
+
+        An *event* is any instruction the batch replay tier cannot fold
+        into a pure register-dataflow scan: memory accesses (they touch
+        the hierarchy) and statically mispredicted conditional branches
+        (they perturb the fetch clock).  The stretches *between* events
+        are hook-free by construction and replay as vectorized scans.
+        The column is geometry-independent, so it is precomputed once at
+        compile time and persisted by trace-cache format 3.
+        """
+        if self._segments is None:
+            np = _np()
+            _, _, disp, bp_miss = self.derived_arrays()
+            self._segments = np.flatnonzero(
+                (disp <= DISP_STORE) | (bp_miss != 0)
+            ).astype(np.int64)
+        return self._segments
 
     def _build_derived(self) -> tuple:
         _derived_counters["derived_builds"] += 1
@@ -366,13 +479,15 @@ class CompiledTrace:
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
+        if self._arrays is not None:
+            return len(self._arrays[0])
         return len(self.pc)
 
     def __iter__(self):
         return iter(self.records)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"CompiledTrace(name={self.name!r}, n={len(self.pc)})"
+        return f"CompiledTrace(name={self.name!r}, n={len(self)})"
 
     def stats(self) -> TraceStats:
         """Aggregate statistics from the columns, cached after first call."""
@@ -407,12 +522,33 @@ class CompiledTrace:
 
     # ------------------------------------------------------------------
     def column_bytes(self) -> dict[str, bytes]:
-        """Serialize every column through :mod:`array` (one C pass each)."""
+        """Serialize every column through :mod:`array` (one C pass each).
+
+        Array-backed traces serialize straight from numpy without ever
+        materializing the list columns; both paths emit byte-identical
+        blobs (``q``/``b`` little-endian, ``taken`` as 0/1 bytes).
+        """
+        if self._arrays is not None:
+            np = _np()
+            blobs = {}
+            for name, code, col in zip(TRACE_FIELDS,
+                                       TRACE_FIELD_TYPECODES,
+                                       self._arrays):
+                dtype = np.int64 if code == "q" else np.int8
+                blobs[name] = np.ascontiguousarray(
+                    col, dtype=dtype).tobytes()
+            return blobs
         return {
             name: array(code, col).tobytes()
             for name, code, col in zip(TRACE_FIELDS, TRACE_FIELD_TYPECODES,
                                        self.columns)
         }
+
+    def segment_bytes(self) -> bytes:
+        """Serialize the segment-event column (building it if needed)."""
+        np = _np()
+        return np.ascontiguousarray(
+            self.segment_events(), dtype=np.int64).tobytes()
 
     def derived_bytes(self) -> dict[str, bytes]:
         """Serialize the derived columns (building them if needed)."""
@@ -427,32 +563,39 @@ class CompiledTrace:
     def from_column_bytes(cls, name: str, blobs: dict[str, bytes],
                           memory: dict[int, int],
                           derived: dict[str, bytes] | None = None,
+                          segments: bytes | None = None,
                           ) -> "CompiledTrace":
         """Inverse of :meth:`column_bytes`.
 
-        ``taken`` is normalized back to bools so a cache-loaded trace is
-        indistinguishable from a freshly compiled one.  ``derived``, when
-        present (trace-cache format 2+), restores the precomputed derived
-        columns so replay never pays the derivation pass.
+        The restored trace is array-backed: each blob becomes a numpy
+        view (``taken`` converted to bool dtype) and list columns
+        materialize lazily, so cache hits never pay a ``tolist`` pass
+        for columns only the vectorized tier reads.  ``derived``, when
+        present (trace-cache format 2+), restores the precomputed
+        derived columns; ``segments`` (format 3) the batch segment
+        events.
         """
-        columns = []
+        np = _np()
+        arrays = []
         for field_name, code in zip(TRACE_FIELDS, TRACE_FIELD_TYPECODES):
-            col = array(code)
-            col.frombytes(blobs[field_name])
-            values = col.tolist()
+            dtype = np.int64 if code == "q" else np.int8
+            col = np.frombuffer(blobs[field_name], dtype=dtype)
             if field_name == "taken":
-                values = [v != 0 for v in values]
-            columns.append(values)
-        trace = cls(name, tuple(columns), memory)
+                col = col.astype(np.bool_)
+            arrays.append(col)
+        trace = cls.from_arrays(name, tuple(arrays), memory)
         if derived is not None:
             restored = []
             for field_name, code in zip(DERIVED_FIELDS,
                                         DERIVED_FIELD_TYPECODES):
-                col = array(code)
-                col.frombytes(derived[field_name])
-                restored.append(col.tolist())
-            trace._derived = tuple(restored)
+                dtype = np.int64 if code == "q" else np.int8
+                restored.append(
+                    np.frombuffer(derived[field_name], dtype=dtype)
+                )
+            trace._derived_arrays = tuple(restored)
             _derived_counters["derived_hits"] += 1
+        if segments is not None:
+            trace._segments = np.frombuffer(segments, dtype=np.int64)
         return trace
 
 

@@ -130,20 +130,23 @@ def load_trace(path: str) -> Trace:
 def load_compiled(path: str) -> CompiledTrace:
     """Read a trace written by :func:`save_trace` as a compiled trace.
 
-    Columns come out of numpy with ``tolist()`` — no per-record Python
-    loop — so this is the fast path for replaying archived traces.
+    The loaded numpy arrays become the trace's canonical columns
+    directly (no ``tolist()`` round-trip); scalar consumers materialize
+    list views lazily while the vectorized batch tier reads the arrays
+    as-is.
     """
     name, a, memory = _load_arrays(path)
-    columns = (
-        a["pc"].tolist(),
-        a["opc"].tolist(),
-        a["addr"].tolist(),
-        a["value"].tolist(),
-        a["regs"][:, 0].tolist(),
-        a["regs"][:, 1].tolist(),
-        a["regs"][:, 2].tolist(),
-        a["taken"].tolist(),
-        a["target_pc"].tolist(),
-        a["ras_top"].tolist(),
+    regs = a["regs"]
+    arrays = (
+        a["pc"],
+        a["opc"],
+        a["addr"],
+        a["value"],
+        np.ascontiguousarray(regs[:, 0]),
+        np.ascontiguousarray(regs[:, 1]),
+        np.ascontiguousarray(regs[:, 2]),
+        a["taken"].astype(np.bool_),
+        a["target_pc"],
+        a["ras_top"],
     )
-    return CompiledTrace(name, columns, memory)
+    return CompiledTrace.from_arrays(name, arrays, memory)

@@ -100,6 +100,33 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
+MIN_POOL_CELLS = 4
+"""Fewest pool-eligible cells for which a pool can beat in-process
+serial execution (see :func:`serial_fallback_reason`)."""
+
+
+def serial_fallback_reason(pool_cells: int, n_jobs: int) -> str | None:
+    """Why a pool would lose to serial execution here, or ``None``.
+
+    Two regimes where worker spawn + result pickling reliably cost more
+    than the parallelism wins back: a host with at most two CPUs (the
+    workers only time-slice cores the parent is already saturating —
+    the measured ``repro bench`` outcome on such hosts was a 0.82x
+    *slowdown*), and a matrix with fewer pool-eligible cells than
+    :data:`MIN_POOL_CELLS` (spawn overhead is amortized over too little
+    work).  Used by :func:`run_jobs` when the caller opts in via
+    ``auto_serial=True``; callers that need real workers regardless —
+    the chaos harness kills them on purpose — simply don't opt in.
+    """
+    cpus = os.cpu_count() or 1
+    if cpus <= 2:
+        return f"host has {cpus} cpu(s)"
+    if pool_cells < MIN_POOL_CELLS:
+        return (f"matrix has {pool_cells} pool-eligible cells "
+                f"(< {MIN_POOL_CELLS})")
+    return None
+
+
 def normalize_job(job) -> tuple[str, object, str]:
     """Accept ``(workload, spec)`` or ``(workload, spec, tag)``."""
     if len(job) == 2:
@@ -406,7 +433,7 @@ def warm_traces(workloads, obs=None) -> float:
 # ----------------------------------------------------------------------
 def run_jobs(jobs: Sequence[SimJob], config: SystemConfig,
              n_jobs: int, timings: dict | None = None,
-             policy=None, obs=None) -> list:
+             policy=None, obs=None, auto_serial: bool = False) -> list:
     """Simulate ``jobs`` with up to ``n_jobs`` persistent workers.
 
     Returns a list aligned with ``jobs`` where each slot holds either a
@@ -422,6 +449,13 @@ def run_jobs(jobs: Sequence[SimJob], config: SystemConfig,
     (``trace_warm_seconds``, ``simulate_seconds``, ``merge_seconds``).
     ``obs`` (a :class:`repro.obs.FabricObs`) attaches fabric span
     tracing; ``None`` executes the exact unobserved code path.
+
+    ``auto_serial=True`` additionally falls back to the serial path
+    when :func:`serial_fallback_reason` predicts the pool would lose
+    (tiny matrix, or a host with at most two CPUs), recording
+    ``timings["fallback"] = "serial"`` and the reason.  Off by default:
+    tests and the chaos harness need real workers even where a pool is
+    a net loss.
     """
     from repro.faults import RetryPolicy
 
@@ -435,10 +469,18 @@ def run_jobs(jobs: Sequence[SimJob], config: SystemConfig,
         for i, (_, spec, _) in enumerate(normalized):
             (remote if _is_picklable(spec) else local).append(i)
 
+    fallback_reason = None
+    if auto_serial and len(remote) > 1:
+        fallback_reason = serial_fallback_reason(len(remote), n_jobs)
+
     warm_seconds = 0.0
     merge_seconds = 0.0
     started = time.perf_counter()
     try:
+        if fallback_reason is not None:
+            _run_serial(range(len(normalized)), normalized, config,
+                        results, policy, obs)
+            return results
         if len(remote) <= 1:
             # Serial path: nothing (or a single cell) is pool-eligible —
             # a pool that could only ever run one job is pure overhead.
@@ -452,6 +494,9 @@ def run_jobs(jobs: Sequence[SimJob], config: SystemConfig,
         return results
     finally:
         if timings is not None:
+            if fallback_reason is not None:
+                timings["fallback"] = "serial"
+                timings["fallback_reason"] = fallback_reason
             timings["trace_warm_seconds"] = round(warm_seconds, 3)
             timings["simulate_seconds"] = round(
                 time.perf_counter() - started - merge_seconds, 3)

@@ -17,9 +17,11 @@ builder-code version**, ever, per machine:
   environment variable, empty string disables the cache).
 * **Format** — a pickled dict of per-column ``bytes`` blobs produced by
   :meth:`CompiledTrace.column_bytes`, the derived columns from
-  :meth:`CompiledTrace.derived_bytes` (format 2), plus the memory image
-  as two ``array('q')`` blobs.  Loading is a handful of C-level
-  ``frombytes``/``tolist`` passes — no per-record Python loop.
+  :meth:`CompiledTrace.derived_bytes` (format 2), the batch
+  segment-event positions from :meth:`CompiledTrace.segment_bytes`
+  (format 3), plus the memory image as two ``array('q')`` blobs.
+  Loading is one zero-copy ``numpy.frombuffer`` view per column — no
+  per-record Python loop and no ``tolist`` round-trip.
 * **Invalidation** — entries from other code versions sit in their own
   directories and are never read; ``repro cache stats`` counts them and
   ``repro cache clear --stale`` deletes them.  Corrupt entries behave as
@@ -44,11 +46,15 @@ from repro.isa.trace import (
     reset_derived_counters,
 )
 
-# Version 2: entries carry the derived columns (line/mpc/disp/bp_miss,
-# see repro.isa.trace.DERIVED_FIELDS) precomputed at build time.  The
-# version salts trace_code_version(), so bumping it moves the cache to a
-# fresh directory and format-1 entries become stale wholesale.
-TRACE_CACHE_VERSION = 2
+# Version 3: columns restore as numpy arrays (no tolist round-trip) and
+# entries carry the precomputed batch segment-event positions alongside
+# the derived columns (line/mpc/disp/bp_miss, see
+# repro.isa.trace.DERIVED_FIELDS).  The version salts
+# trace_code_version(), so bumping it moves the cache to a fresh
+# directory and older-format entries become stale wholesale; an entry
+# from another format that is nonetheless reached (e.g. a hand-moved
+# file) is dropped and counted as ``cache_stale_format``.
+TRACE_CACHE_VERSION = 3
 DEFAULT_TRACE_CACHE_DIR = "runs/traces"
 TRACE_CACHE_ENV = "REPRO_TRACE_CACHE"
 
@@ -57,7 +63,8 @@ _SIGNED_64_MAX = (1 << 63) - 1
 
 _trace_code_version_cache: str | None = None
 
-_counters = {"builds": 0, "disk_hits": 0, "memory_hits": 0}
+_counters = {"builds": 0, "disk_hits": 0, "memory_hits": 0,
+             "cache_stale_format": 0}
 
 
 def trace_counters() -> dict:
@@ -151,6 +158,18 @@ class TraceCache:
             with open(path, "rb") as fh:
                 payload = pickle.load(fh)
             if payload["format"] != TRACE_CACHE_VERSION:
+                # A stale-format entry inside the *current* version
+                # directory (format bump without a code change, or a
+                # hand-moved file): drop it with attribution instead of
+                # silently rebuilding over it forever.
+                count("cache_stale_format")
+                from repro.faults import CACHE_CORRUPT, log_fault
+
+                log_fault(CACHE_CORRUPT, workload=name,
+                          detail=(f"stale format {payload['format']} "
+                                  f"(want {TRACE_CACHE_VERSION}): "
+                                  f"{path.name}"))
+                path.unlink(missing_ok=True)
                 return None
             addresses = array("q")
             addresses.frombytes(payload["memory_addr"])
@@ -160,6 +179,7 @@ class TraceCache:
             return CompiledTrace.from_column_bytes(
                 payload["name"], payload["columns"], memory,
                 derived=payload.get("derived"),
+                segments=payload.get("segments"),
             )
         except FileNotFoundError:
             return None
@@ -194,6 +214,7 @@ class TraceCache:
             "simpoint": simpoint,
             "columns": trace.column_bytes(),
             "derived": trace.derived_bytes(),
+            "segments": trace.segment_bytes(),
             "memory_addr": array("q", memory.keys()).tobytes(),
             "memory_val": array("q", memory.values()).tobytes(),
         }

@@ -7,7 +7,9 @@ the ``REPRO_KERNEL=generic`` escape hatch, pin workload-affine cell
 fusion against its own escape hatch (``REPRO_FUSION=0``) at ``--jobs
 4``, check the derived trace columns against fresh derivation, and
 follow the kernel-variant attribution through results, manifests, and
-the fault journal.
+the fault journal.  The batch replay tier gets its own section: tier
+selection, scalar/generic escape hatches, degenerate segmentations, and
+identity under injected cache corruption.
 """
 
 from __future__ import annotations
@@ -17,9 +19,12 @@ import json
 import pytest
 
 from conftest import build_chain_trace, build_strided_trace
+from repro.engine.batch import BATCH_VARIANT
 from repro.engine.config import EXPERIMENT_CONFIG
-from repro.engine.kernel import GENERIC, KERNEL_ENV, kernel_flags, variant_name
+from repro.engine.kernel import (GENERIC, KERNEL_ENV, SCALAR, kernel_flags,
+                                 variant_name)
 from repro.engine.system import simulate
+from repro.isa import Assembler, Machine
 from repro.isa.trace import (
     DERIVED_FIELDS,
     LINE_SHIFT,
@@ -71,7 +76,8 @@ def test_specialized_matches_generic_registry_wide(name, strided, chain,
         monkeypatch.setenv(KERNEL_ENV, GENERIC)
         slow = simulate(trace, make_prefetcher(name))
         monkeypatch.delenv(KERNEL_ENV)
-        assert fast.kernel.startswith("fast"), name
+        # Hook-free cells may climb one tier further, to the batch kernel.
+        assert fast.kernel.startswith(("fast", "batch")), name
         assert slow.kernel == GENERIC
         assert _identity(fast) == _identity(slow), (name, trace.name)
 
@@ -152,14 +158,15 @@ def test_derived_columns_round_trip(chain):
                                                chain.memory, derived=derived)
     after = derived_counters()
     assert after["derived_hits"] == before["derived_hits"] + 1
-    # Restored from the cache blobs: no derivation pass happened, yet the
-    # columns are exactly what a fresh derivation produces.
-    assert restored._derived is not None
+    # Restored from the cache blobs: no derivation pass happened — the
+    # arrays arrive pre-built — yet the list views materialized from
+    # them are exactly what a fresh derivation produces.
+    assert restored._derived_arrays is not None
     assert restored.derived_columns() == original
     assert after["derived_builds"] == derived_counters()["derived_builds"]
 
     rebuilt = CompiledTrace.from_column_bytes(chain.name, blobs, chain.memory)
-    assert rebuilt._derived is None
+    assert rebuilt._derived is None and rebuilt._derived_arrays is None
     assert rebuilt.derived_columns() == original
     assert set(DERIVED_FIELDS) == set(derived)
 
@@ -190,7 +197,128 @@ def test_fusion_identity_at_jobs_4(monkeypatch):
     assert len(fused) == len(singleton) == len(matrix)
     for cell, a, b in zip(matrix, fused, singleton):
         assert _identity(a) == _identity(b), cell
-        assert a.kernel == b.kernel and a.kernel.startswith("fast"), cell
+        assert a.kernel == b.kernel, cell
+        assert a.kernel.startswith(("fast", "batch")), cell
+
+
+# ----------------------------------------------------------------------
+# Batch replay tier (docs/performance.md, "Batch replay tier")
+# ----------------------------------------------------------------------
+def test_batch_matches_scalar_and_generic(strided, chain, monkeypatch):
+    """Hook-free cells climb to the batch tier; ``REPRO_KERNEL=scalar``
+    pins the exec-specialized kernel; all three tiers are bit-identical."""
+    for trace in (strided, chain):
+        batch = simulate(trace, make_prefetcher("none"))
+        monkeypatch.setenv(KERNEL_ENV, SCALAR)
+        scalar = simulate(trace, make_prefetcher("none"))
+        monkeypatch.setenv(KERNEL_ENV, GENERIC)
+        generic = simulate(trace, make_prefetcher("none"))
+        monkeypatch.delenv(KERNEL_ENV)
+        assert batch.kernel == BATCH_VARIANT, trace.name
+        assert scalar.kernel == "fast+leanmem+staticbp"
+        assert generic.kernel == GENERIC
+        assert _identity(batch) == _identity(scalar), trace.name
+        assert _identity(batch) == _identity(generic), trace.name
+
+
+def test_batch_steps_aside_for_sampler_with_identical_windows(strided,
+                                                              monkeypatch):
+    """A TimeSeriesSampler is a live hook: the batch tier must yield to
+    the scalar kernels, and the sampled windows must match the generic
+    loop sample for sample."""
+    from repro.telemetry.sampler import TimeSeriesSampler
+
+    fast_sampler = TimeSeriesSampler(interval=256)
+    fast = simulate(strided, make_prefetcher("none"),
+                    telemetry=Telemetry(sampler=fast_sampler))
+    monkeypatch.setenv(KERNEL_ENV, GENERIC)
+    slow_sampler = TimeSeriesSampler(interval=256)
+    slow = simulate(strided, make_prefetcher("none"),
+                    telemetry=Telemetry(sampler=slow_sampler))
+    monkeypatch.delenv(KERNEL_ENV)
+    assert not fast.kernel.startswith("batch")
+    assert "sample" in fast.kernel
+    assert _identity(fast) == _identity(slow)
+    assert len(fast_sampler.samples) > 0
+    assert fast_sampler.samples == slow_sampler.samples
+
+
+def _compile_program(name, build, max_instructions=50_000):
+    asm = Assembler(name=name)
+    build(asm)
+    asm.halt()
+    return compile_trace(Machine(max_instructions=max_instructions)
+                         .run(asm.assemble()))
+
+
+def _all_alu(asm):
+    asm.movi("r1", 7)
+    for _ in range(40):
+        asm.add("r2", "r2", "r1")
+
+
+def _all_memory(asm):
+    asm.movi("r1", 0x40000)
+    for i in range(64):
+        asm.load("r2", "r1", 8 * i)
+
+
+def _tiny(asm):
+    asm.movi("r1", 0x40000)
+    asm.load("r2", "r1", 0)
+
+
+@pytest.mark.parametrize("case,build", [
+    ("alu-only", _all_alu),        # no events at all: one long stretch
+    ("mem-only", _all_memory),     # every instruction an event
+    ("tiny", _tiny),               # trace shorter than any stretch
+])
+def test_batch_segment_edge_cases(case, build, monkeypatch):
+    """Degenerate segmentations — an event-free trace (empty event
+    column), back-to-back events (empty stretches), and a trace shorter
+    than one stretch — replay bit-identically on every tier."""
+    trace = _compile_program(f"k-seg-{case}", build)
+    events = trace.segment_events()
+    if case == "alu-only":
+        assert len(events) == 0
+    elif case == "mem-only":
+        assert len(events) == 64  # one per load, none for movi/halt
+    batch = simulate(trace, make_prefetcher("none"))
+    monkeypatch.setenv(KERNEL_ENV, SCALAR)
+    scalar = simulate(trace, make_prefetcher("none"))
+    monkeypatch.setenv(KERNEL_ENV, GENERIC)
+    generic = simulate(trace, make_prefetcher("none"))
+    monkeypatch.delenv(KERNEL_ENV)
+    assert batch.kernel == BATCH_VARIANT, case
+    assert _identity(batch) == _identity(scalar) == _identity(generic), case
+
+
+def test_batch_identity_under_chaos_corrupt_and_resume(tmp_path):
+    """A chaos-corrupted cache write under the batch tier is a miss on
+    re-read; the resumed runner re-simulates once and reproduces the
+    reference figures exactly."""
+    from repro.experiments.runner import ExperimentRunner, simulate_spec
+    from repro.faults import chaos, fault_counters, reset_fault_counters
+
+    app = "spec.libquantum"
+    cache = str(tmp_path / "cache")
+    journal = str(tmp_path / "journal")
+    reference = simulate_spec(app, "none", "", EXPERIMENT_CONFIG)
+    assert reference.kernel == BATCH_VARIANT
+
+    reset_fault_counters()
+    chaos.set_chaos(chaos.parse_spec(f"corrupt=result:{app}/none"))
+    try:
+        writer = ExperimentRunner(cache_dir=cache, journal_dir=journal)
+        first = writer.run(app, "none")
+    finally:
+        chaos.set_chaos(None)
+    resumed = ExperimentRunner(cache_dir=cache, journal_dir=journal)
+    second = resumed.run(app, "none")
+    assert _identity(first) == _identity(reference)
+    assert _identity(second) == _identity(reference)
+    assert resumed.counters["simulated"] == 1  # the bad entry was a miss
+    assert fault_counters()["cache_corrupt"] >= 1
 
 
 # ----------------------------------------------------------------------

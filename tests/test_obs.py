@@ -375,6 +375,10 @@ def test_bench_parallel_reports_workers(monkeypatch):
     monkeypatch.setenv(faultlog.FAULT_LOG_ENV, "")
     from repro.bench import bench_parallel
 
+    # Pin the pool path: this test is about per-worker reporting, so
+    # the low-CPU/small-matrix serial fallback must not preempt it.
+    monkeypatch.setattr(parallel, "serial_fallback_reason",
+                        lambda *args: None)
     section = bench_parallel(MATRIX, EXPERIMENT_CONFIG, 4,
                              serial_seconds=1.0)
     shutdown_pool()
@@ -385,4 +389,29 @@ def test_bench_parallel_reports_workers(monkeypatch):
         assert {"busy_seconds", "idle_seconds",
                 "idle_fraction"} <= set(entry)
     assert "critical_cell" in section["utilization"]
+    assert parallel.pool_workers() == 0
+
+
+def test_serial_fallback_reason_thresholds(monkeypatch):
+    monkeypatch.setattr(parallel.os, "cpu_count", lambda: 8)
+    assert parallel.serial_fallback_reason(2, 4) is not None  # tiny matrix
+    assert parallel.serial_fallback_reason(8, 4) is None
+    monkeypatch.setattr(parallel.os, "cpu_count", lambda: 2)
+    assert parallel.serial_fallback_reason(8, 4) is not None
+
+
+def test_bench_parallel_serial_fallback_recorded(monkeypatch):
+    """When the host/matrix cannot amortize the pool, the parallel pass
+    runs serially and records it — check_regression reads the marker to
+    skip the speedup gate instead of failing it."""
+    monkeypatch.setenv(faultlog.FAULT_LOG_ENV, "")
+    from repro.bench import bench_parallel
+
+    monkeypatch.setattr(parallel, "serial_fallback_reason",
+                        lambda *args: "host has 1 cpu(s)")
+    section = bench_parallel(MATRIX, EXPERIMENT_CONFIG, 4,
+                             serial_seconds=1.0)
+    shutdown_pool()
+    assert section["fallback"] == "serial"
+    assert section["fallback_reason"] == "host has 1 cpu(s)"
     assert parallel.pool_workers() == 0

@@ -28,6 +28,7 @@ from repro.workloads.registry import Workload
 from repro.workloads import tracecache
 from repro.workloads.tracecache import (
     TRACE_CACHE_ENV,
+    TRACE_CACHE_VERSION,
     TraceCache,
     trace_code_version,
     trace_counters,
@@ -178,6 +179,32 @@ def test_trace_cache_invalidated_by_builder_source_change(
     assert TraceCache().stats()["stale_entries"] == 0
 
 
+def test_trace_cache_stale_format_entry_dropped_and_counted(
+        tmp_path, monkeypatch):
+    """A pre-bump payload inside the current version directory is
+    dropped once, attributed to ``cache_stale_format``, and rebuilt as a
+    current-format entry on the next read-through."""
+    monkeypatch.setenv(TRACE_CACHE_ENV, str(tmp_path))
+    _tiny_workload().trace()
+    cache = TraceCache()
+    path = cache.entry_path("test.tiny", 2_000)
+    payload = pickle.loads(path.read_bytes())
+    payload["format"] = TRACE_CACHE_VERSION - 1
+    path.write_bytes(pickle.dumps(payload))
+
+    before = trace_counters()
+    assert cache.get("test.tiny", 2_000) is None
+    after = trace_counters()
+    assert after["cache_stale_format"] - before["cache_stale_format"] == 1
+    assert not path.exists()  # dropped, not silently rebuilt over forever
+
+    rebuilt = _tiny_workload().trace()
+    entry = cache.get("test.tiny", 2_000)
+    assert entry is not None and entry.columns == rebuilt.columns
+    assert trace_counters()["cache_stale_format"] == \
+        after["cache_stale_format"]
+
+
 def test_trace_cache_corrupt_entry_is_a_miss(tmp_path, monkeypatch):
     monkeypatch.setenv(TRACE_CACHE_ENV, str(tmp_path))
     workload = _tiny_workload()
@@ -281,4 +308,4 @@ def test_tiny_workload_roundtrips_through_pickle_cache(tmp_path,
     payload = pickle.loads(path.read_bytes())
     assert sorted(payload) == ["columns", "derived", "format",
                                "memory_addr", "memory_val", "name",
-                               "simpoint"]
+                               "segments", "simpoint"]
