@@ -14,7 +14,12 @@ writes a machine-readable ``BENCH_simulator.json``:
   vectorized batch tier (:mod:`repro.engine.batch`) against the
   ``REPRO_KERNEL=scalar`` comparator, reporting
   ``speedup_vs_scalar`` and in-run bit-identity (``--require-batch``
-  gates on it);
+  gates on it); its ``segmented`` subsection does the same for the
+  hooked cells that selected the segmented tier (the paper's
+  ``bop``/``tpc`` prefetchers), per cell — coverage fraction,
+  seconds, speedup, identity — plus the aggregate
+  ``speedup_vs_scalar`` that ``--require-segmented`` gates on
+  (>= 1.5x, bit-identical everywhere);
 * **parallel** — the same matrix through :func:`repro.parallel.run_jobs`
   at ``--jobs N``, reported as speedup over the serial pass; on hosts
   where the pool would lose (``<= 2`` CPUs, tiny matrix) the pass
@@ -286,6 +291,97 @@ def bench_batch(matrix, config, variants: dict) -> dict:
     return section
 
 
+def bench_segmented(matrix, config, variants: dict) -> dict:
+    """The kernels section's ``segmented`` subsection.
+
+    Re-times the cells whose serial pass selected the segmented tier
+    (the hooked leanmem cells — the paper's ``bop``/``tpc``
+    prefetchers) against the ``REPRO_KERNEL=scalar`` comparator and
+    proves in-run bit-identity.  Each cell is timed individually
+    (settle pass, then fastest-of-3) so the section carries per-cell
+    seconds and speedups alongside the aggregate; the per-cell
+    ``coverage`` figure is the trace's segment-event fraction — the
+    share of instructions that run as scalar islands rather than
+    hook-free stretches — which bounds how much the tier can win.
+    """
+    from repro.engine.batch import SEGMENT_PREFIX
+    from repro.engine.kernel import KERNEL_ENV, SCALAR
+    from repro.experiments.runner import simulate_spec
+    from repro.workloads import get_workload
+
+    cells = [(w, s) for w, s in matrix
+             if (variants.get(f"{w}/{s}") or "").startswith(SEGMENT_PREFIX)]
+    section: dict = {
+        "cells": [f"{w}/{s}" for w, s in cells],
+    }
+    if not cells:
+        section.update({
+            "segmented_seconds": 0.0,
+            "scalar_seconds": 0.0,
+            "speedup_vs_scalar": 0.0,
+            "identical": True,
+            "per_cell": {},
+        })
+        return section
+
+    def timed_cells() -> tuple[dict, dict]:
+        for workload, spec in cells:
+            simulate_spec(workload, spec, "", config)
+        seconds: dict = {}
+        figures: dict = {}
+        for workload, spec in cells:
+            best = None
+            for _ in range(3):
+                started = time.perf_counter()
+                result = simulate_spec(workload, spec, "", config)
+                elapsed = time.perf_counter() - started
+                if best is None or elapsed < best:
+                    best = elapsed
+            seconds[(workload, spec)] = best
+            figures[(workload, spec)] = _cell_figures(result)
+        return seconds, figures
+
+    seg_seconds, seg_figures = timed_cells()
+    previous = os.environ.get(KERNEL_ENV)
+    os.environ[KERNEL_ENV] = SCALAR
+    try:
+        sca_seconds, sca_figures = timed_cells()
+    finally:
+        if previous is None:
+            os.environ.pop(KERNEL_ENV, None)
+        else:
+            os.environ[KERNEL_ENV] = previous
+
+    per_cell: dict = {}
+    for workload, spec in cells:
+        trace = get_workload(workload).trace()
+        n = len(trace)
+        seg = seg_seconds[(workload, spec)]
+        sca = sca_seconds[(workload, spec)]
+        per_cell[f"{workload}/{spec}"] = {
+            "kernel": variants[f"{workload}/{spec}"],
+            "coverage": round(len(trace.segment_events()) / n, 4) if n
+            else 1.0,
+            "segmented_seconds": round(seg, 3),
+            "scalar_seconds": round(sca, 3),
+            "speedup_vs_scalar": round(sca / seg, 2) if seg else 0.0,
+            "identical": seg_figures[(workload, spec)]
+            == sca_figures[(workload, spec)],
+        }
+    seg_total = sum(seg_seconds.values())
+    sca_total = sum(sca_seconds.values())
+    section.update({
+        "segmented_seconds": round(seg_total, 3),
+        "scalar_seconds": round(sca_total, 3),
+        "speedup_vs_scalar": (
+            round(sca_total / seg_total, 2) if seg_total else 0.0
+        ),
+        "identical": all(c["identical"] for c in per_cell.values()),
+        "per_cell": per_cell,
+    })
+    return section
+
+
 def bench_parallel(matrix, config, jobs: int, serial_seconds: float) -> dict:
     """Time the matrix through the pool, with fabric observability on.
 
@@ -525,6 +621,11 @@ def run_bench(quick: bool = False, jobs: int = 0,
     say(f"batch: {kernels['batch']['speedup_vs_scalar']}x vs scalar "
         f"over {len(kernels['batch']['cells'])} cells, "
         f"identical={kernels['batch']['identical']}")
+    say("segmented-tier parity pass (REPRO_KERNEL=scalar comparator)")
+    kernels["segmented"] = bench_segmented(matrix, config, variants)
+    say(f"segmented: {kernels['segmented']['speedup_vs_scalar']}x vs "
+        f"scalar over {len(kernels['segmented']['cells'])} cells, "
+        f"identical={kernels['segmented']['identical']}")
     say(f"parallel pass at {jobs} jobs")
     parallel = bench_parallel(matrix, config, jobs, serial["seconds"])
     say("cache cold/warm passes")
@@ -655,6 +756,18 @@ def check_regression(report: dict, baseline_path: str,
                     f"batch tier slower than the scalar kernels: "
                     f"{batch['speedup_vs_scalar']}x < 1.0"
                 )
+        segmented = kernels.get("segmented")
+        if segmented is not None and segmented["cells"]:
+            if not segmented["identical"]:
+                return (
+                    "segmented tier is not bit-identical to the scalar "
+                    "kernels (REPRO_KERNEL=scalar) — figures diverged"
+                )
+            if segmented["speedup_vs_scalar"] < 1.0:
+                return (
+                    f"segmented tier slower than the scalar kernels: "
+                    f"{segmented['speedup_vs_scalar']}x < 1.0"
+                )
     return None
 
 
@@ -687,6 +800,11 @@ def main(argv: list[str] | None = None) -> int:
                              "vectorized batch tier bit-identically at "
                              ">= 2x over REPRO_KERNEL=scalar (CI "
                              "kernel-parity gate)")
+    parser.add_argument("--require-segmented", action="store_true",
+                        help="fail unless the hooked bop/tpc cells ran "
+                             "the segmented tier bit-identically at "
+                             ">= 1.5x aggregate over REPRO_KERNEL="
+                             "scalar (CI kernel-parity gate)")
     args = parser.parse_args(argv)
     log = get_logger("bench")
 
@@ -730,6 +848,21 @@ def main(argv: list[str] | None = None) -> int:
         elif batch["speedup_vs_scalar"] < 2.0:
             error = (f"batch tier below the 2x target: "
                      f"{batch['speedup_vs_scalar']}x vs scalar")
+    if args.require_segmented and error is None:
+        segmented = report["kernels"]["segmented"]
+        broken = sorted(cell for cell, fig in segmented["per_cell"].items()
+                        if not fig["identical"])
+        if not segmented["cells"]:
+            error = ("no matrix cell selected the segmented tier — "
+                     "hooked bop/tpc cells missing or fell back to "
+                     "scalar")
+        elif broken:
+            error = ("segmented tier is not bit-identical to the "
+                     "scalar kernels (REPRO_KERNEL=scalar) on: "
+                     + ", ".join(broken))
+        elif segmented["speedup_vs_scalar"] < 1.5:
+            error = (f"segmented tier below the 1.5x aggregate target: "
+                     f"{segmented['speedup_vs_scalar']}x vs scalar")
     if args.check and error is None:
         error = check_regression(report, args.check, args.tolerance)
     with open(args.output, "w") as handle:

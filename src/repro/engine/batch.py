@@ -60,6 +60,48 @@ hierarchy state, subclassed hierarchy/cache/shadow/MSHR/DRAM
 components, DRAM telemetry attached, missing numpy — falls back to the
 scalar tier silently (the variant name on ``SimulationResult.kernel``
 records which tier actually ran).
+
+Segmented batch replay (the ``segmented+...`` variants) extends the
+tier across hook boundaries for the *hooked* leanmem/static-BP cells —
+the paper's actual ``bop``/``tpc`` prefetchers.  Prefetches perturb the
+cache and DRAM state, so the hook-free plan above is impossible there:
+which accesses hit, which victims leave, and which DRAM rows open all
+depend on what the prefetcher did.  The segmented split is therefore:
+
+* **Plan (pay once per trace x L1 geometry)** — :func:`_build_segment_plan`
+  precomputes only what stays a pure function of the trace: the fused
+  per-instruction dispatch classes and effective operands (the
+  vectorized hook-free stretches between the trace's persisted segment
+  events), the flat per-event columns (pc/mPC/addr/line/value), and the
+  shadow-L1 outcome per demand access (shadow tags see only demand
+  traffic, so their whole story is trace-determined even under
+  prefetching).
+* **Replay (every cell)** — a generated kernel (:func:`_segment_source`,
+  compiled and memoized per hook/policy/geometry shape like
+  ``repro.engine.kernel``) retires the hook-free stretches through the
+  same tight class-dispatch loop as :func:`_run_batch` and executes a
+  *scalar island* at each segment event: the L1 hit leg, the full
+  demand-miss leg, and the entire prefetch path run against a
+  virtualized hierarchy — flat ``[fill_time, dirty, prefetched, used,
+  component]`` entries in recency-ordered per-set dicts (dict order is
+  exact LRU order), the ``_MshrFile``/``Dram`` algebra inline — with
+  zero per-access object allocation, dead hook branches absent from
+  the emitted source, and composite hook forwarders devirtualized to
+  their component methods.
+  Hooks (``observe_instruction``, ``observe_access``, ``on_access``,
+  ``on_fill``, ``on_prefetch_hit``) are called at exactly the positions
+  and with exactly the :class:`~repro.core.base.AccessEvent` payloads
+  of the scalar kernels, so prefetcher state is handed off bit-exactly
+  at every stretch/island boundary.
+
+Selection upgrades any ``fast+...+leanmem+staticbp`` variant (sampler
+absent) whose segment-event coverage fraction is sparse enough
+(:func:`segment_max_coverage`, default 0.95, ``REPRO_SEGMENT_COVERAGE``
+override); an all-event trace degrades to the pure scalar kernel.
+``REPRO_KERNEL=scalar`` disables this tier together with the batch
+tier.  Both tiers memoize their plans on ``CompiledTrace._plans``
+(``plan_builds``/``plan_cache_hits`` kernel counters, mirrored into
+``repro metrics``).
 """
 
 from __future__ import annotations
@@ -542,36 +584,36 @@ def _build_plan(trace: CompiledTrace, key: tuple) -> BatchPlan:
     return plan
 
 
-def _get_plan(trace: CompiledTrace, key: tuple) -> BatchPlan:
+def _get_plan(trace: CompiledTrace, key: tuple, builder, variant: str):
+    """Plan memoizer shared by both tiers.
+
+    Plans live on ``CompiledTrace._plans`` keyed by structural geometry,
+    so every cell of a sweep replaying the same (warm, process-shared)
+    trace under the same geometry reuses one plan.  ``plan_builds`` /
+    ``plan_cache_hits`` count the split (kernel counters, mirrored into
+    the fabric metrics as ``kernel.plan_builds`` /
+    ``kernel.plan_cache_hits`` for ``repro metrics``).
+    """
+    from repro.engine.kernel import _count
+
     plan = trace._plans.get(key)
     if plan is None:
-        from repro.engine.kernel import _count
-
-        _count(f"compiled.{BATCH_VARIANT}")
-        plan = _build_plan(trace, key)
+        _count(f"compiled.{variant}")
+        _count("plan_builds")
+        plan = builder(trace, key)
         trace._plans[key] = plan
+    else:
+        _count("plan_cache_hits")
     return plan
 
 
-def maybe_run_batch(core, flags: tuple):
-    """Run ``core`` through the batch tier, or return ``None`` to let
-    the scalar specialized kernel handle it.
-
-    Eligibility: exactly the hookless flag tuple, ``REPRO_KERNEL`` not
-    set to ``scalar`` (nor ``generic`` — that path never gets here), a
-    cold core on a cold stock :class:`~repro.memory.hierarchy.Hierarchy`
-    (stock caches/shadow tags/MSHRs/DRAM, no DRAM telemetry, nothing
-    resident, no prior traffic), and numpy importable.
-    """
-    if flags != BATCH_FLAGS:
-        return None
-    from repro.engine.kernel import GENERIC, KERNEL_ENV, SCALAR, _count
-
-    if os.environ.get(KERNEL_ENV) in (GENERIC, SCALAR):
-        return None
-    trace = core.trace
-    if not isinstance(trace, CompiledTrace):
-        return None
+def _stock_cold_hierarchy(core):
+    """The stock, cold :class:`~repro.memory.hierarchy.Hierarchy` behind
+    ``core`` — or ``None`` when anything deviates and the scalar tier
+    must run instead: warm core state, subclassed hierarchy / cache /
+    shadow / MSHR / DRAM components, DRAM telemetry attached, resident
+    lines or prior traffic, or numpy missing.  Shared eligibility leg of
+    :func:`maybe_run_batch` and :func:`maybe_run_segmented`."""
     if (core._index or core._fetch_cycle or core._fetch_slot
             or core._last_commit_time or core._commits_at_time):
         return None
@@ -608,7 +650,31 @@ def maybe_run_batch(core, flags: tuple):
         import numpy  # noqa: F401
     except ImportError:
         return None
-    plan = _get_plan(trace, plan_key(core))
+    return hierarchy
+
+
+def maybe_run_batch(core, flags: tuple):
+    """Run ``core`` through the batch tier, or return ``None`` to let
+    the scalar specialized kernel handle it.
+
+    Eligibility: exactly the hookless flag tuple, ``REPRO_KERNEL`` not
+    set to ``scalar`` (nor ``generic`` — that path never gets here), a
+    cold core on a cold stock :class:`~repro.memory.hierarchy.Hierarchy`
+    (stock caches/shadow tags/MSHRs/DRAM, no DRAM telemetry, nothing
+    resident, no prior traffic), and numpy importable.
+    """
+    if flags != BATCH_FLAGS:
+        return None
+    from repro.engine.kernel import GENERIC, KERNEL_ENV, SCALAR, _count
+
+    if os.environ.get(KERNEL_ENV) in (GENERIC, SCALAR):
+        return None
+    trace = core.trace
+    if not isinstance(trace, CompiledTrace):
+        return None
+    if _stock_cold_hierarchy(core) is None:
+        return None
+    plan = _get_plan(trace, plan_key(core), _build_plan, BATCH_VARIANT)
     _count(f"selected.{BATCH_VARIANT}")
     core.kernel_variant = BATCH_VARIANT
     return _run_batch(core, plan)
@@ -946,3 +1012,1148 @@ def _run_batch(core, plan: BatchPlan):
         hierarchy.miss_lines_l1.update(plan.miss_lines)
         hierarchy.miss_lines_l2.update(plan.miss_lines_l2)
     return stats
+
+
+# ----------------------------------------------------------------------
+# Segmented batch replay: the hooked-cell tier.
+# ----------------------------------------------------------------------
+
+SEGMENT_PREFIX = "segmented"
+
+SEGMENT_COVERAGE_ENV = "REPRO_SEGMENT_COVERAGE"
+
+SEGMENT_MAX_COVERAGE = 0.95
+"""Default ceiling on the segment-event coverage fraction
+(``len(segment_events()) / len(trace)``).  Above it nearly every
+instruction is a scalar island, the vectorized stretches degenerate,
+and the plain scalar kernel is the better (and simpler) choice — the
+all-instructions-are-events edge case degrades there by construction."""
+
+# Segmented per-instruction dispatch classes.  Unlike the hook-free
+# tier, hit/miss is decided live (prefetches change it), so loads and
+# stores are single classes.
+_SEG_SIMPLE = 0
+_SEG_LOAD = 1
+_SEG_STORE = 2
+_SEG_BP_MISS = 3
+
+
+def segment_variant(flags: tuple) -> str:
+    """Kernel attribution name for the segmented tier: the scalar
+    variant's hook spelling with the ``fast`` prefix swapped, e.g.
+    ``segmented+instr+observe+issue+leanmem+staticbp``."""
+    from repro.engine.kernel import variant_name
+
+    return SEGMENT_PREFIX + variant_name(flags)[4:]
+
+
+def segment_max_coverage() -> float:
+    raw = os.environ.get(SEGMENT_COVERAGE_ENV)
+    if raw:
+        try:
+            return float(raw)
+        except ValueError:
+            pass
+    return SEGMENT_MAX_COVERAGE
+
+
+class SegmentPlan:
+    """Precomputed replay schedule for one (trace, L1 geometry) pair.
+
+    Only trace-pure facts live here — everything the prefetcher can
+    perturb stays live in the generated segmented kernel.  ``rows``
+    holds one ``(cls, src1, src2, dst, lat)`` tuple per instruction
+    (unpacked directly in the replay loop's ``for`` target — cheaper
+    than a five-way zip); ``ev_rows`` holds one ``(pc, addr, line,
+    mpc, value, sh1)`` tuple per memory access in trace order,
+    consumed by a running iterator (loads and stores are exactly the
+    memory-typed segment events, so no index column is needed).
+    ``sh1`` is the shadow-L1 outcome per access: shadow tags see only
+    demand traffic, so their whole hit/miss story is trace-determined
+    even under prefetching.
+    """
+
+    __slots__ = (
+        "rows", "ev_rows",
+        "n_mem", "loads", "stores", "branches", "mispredicts",
+        "coverage",
+    )
+
+
+def segment_plan_key(core) -> tuple:
+    """Structural geometry the segment plan depends on: only the L1
+    shape (for the shadow-L1 walk) and the ALU latency (folded into the
+    per-instruction latency column).  Everything else — L2/L3/DRAM
+    geometry, MSHR counts, latencies — is replayed live."""
+    l1 = core.hierarchy.l1d
+    return (SEGMENT_PREFIX, l1.num_sets, l1.ways, core._alu_latency)
+
+
+def _build_segment_plan(trace: CompiledTrace, key: tuple) -> SegmentPlan:
+    import numpy as np
+
+    _tag, l1_num_sets, l1_ways, alu_latency = key
+
+    (pc_a, _opc, addr_a, value_a, dst_a, src1_a, src2_a,
+     _taken, _target, _ras) = trace.array_columns()
+    line_a, mpc_a, disp_a, bp_a = trace.derived_arrays()
+    n = len(disp_a)
+
+    # Effective operands, same fusion as _build_plan (and the same
+    # reading the scalar kernel does per dispatch arm).
+    b_src1 = np.where(disp_a == DISP_BR_UNCOND, src2_a, src1_a)
+    b_src1 = np.where(disp_a == DISP_OTHER, -1, b_src1)
+    no_src2 = ((disp_a == DISP_LOAD) | (disp_a == DISP_BR_UNCOND)
+               | (disp_a == DISP_OTHER))
+    b_src2 = np.where(no_src2, -1, src2_a)
+    b_dst = np.where((disp_a == DISP_ALU) | (disp_a == DISP_LOAD),
+                     dst_a, -1)
+    b_lat = np.where(disp_a == DISP_ALU, alu_latency, 1)
+
+    cls = np.zeros(n, dtype=np.int64)
+    cls[(disp_a == DISP_BR_COND) & (bp_a != 0)] = _SEG_BP_MISS
+    cls[disp_a == DISP_LOAD] = _SEG_LOAD
+    cls[disp_a == DISP_STORE] = _SEG_STORE
+
+    events = trace.segment_events()
+    mem_pos = events[disp_a[events] <= DISP_STORE]
+    ev_line_a = mem_pos_lines = line_a[mem_pos]
+    ev_lines = mem_pos_lines.tolist()
+
+    # Shadow-L1 walk (exact ShadowTagStore.access over every demand
+    # access, hit or miss — the scalar kernel updates the shadow on
+    # both legs and only *reads* the outcome on a miss).
+    sh_mask = l1_num_sets - 1
+    sh_sets: list[dict] = [dict() for _ in range(l1_num_sets)]
+    sh1: list[bool] = []
+    append = sh1.append
+    for line in ev_lines:
+        s = sh_sets[line & sh_mask]
+        if line in s:
+            del s[line]
+            append(True)
+        else:
+            append(False)
+            if len(s) >= l1_ways:
+                del s[next(iter(s))]
+        s[line] = None
+
+    plan = SegmentPlan()
+    plan.rows = list(zip(cls.tolist(), b_src1.tolist(), b_src2.tolist(),
+                         b_dst.tolist(), b_lat.tolist()))
+    # One tuple per access: a single unpack in the replay arms instead
+    # of six indexed column reads (.tolist() first, so the tuples hold
+    # plain ints that compare/hash at C speed in the set dicts).
+    plan.ev_rows = list(zip(
+        pc_a[mem_pos].tolist(), addr_a[mem_pos].tolist(), ev_lines,
+        mpc_a[mem_pos].tolist(), value_a[mem_pos].tolist(), sh1))
+    plan.n_mem = len(ev_lines)
+    plan.loads = int(np.count_nonzero(disp_a == DISP_LOAD))
+    plan.stores = int(np.count_nonzero(disp_a == DISP_STORE))
+    plan.branches = int(np.count_nonzero(
+        (disp_a == DISP_BR_COND) | (disp_a == DISP_BR_UNCOND)))
+    plan.mispredicts = int(np.count_nonzero(
+        (disp_a == DISP_BR_COND) & (bp_a != 0)))
+    plan.coverage = len(events) / n if n else 1.0
+    del ev_line_a
+    return plan
+
+
+def maybe_run_segmented(core, flags: tuple):
+    """Run ``core`` through the segmented tier, or return ``None`` to
+    let the scalar specialized kernel handle it.
+
+    Eligibility: a leanmem/static-BP flag tuple with at least one hook
+    present and no sampler (the sampler reads live per-instruction
+    stats; hook-free tuples belong to :func:`maybe_run_batch`),
+    ``REPRO_KERNEL`` not ``scalar``/``generic``, the same cold stock
+    hierarchy as the batch tier, and a segment-event coverage fraction
+    at most :func:`segment_max_coverage`.
+    """
+    if len(flags) != 7 or flags == BATCH_FLAGS:
+        return None
+    instr, oa, ona, of, samp, sbp, lean = flags
+    if samp or not sbp or not lean:
+        return None
+    from repro.engine.kernel import GENERIC, KERNEL_ENV, SCALAR, _count
+
+    if os.environ.get(KERNEL_ENV) in (GENERIC, SCALAR):
+        return None
+    trace = core.trace
+    if not isinstance(trace, CompiledTrace):
+        return None
+    if _stock_cold_hierarchy(core) is None:
+        return None
+    n = len(trace)
+    if not n or len(trace.segment_events()) / n > segment_max_coverage():
+        return None
+    variant = segment_variant(flags)
+    plan = _get_plan(trace, segment_plan_key(core), _build_segment_plan,
+                     variant)
+    _count(f"selected.{variant}")
+    core.kernel_variant = variant
+
+    # Resolve the kernel specialization key: devirtualized composite
+    # hooks, DRAM drop policy, and power-of-two DRAM geometry.
+    from repro.core.composite import CompositePrefetcher
+
+    feeds = None
+    nfeeds = 0
+    if instr:
+        hook = core._observe_instruction
+        if (getattr(hook, "__func__", None)
+                is CompositePrefetcher.observe_instruction):
+            feeds = hook.__self__._instruction_feeds
+            nfeeds = len(feeds)
+            if nfeeds > 4:  # keep the kernel-cache fanout bounded
+                feeds, nfeeds = None, -1
+        else:
+            nfeeds = -1
+    route = None
+    if ona:
+        hook = core._on_access
+        if getattr(hook, "__func__", None) is CompositePrefetcher.on_access:
+            route = hook.__self__.coordinator.route
+        else:
+            route = hook
+
+    from repro.memory.dram import DropPolicy
+
+    cfg = core.hierarchy.dram.config
+    low_first = cfg.drop_policy is DropPolicy.LOW_PRIORITY_FIRST
+    bpc = cfg.ranks_per_channel * cfg.banks_per_rank
+    rows_div = bpc * cfg.lines_per_row
+    pow2 = all(v > 0 and v & (v - 1) == 0
+               for v in (cfg.channels, bpc, rows_div))
+
+    kernel = _segment_kernel(instr, oa, ona, of, low_first, pow2, nfeeds)
+    return kernel(core, plan, feeds, route)
+
+
+_SEG_KERNELS: dict[tuple, object] = {}
+
+
+def _segment_kernel(instr: bool, oa: bool, ona: bool, of: bool,
+                    low_first: bool, pow2: bool, nfeeds: int):
+    """Compile (and memoize) one segmented replay kernel.
+
+    Like ``repro.engine.kernel``, the loop is generated with dead hook
+    branches absent; the kernel is additionally specialized on the DRAM
+    drop policy (RANDOM queues hold bare completion times; the
+    LOW_PRIORITY_FIRST victim scan needs full entries), on
+    power-of-two channel/bank/row geometry (shift/mask address math),
+    and on the number of devirtualized instruction feeds (``nfeeds``;
+    -1 calls the composite's forwarder per instruction instead).
+    """
+    key = (instr, oa, ona, of, low_first, pow2, nfeeds)
+    fn = _SEG_KERNELS.get(key)
+    if fn is None:
+        from repro.core.base import AccessEvent
+        from repro.memory.dram import LOW_PRIORITY_COMPONENTS
+
+        source = _segment_source(*key)
+        namespace = {
+            "_FAR": _FAR,
+            "AccessEvent": AccessEvent,
+            "LOW_PRIORITY_COMPONENTS": LOW_PRIORITY_COMPONENTS,
+        }
+        exec(compile(source, f"<segmented kernel {key}>", "exec"),
+             namespace)
+        fn = _SEG_KERNELS[key] = namespace["run_segmented"]
+    return fn
+
+
+def _segment_source(instr: bool, oa: bool, ona: bool, of: bool,
+                    low_first: bool, pow2: bool, nfeeds: int) -> str:
+    """Source of a specialized segmented replay loop.
+
+    The emitted code retires the whole trace with live hooks: the
+    stretch loop mirrors the generated scalar kernel's issue/commit
+    arithmetic (and ``_run_batch``'s rolling ROB slot); each scalar
+    island mirrors, effect for effect, ``Cache.lookup``/``fill``,
+    ``_MshrFile``, ``ShadowTagStore.access`` (precomputed),
+    ``Hierarchy._demand_miss``/``_access_l2``/``_access_l3``/
+    ``prefetch``, and ``Dram.read``/``write`` — against a virtualized
+    hierarchy of flat ``[fill_time, dirty, prefetched, used,
+    component]`` entries in recency-ordered per-set dicts (dict order
+    is LRU order because the scalar tier's use counter is strictly
+    increasing, so victim selection is ``next(iter(set))``).  Demand
+    misses and the demand DRAM read are inlined straight into the
+    load/store arms; ``do_prefetch`` keeps its early-return shape as a
+    closure.  Hook call positions and ``AccessEvent`` payloads are
+    exactly the scalar kernel's, so the prefetcher cannot distinguish
+    the tiers.  Stats accumulate in locals and write back once at the
+    end, matching the scalar kernels' deferred-accumulator contract.
+    """
+    build_event = oa or ona
+    lines: list[str] = []
+    emit = lines.append
+
+    def addr_math(ind: str, p: str, line: str) -> None:
+        # Dram address decomposition (channel, bank, row) for one line.
+        if pow2:
+            emit(f"{ind}{p}ch = {line} & ch_mask")
+            emit(f"{ind}{p}rest = {line} >> ch_shift")
+            emit(f"{ind}{p}bank = ({p}ch << bpc_shift) + "
+                 f"({p}rest & bpc_mask)")
+            emit(f"{ind}{p}row = {p}rest >> row_shift")
+        else:
+            emit(f"{ind}{p}ch = {line} % channels")
+            emit(f"{ind}{p}rest = {line} // channels")
+            emit(f"{ind}{p}bank = {p}ch * banks_per_channel + "
+                 f"{p}rest % banks_per_channel")
+            emit(f"{ind}{p}row = {p}rest // rows_div")
+
+    def dram_read_tail(ind: str) -> None:
+        # Bank/row/bus algebra shared by the inlined demand and
+        # prefetch reads; enters with dstart/dbank/drow/dch set and
+        # leaves the completion in fill_time.
+        emit(f"{ind}dready = bank_ready[dbank]")
+        emit(f"{ind}if dready > dstart:")
+        emit(f"{ind}    dstart = dready")
+        emit(f"{ind}drow_open = bank_row[dbank]")
+        emit(f"{ind}if drow_open == drow:")
+        emit(f"{ind}    daccess = t_cas")
+        emit(f"{ind}    row_hits += 1")
+        emit(f"{ind}elif drow_open is None:")
+        emit(f"{ind}    daccess = t_rcd_cas")
+        emit(f"{ind}    row_empty += 1")
+        emit(f"{ind}else:")
+        emit(f"{ind}    daccess = t_rp_rcd_cas")
+        emit(f"{ind}    row_conflicts += 1")
+        emit(f"{ind}ddata = dstart + daccess")
+        emit(f"{ind}dready = bus_free[dch]")
+        emit(f"{ind}if dready > ddata:")
+        emit(f"{ind}    ddata = dready")
+        emit(f"{ind}fill_time = ddata + burst")
+        emit(f"{ind}bank_row[dbank] = drow")
+        emit(f"{ind}bank_ready[dbank] = ddata")
+        emit(f"{ind}bus_free[dch] = fill_time")
+        emit(f"{ind}dq.append(fill_time)")
+        emit(f"{ind}if fill_time < q_min[dch]:")
+        emit(f"{ind}    q_min[dch] = fill_time")
+        emit(f"{ind}d_reads += 1")
+
+    def hook_block(ind: str, ev_args: str, flag: str,
+                   level_expr: str) -> None:
+        # The scalar kernel's hook sequence at one access: event (when
+        # any event hook is live), on_prefetch_hit, observers, issue
+        # requests, per-request on_fill.
+        if build_event:
+            emit(f"{ind}event = AccessEvent({ev_args})")
+            emit(f"{ind}if {flag}:")
+            emit(f"{ind}    on_prefetch_hit(line, {level_expr})")
+            if oa:
+                emit(f"{ind}observe_access(event)")
+            if ona:
+                emit(f"{ind}requests = on_access(event)")
+                emit(f"{ind}if requests:")
+                emit(f"{ind}    for request in requests:")
+                if of:
+                    emit(f"{ind}        if do_prefetch(request.line, "
+                         f"issue, request.target_level, "
+                         f"request.component):")
+                    emit(f"{ind}            on_fill(request.line, "
+                         f"request.target_level, prefetched=True)")
+                else:
+                    emit(f"{ind}        do_prefetch(request.line, "
+                         f"issue, request.target_level, "
+                         f"request.component)")
+        else:
+            emit(f"{ind}if {flag}:")
+            emit(f"{ind}    on_prefetch_hit(line, {level_expr})")
+
+    def demand_miss_block(ind: str, is_write: str) -> None:
+        # Hierarchy._demand_miss + _access_l2 + _access_l3 with the
+        # primary fills inlined (each preceding lookup or probe proves
+        # the line absent, so the resident leg is skipped).  Sets
+        # fill_time, level, served, component; tset1 is the L1 set the
+        # arm's lookup already indexed.
+        emit(f"{ind}mnow = issue")
+        emit(f"{ind}l1_misses += 1")
+        emit(f"{ind}if collect_fp:")
+        emit(f"{ind}    miss_lines_l1[line] += 1")
+        emit(f"{ind}if sh1:")
+        emit(f"{ind}    pollution_l1 += 1")
+        emit(f"{ind}if l1_min_p <= mnow:")
+        emit(f"{ind}    l1_pending[:] = [x for x in l1_pending "
+             f"if x > mnow]")
+        emit(f"{ind}    l1_min_p = min(l1_pending, default=far)")
+        emit(f"{ind}if len(l1_pending) >= l1_cap:")
+        emit(f"{ind}    mnow = min(l1_pending)")
+        emit(f"{ind}    l1_pending[:] = [x for x in l1_pending "
+             f"if x > mnow]")
+        emit(f"{ind}    l1_min_p = min(l1_pending, default=far)")
+        emit(f"{ind}t = mnow + l1_latency")
+        emit(f"{ind}l2_acc += 1")
+        emit(f"{ind}tset2 = l2_sets[line & l2_mask]")
+        emit(f"{ind}entry = tset2.get(line)")
+        emit(f"{ind}served = False")
+        emit(f"{ind}if entry is not None:")
+        emit(f"{ind}    del tset2[line]")
+        emit(f"{ind}    tset2[line] = entry")
+        emit(f"{ind}    served = entry[2] and not entry[3]")
+        emit(f"{ind}    if served:")
+        emit(f"{ind}        entry[3] = True")
+        emit(f"{ind}if not sh1:")
+        emit(f"{ind}    s2 = sh2_sets[line & sh2_mask]")
+        emit(f"{ind}    if line in s2:")
+        emit(f"{ind}        del s2[line]")
+        emit(f"{ind}        sh2_hit = True")
+        emit(f"{ind}    else:")
+        emit(f"{ind}        sh2_hit = False")
+        emit(f"{ind}        if len(s2) >= sh2_ways:")
+        emit(f"{ind}            del s2[next(iter(s2))]")
+        emit(f"{ind}    s2[line] = None")
+        emit(f"{ind}if entry is not None:")
+        emit(f"{ind}    l2_hits += 1")
+        emit(f"{ind}    ready = entry[0]")
+        emit(f"{ind}    if served:")
+        emit(f"{ind}        l2_useful += 1")
+        emit(f"{ind}        if ready > t:")
+        emit(f"{ind}            l2_late += 1")
+        emit(f"{ind}    if ready < t:")
+        emit(f"{ind}        ready = t")
+        emit(f"{ind}    fill_time = ready + l2_lat")
+        emit(f"{ind}    level = 2")
+        emit(f"{ind}    component = entry[4]")
+        emit(f"{ind}else:")
+        i2 = ind + "    "
+        emit(f"{i2}l2_missc += 1")
+        emit(f"{i2}if collect_fp:")
+        emit(f"{i2}    miss_lines_l2[line] += 1")
+        emit(f"{i2}if not sh1 and sh2_hit:")
+        emit(f"{i2}    pollution_l2 += 1")
+        emit(f"{i2}if l2_min_p <= t:")
+        emit(f"{i2}    l2_pending[:] = [x for x in l2_pending "
+             f"if x > t]")
+        emit(f"{i2}    l2_min_p = min(l2_pending, default=far)")
+        emit(f"{i2}if len(l2_pending) >= l2_cap:")
+        emit(f"{i2}    t = min(l2_pending)")
+        emit(f"{i2}    l2_pending[:] = [x for x in l2_pending "
+             f"if x > t]")
+        emit(f"{i2}    l2_min_p = min(l2_pending, default=far)")
+        emit(f"{i2}now3 = t + l2_lat")
+        emit(f"{i2}l3_acc += 1")
+        emit(f"{i2}tset3 = l3_sets[line & l3_mask]")
+        emit(f"{i2}entry3 = tset3.get(line)")
+        emit(f"{i2}if entry3 is not None:")
+        emit(f"{i2}    del tset3[line]")
+        emit(f"{i2}    tset3[line] = entry3")
+        emit(f"{i2}    l3_hits += 1")
+        emit(f"{i2}    if entry3[2] and not entry3[3]:")
+        emit(f"{i2}        entry3[3] = True")
+        emit(f"{i2}        l3_useful += 1")
+        emit(f"{i2}    ready = entry3[0]")
+        emit(f"{i2}    if ready < now3:")
+        emit(f"{i2}        ready = now3")
+        emit(f"{i2}    fill_time = ready + l3_lat")
+        emit(f"{i2}    level = 3")
+        emit(f"{i2}else:")
+        i3 = i2 + "    "
+        emit(f"{i3}l3_missc += 1")
+        if low_first:
+            # Demand reads are never dropped, so no -1 check.
+            emit(f"{i3}fill_time = dram_read(line, now3 + l3_lat, "
+                 f"False, None)")
+        else:
+            emit(f"{i3}dnow = now3 + l3_lat")
+            addr_math(i3, "d", "line")
+            emit(f"{i3}dq = queues[dch]")
+            emit(f"{i3}if q_min[dch] <= dnow:")
+            emit(f"{i3}    dq[:] = [c for c in dq if c > dnow]")
+            emit(f"{i3}    q_min[dch] = min(dq, default=far)")
+            emit(f"{i3}dstart = dnow")
+            emit(f"{i3}if len(dq) >= q_cap:")
+            emit(f"{i3}    dstart = min(dq)")
+            emit(f"{i3}    d_stalls += 1")
+            emit(f"{i3}    dq[:] = [c for c in dq if c > dstart]")
+            emit(f"{i3}    q_min[dch] = min(dq, default=far)")
+            dram_read_tail(i3)
+        emit(f"{i3}if len(tset3) >= l3_ways:")
+        emit(f"{i3}    vline = next(iter(tset3))")
+        emit(f"{i3}    victim = tset3.pop(vline)")
+        emit(f"{i3}    l3_evic += 1")
+        emit(f"{i3}    if victim[2] and not victim[3]:")
+        emit(f"{i3}        l3_pfe += 1")
+        emit(f"{i3}    if victim[1]:")
+        emit(f"{i3}        l3_wb += 1")
+        emit(f"{i3}        dram_write(vline, fill_time)")
+        emit(f"{i3}tset3[line] = [fill_time, False, False, False, "
+             f"None]")
+        emit(f"{i3}level = 4")
+        emit(f"{i2}if len(tset2) >= l2_ways:")
+        emit(f"{i2}    vline = next(iter(tset2))")
+        emit(f"{i2}    victim = tset2.pop(vline)")
+        emit(f"{i2}    l2_evic += 1")
+        emit(f"{i2}    if victim[2] and not victim[3]:")
+        emit(f"{i2}        l2_pfe += 1")
+        emit(f"{i2}    if victim[1]:")
+        emit(f"{i2}        l2_wb += 1")
+        emit(f"{i2}        fill_l3(vline, fill_time, True, False, "
+             f"None)")
+        emit(f"{i2}tset2[line] = [fill_time, False, False, False, "
+             f"None]")
+        emit(f"{i2}l2_pending.append(fill_time)")
+        emit(f"{i2}if fill_time < l2_min_p:")
+        emit(f"{i2}    l2_min_p = fill_time")
+        emit(f"{i2}component = None")
+        emit(f"{ind}if len(tset1) >= l1_ways:")
+        emit(f"{ind}    vline = next(iter(tset1))")
+        emit(f"{ind}    victim = tset1.pop(vline)")
+        emit(f"{ind}    l1_evic += 1")
+        emit(f"{ind}    if victim[2] and not victim[3]:")
+        emit(f"{ind}        l1_pfe += 1")
+        emit(f"{ind}    if victim[1]:")
+        emit(f"{ind}        l1_wb += 1")
+        emit(f"{ind}        fill_l2(vline, fill_time, True, False, "
+             f"None)")
+        emit(f"{ind}tset1[line] = [fill_time, {is_write}, False, "
+             f"False, None]")
+        emit(f"{ind}l1_pending.append(fill_time)")
+        emit(f"{ind}if fill_time < l1_min_p:")
+        emit(f"{ind}    l1_min_p = fill_time")
+
+    def hit_stats_block(ind: str) -> None:
+        # The scalar leanmem kernel's L1-hit stat legs, after the
+        # recency bump.
+        emit(f"{ind}first_use = cl[2] and not cl[3]")
+        emit(f"{ind}if first_use:")
+        emit(f"{ind}    cl[3] = True")
+        emit(f"{ind}l1_hits += 1")
+        emit(f"{ind}ready = cl[0]")
+        emit(f"{ind}if first_use:")
+        emit(f"{ind}    l1_useful += 1")
+        emit(f"{ind}    if ready > issue:")
+        emit(f"{ind}        l1_late += 1")
+        emit(f"{ind}elif ready > issue and not cl[2]:")
+        emit(f"{ind}    l1_merges += 1")
+
+    # ------------------------------------------------------------------
+    # Prologue: hoists, virtual state, accumulators.
+    # ------------------------------------------------------------------
+    emit("def run_segmented(core, plan, feeds, route):")
+    emit('    """Generated segmented replay; see _segment_source."""')
+    emit("    stats = core.stats")
+    emit("    hierarchy = core.hierarchy")
+    emit("    l1 = hierarchy.l1d")
+    emit("    l2 = hierarchy.l2")
+    emit("    l3 = hierarchy.l3")
+    emit("    dram = hierarchy.dram")
+    emit("    cfg = dram.config")
+    emit("    l1_latency = l1.hit_latency")
+    emit("    l2_lat = l2.hit_latency")
+    emit("    l3_lat = l3.hit_latency")
+    emit("    l1_mask = l1._set_mask")
+    emit("    l2_mask = l2._set_mask")
+    emit("    l3_mask = l3._set_mask")
+    emit("    l1_ways = l1.ways")
+    emit("    l2_ways = l2.ways")
+    emit("    l3_ways = l3.ways")
+    emit("    sh2_mask = hierarchy.shadow_l2._set_mask")
+    emit("    sh2_ways = hierarchy.shadow_l2.ways")
+    emit("    l1_cap = hierarchy._l1_mshrs.capacity")
+    emit("    l2_cap = hierarchy._l2_mshrs.capacity")
+    emit("    burst = cfg.burst")
+    emit("    q_cap = cfg.queue_capacity")
+    emit("    channels = cfg.channels")
+    emit("    banks_per_channel = cfg.ranks_per_channel * "
+         "cfg.banks_per_rank")
+    emit("    rows_div = banks_per_channel * cfg.lines_per_row")
+    emit("    t_cas = cfg.t_cas")
+    emit("    t_rcd_cas = cfg.t_rcd + t_cas")
+    emit("    t_rp_rcd_cas = cfg.t_rp + t_rcd_cas")
+    emit("    t_rcd = cfg.t_rcd")
+    emit("    t_rp_rcd = cfg.t_rp + t_rcd")
+    if pow2:
+        emit("    ch_mask = channels - 1")
+        emit("    ch_shift = ch_mask.bit_length()")
+        emit("    bpc_mask = banks_per_channel - 1")
+        emit("    bpc_shift = bpc_mask.bit_length()")
+        emit("    row_shift = (rows_div - 1).bit_length()")
+    if low_first:
+        emit("    low_components = LOW_PRIORITY_COMPONENTS")
+    emit("    collect_fp = hierarchy.collect_footprint")
+    emit("    miss_lines_l1 = hierarchy.miss_lines_l1")
+    emit("    miss_lines_l2 = hierarchy.miss_lines_l2")
+    emit("    attempted_add = hierarchy.attempted_prefetch_lines.add")
+    emit("    attempted_by_component = hierarchy.attempted_by_component")
+    emit("    by_component = hierarchy.prefetch_stats.by_component")
+    emit("    miss_pcs = stats.miss_pcs")
+    emit("    miss_latency_by_pc = stats.miss_latency_by_pc")
+    if instr:
+        if nfeeds >= 0:
+            for k in range(nfeeds):
+                emit(f"    feed_{k} = feeds[{k}]")
+        else:
+            emit("    observe_instruction = core._observe_instruction")
+        emit("    records = core.trace.records")
+    if oa:
+        emit("    observe_access = core._observe_access")
+    if ona:
+        emit("    on_access = route")
+    if of:
+        emit("    on_fill = core._on_fill")
+    emit("    on_prefetch_hit = core.prefetcher.on_prefetch_hit")
+    emit("")
+    emit("    far = _FAR")
+    emit("    l1_sets = [dict() for _ in range(l1.num_sets)]")
+    emit("    l2_sets = [dict() for _ in range(l2.num_sets)]")
+    emit("    l3_sets = [dict() for _ in range(l3.num_sets)]")
+    emit("    sh2_sets = [dict() for _ in "
+         "range(hierarchy.shadow_l2.num_sets)]")
+    emit("    l1_pending = []")
+    emit("    l1_min_p = far")
+    emit("    l2_pending = []")
+    emit("    l2_min_p = far")
+    emit("    bank_ready = [0] * (channels * banks_per_channel)")
+    emit("    bank_row = [None] * (channels * banks_per_channel)")
+    emit("    bus_free = [0] * channels")
+    emit("    queues = [[] for _ in range(channels)]")
+    emit("    q_min = [far] * channels")
+    emit("")
+    for name in ("l1_hits", "l1_misses", "l1_useful", "l1_late",
+                 "l1_merges", "l1_evic", "l1_wb", "l1_pff", "l1_pfe",
+                 "l2_acc", "l2_hits", "l2_missc", "l2_useful",
+                 "l2_late", "l2_evic", "l2_wb", "l2_pff", "l2_pfe",
+                 "l3_acc", "l3_hits", "l3_missc", "l3_useful",
+                 "l3_evic", "l3_wb", "l3_pff", "l3_pfe",
+                 "d_reads", "d_writes", "row_hits", "row_empty",
+                 "row_conflicts", "d_dropped", "d_stalls",
+                 "pf_issued", "pf_to_l1", "pf_to_l2", "pf_filtered",
+                 "pf_drop_mshr", "pf_drop_dram",
+                 "pollution_l1", "pollution_l2"):
+        emit(f"    {name} = 0")
+    emit("")
+
+    # ------------------------------------------------------------------
+    # dram_write (fill-cascade writebacks only).
+    # ------------------------------------------------------------------
+    emit("    def dram_write(wline, now):")
+    emit("        # Dram.write: no queue admission, no t_cas on the")
+    emit("        # empty/conflict legs (the write access constants).")
+    emit("        nonlocal d_writes, row_hits, row_empty, row_conflicts")
+    addr_math("        ", "w", "wline")
+    emit("        start = bank_ready[wbank]")
+    emit("        if start < now:")
+    emit("            start = now")
+    emit("        open_row = bank_row[wbank]")
+    emit("        if open_row == wrow:")
+    emit("            access = t_cas")
+    emit("            row_hits += 1")
+    emit("        elif open_row is None:")
+    emit("            access = t_rcd")
+    emit("            row_empty += 1")
+    emit("        else:")
+    emit("            access = t_rp_rcd")
+    emit("            row_conflicts += 1")
+    emit("        data_start = start + access")
+    emit("        ready = bus_free[wch]")
+    emit("        if ready > data_start:")
+    emit("            data_start = ready")
+    emit("        bank_row[wbank] = wrow")
+    emit("        bank_ready[wbank] = data_start")
+    emit("        bus_free[wch] = data_start + burst")
+    emit("        d_writes += 1")
+    emit("")
+
+    if low_first:
+        # --------------------------------------------------------------
+        # dram_read closure: only the LOW_PRIORITY_FIRST policy needs
+        # full queue entries and a victim scan.
+        # --------------------------------------------------------------
+        emit("    def dram_read(rline, now, is_prefetch, component):")
+        emit("        # Dram._admit + Dram.read; -1 = dropped prefetch.")
+        emit("        nonlocal d_reads, row_hits, row_empty, \\")
+        emit("            row_conflicts, d_dropped, d_stalls")
+        addr_math("        ", "r", "rline")
+        emit("        q = queues[rch]")
+        emit("        if q_min[rch] <= now:")
+        emit("            q[:] = [e for e in q if e[0] > now]")
+        emit("            q_min[rch] = min((e[0] for e in q), "
+             "default=far)")
+        emit("        start = now")
+        emit("        if len(q) >= q_cap:")
+        emit("            if not is_prefetch:")
+        emit("                start = min(e[0] for e in q)")
+        emit("                d_stalls += 1")
+        emit("                q[:] = [e for e in q if e[0] > start]")
+        emit("                q_min[rch] = min((e[0] for e in q), "
+             "default=far)")
+        emit("            elif component in low_components:")
+        emit("                d_dropped += 1")
+        emit("                return -1")
+        emit("            else:")
+        emit("                victim = None")
+        emit("                for e in q:")
+        emit("                    if e[1] and e[2] in low_components:")
+        emit("                        victim = e")
+        emit("                        break")
+        emit("                if victim is None:")
+        emit("                    d_dropped += 1")
+        emit("                    return -1")
+        emit("                q.remove(victim)  # stale q_min is "
+             "lazily harmless")
+        emit("                d_dropped += 1")
+        emit("        ready = bank_ready[rbank]")
+        emit("        if ready > start:")
+        emit("            start = ready")
+        emit("        open_row = bank_row[rbank]")
+        emit("        if open_row == rrow:")
+        emit("            access = t_cas")
+        emit("            row_hits += 1")
+        emit("        elif open_row is None:")
+        emit("            access = t_rcd_cas")
+        emit("            row_empty += 1")
+        emit("        else:")
+        emit("            access = t_rp_rcd_cas")
+        emit("            row_conflicts += 1")
+        emit("        data_start = start + access")
+        emit("        ready = bus_free[rch]")
+        emit("        if ready > data_start:")
+        emit("            data_start = ready")
+        emit("        completion = data_start + burst")
+        emit("        bank_row[rbank] = rrow")
+        emit("        bank_ready[rbank] = data_start")
+        emit("        bus_free[rch] = completion")
+        emit("        q.append((completion, is_prefetch, component))")
+        emit("        if completion < q_min[rch]:")
+        emit("            q_min[rch] = completion")
+        emit("        d_reads += 1")
+        emit("        return completion")
+        emit("")
+
+    # ------------------------------------------------------------------
+    # Writeback-cascade fills: full Cache.fill semantics (the cascaded
+    # line may be resident below).  Primary fills are inlined at their
+    # call sites instead and skip the resident leg.
+    # ------------------------------------------------------------------
+    emit("    def fill_l3(fline, fill_time, dirty, prefetched, "
+         "component):")
+    emit("        nonlocal l3_evic, l3_wb, l3_pfe, l3_pff")
+    emit("        tset = l3_sets[fline & l3_mask]")
+    emit("        entry = tset.get(fline)")
+    emit("        if entry is not None:")
+    emit("            if fill_time < entry[0]:")
+    emit("                entry[0] = fill_time")
+    emit("            if dirty:")
+    emit("                entry[1] = True")
+    emit("            return")
+    emit("        if len(tset) >= l3_ways:")
+    emit("            vline = next(iter(tset))")
+    emit("            victim = tset.pop(vline)")
+    emit("            l3_evic += 1")
+    emit("            if victim[2] and not victim[3]:")
+    emit("                l3_pfe += 1")
+    emit("            if victim[1]:")
+    emit("                l3_wb += 1")
+    emit("                dram_write(vline, fill_time)")
+    emit("        tset[fline] = [fill_time, dirty, prefetched, False, "
+         "component]")
+    emit("        if prefetched:")
+    emit("            l3_pff += 1")
+    emit("")
+    emit("    def fill_l2(fline, fill_time, dirty, prefetched, "
+         "component):")
+    emit("        nonlocal l2_evic, l2_wb, l2_pfe, l2_pff")
+    emit("        tset = l2_sets[fline & l2_mask]")
+    emit("        entry = tset.get(fline)")
+    emit("        if entry is not None:")
+    emit("            if fill_time < entry[0]:")
+    emit("                entry[0] = fill_time")
+    emit("            if dirty:")
+    emit("                entry[1] = True")
+    emit("            return")
+    emit("        if len(tset) >= l2_ways:")
+    emit("            vline = next(iter(tset))")
+    emit("            victim = tset.pop(vline)")
+    emit("            l2_evic += 1")
+    emit("            if victim[2] and not victim[3]:")
+    emit("                l2_pfe += 1")
+    emit("            if victim[1]:")
+    emit("                l2_wb += 1")
+    emit("                fill_l3(vline, fill_time, True, False, None)")
+    emit("        tset[fline] = [fill_time, dirty, prefetched, False, "
+         "component]")
+    emit("        if prefetched:")
+    emit("            l2_pff += 1")
+    emit("")
+
+    # ------------------------------------------------------------------
+    # do_prefetch: Hierarchy.prefetch with _access_l3 and the primary
+    # fills inlined; a closure because of the early-return shape.
+    # ------------------------------------------------------------------
+    emit("    def do_prefetch(pline, now, target_level, component):")
+    emit("        nonlocal pf_filtered, pf_drop_mshr, pf_drop_dram, \\")
+    emit("            pf_issued, pf_to_l1, pf_to_l2, l1_min_p, "
+         "l2_min_p, \\")
+    emit("            l1_evic, l1_wb, l1_pfe, l1_pff, l2_evic, l2_wb, "
+         "\\")
+    emit("            l2_pfe, l2_pff, l3_evic, l3_wb, l3_pfe, l3_pff"
+         + ("" if low_first else ", \\"))
+    if not low_first:
+        emit("            d_reads, d_dropped, row_hits, row_empty, \\")
+        emit("            row_conflicts")
+    emit("        if target_level == 1:")
+    emit("            tset = l1_sets[pline & l1_mask]")
+    emit("        elif target_level == 2:")
+    emit("            tset = l2_sets[pline & l2_mask]")
+    emit("        else:")
+    emit("            raise ValueError(")
+    emit("                f\"prefetch target must be 1 or 2, got "
+         "{target_level}\")")
+    emit("        attempted_add(pline)")
+    emit("        if component is not None:")
+    emit("            per_component = "
+         "attempted_by_component.get(component)")
+    emit("            if per_component is None:")
+    emit("                per_component = "
+         "attempted_by_component[component] = set()")
+    emit("            per_component.add(pline)")
+    emit("        if pline in tset:")
+    emit("            pf_filtered += 1")
+    emit("            return False")
+    emit("        # MSHR try_acquire_prefetch at the target level.")
+    emit("        if target_level == 1:")
+    emit("            if l1_min_p <= now:")
+    emit("                l1_pending[:] = [x for x in l1_pending "
+         "if x > now]")
+    emit("                l1_min_p = min(l1_pending, default=far)")
+    emit("            if len(l1_pending) >= l1_cap:")
+    emit("                pf_drop_mshr += 1")
+    emit("                return False")
+    emit("        else:")
+    emit("            if l2_min_p <= now:")
+    emit("                l2_pending[:] = [x for x in l2_pending "
+         "if x > now]")
+    emit("                l2_min_p = min(l2_pending, default=far)")
+    emit("            if len(l2_pending) >= l2_cap:")
+    emit("                pf_drop_mshr += 1")
+    emit("                return False")
+    emit("        # Locate the data below the target level.")
+    emit("        entry = None")
+    emit("        if target_level == 1:")
+    emit("            tset2 = l2_sets[pline & l2_mask]")
+    emit("            entry = tset2.get(pline)")
+    emit("        else:")
+    emit("            tset2 = tset")
+    emit("        if entry is not None:")
+    emit("            # l2.lookup(touch=True): bump, touch, consume")
+    emit("            # the first-use flag without counting usefulness.")
+    emit("            del tset2[pline]")
+    emit("            tset2[pline] = entry")
+    emit("            if entry[2] and not entry[3]:")
+    emit("                entry[3] = True")
+    emit("            ready = entry[0]")
+    emit("            if ready < now:")
+    emit("                ready = now")
+    emit("            fill_time = ready + l2_lat")
+    emit("        else:")
+    emit("            # _access_l3 (prefetch probes bump/touch/consume")
+    emit("            # statlessly).")
+    emit("            tset3 = l3_sets[pline & l3_mask]")
+    emit("            entry3 = tset3.get(pline)")
+    emit("            if entry3 is not None:")
+    emit("                del tset3[pline]")
+    emit("                tset3[pline] = entry3")
+    emit("                if entry3[2] and not entry3[3]:")
+    emit("                    entry3[3] = True")
+    emit("                ready = entry3[0]")
+    emit("                if ready < now:")
+    emit("                    ready = now")
+    emit("                fill_time = ready + l3_lat")
+    emit("            else:")
+    if low_first:
+        emit("                fill_time = dram_read(pline, "
+             "now + l3_lat, True, component)")
+        emit("                if fill_time < 0:")
+        emit("                    pf_drop_dram += 1")
+        emit("                    return False")
+    else:
+        emit("                dnow = now + l3_lat")
+        addr_math("                ", "d", "pline")
+        emit("                dq = queues[dch]")
+        emit("                if q_min[dch] <= dnow:")
+        emit("                    dq[:] = [c for c in dq if c > dnow]")
+        emit("                    q_min[dch] = min(dq, default=far)")
+        emit("                if len(dq) >= q_cap:")
+        emit("                    # RANDOM policy: a full queue sheds")
+        emit("                    # every incoming prefetch.")
+        emit("                    d_dropped += 1")
+        emit("                    pf_drop_dram += 1")
+        emit("                    return False")
+        emit("                dstart = dnow")
+        dram_read_tail("                ")
+    emit("                # Primary L3 fill.")
+    emit("                if len(tset3) >= l3_ways:")
+    emit("                    vline = next(iter(tset3))")
+    emit("                    victim = tset3.pop(vline)")
+    emit("                    l3_evic += 1")
+    emit("                    if victim[2] and not victim[3]:")
+    emit("                        l3_pfe += 1")
+    emit("                    if victim[1]:")
+    emit("                        l3_wb += 1")
+    emit("                        dram_write(vline, fill_time)")
+    emit("                tset3[pline] = [fill_time, False, True, "
+         "False, component]")
+    emit("                l3_pff += 1")
+    emit("            # Primary L2 fill: for target 1 the locate probe")
+    emit("            # missed, for target 2 the filter probe did.")
+    emit("            if len(tset2) >= l2_ways:")
+    emit("                vline = next(iter(tset2))")
+    emit("                victim = tset2.pop(vline)")
+    emit("                l2_evic += 1")
+    emit("                if victim[2] and not victim[3]:")
+    emit("                    l2_pfe += 1")
+    emit("                if victim[1]:")
+    emit("                    l2_wb += 1")
+    emit("                    fill_l3(vline, fill_time, True, False, "
+         "None)")
+    emit("            tset2[pline] = [fill_time, False, True, False, "
+         "component]")
+    emit("            l2_pff += 1")
+    emit("        if target_level == 1:")
+    emit("            # Primary L1 fill (the filter probe missed).")
+    emit("            if len(tset) >= l1_ways:")
+    emit("                vline = next(iter(tset))")
+    emit("                victim = tset.pop(vline)")
+    emit("                l1_evic += 1")
+    emit("                if victim[2] and not victim[3]:")
+    emit("                    l1_pfe += 1")
+    emit("                if victim[1]:")
+    emit("                    l1_wb += 1")
+    emit("                    fill_l2(vline, fill_time, True, False, "
+         "None)")
+    emit("            tset[pline] = [fill_time, False, True, False, "
+         "component]")
+    emit("            l1_pff += 1")
+    emit("            pf_to_l1 += 1")
+    emit("        else:")
+    emit("            pf_to_l2 += 1")
+    emit("        pf_issued += 1")
+    emit("        by_component[component or \"?\"] += 1")
+    emit("        if target_level == 1:")
+    emit("            l1_pending.append(fill_time)")
+    emit("            if fill_time < l1_min_p:")
+    emit("                l1_min_p = fill_time")
+    emit("        else:")
+    emit("            l2_pending.append(fill_time)")
+    emit("            if fill_time < l2_min_p:")
+    emit("                l2_min_p = fill_time")
+    emit("        return True")
+    emit("")
+
+    # ------------------------------------------------------------------
+    # The stretch/island loop.
+    # ------------------------------------------------------------------
+    emit("    width = core._width")
+    emit("    branch_penalty = core._branch_penalty")
+    emit("    rob_size = core._rob_size")
+    emit("    commit_ring = core._commit_ring")
+    emit("    reg_ready = core._reg_ready")
+    emit("    ev_next = iter(plan.ev_rows).__next__")
+    emit("    rows = plan.rows")
+    emit("    n = len(rows)")
+    emit("    fetch_cycle = 0")
+    emit("    fetch_slot = 0")
+    emit("    last_commit = 0")
+    emit("    commits_at_time = 0")
+    emit("    load_latency_total = 0")
+    emit("    rob_slot = rob_size - 1")
+    if instr:
+        emit("    for (cls, s1, s2, dst, lat), rec in zip(rows, "
+             "records):")
+    else:
+        emit("    for cls, s1, s2, dst, lat in rows:")
+    emit("        if fetch_slot >= width:")
+    emit("            fetch_cycle += 1")
+    emit("            fetch_slot = 0")
+    emit("        fetch_slot += 1")
+    emit("        rob_slot += 1")
+    emit("        if rob_slot == rob_size:")
+    emit("            rob_slot = 0")
+    emit("        rob_free = commit_ring[rob_slot]")
+    emit("        if rob_free > fetch_cycle:")
+    emit("            dispatch = rob_free")
+    emit("            fetch_cycle = rob_free")
+    emit("            fetch_slot = 1")
+    emit("        else:")
+    emit("            dispatch = fetch_cycle")
+    if instr:
+        if nfeeds >= 0:
+            for k in range(nfeeds):
+                emit(f"        feed_{k}(rec, dispatch)")
+        else:
+            emit("        observe_instruction(rec, dispatch)")
+    emit("        if cls == 0:  # register-only: ALU / predicted "
+         "branch / other")
+    emit("            issue = dispatch")
+    emit("            if s1 >= 0:")
+    emit("                ready = reg_ready[s1]")
+    emit("                if ready > issue:")
+    emit("                    issue = ready")
+    emit("            if s2 >= 0:")
+    emit("                ready = reg_ready[s2]")
+    emit("                if ready > issue:")
+    emit("                    issue = ready")
+    emit("            complete = issue + lat")
+    emit("            if dst >= 0:")
+    emit("                reg_ready[dst] = complete")
+    emit("        elif cls == 1:  # load")
+    emit("            issue = dispatch")
+    emit("            if s1 >= 0:")
+    emit("                ready = reg_ready[s1]")
+    emit("                if ready > issue:")
+    emit("                    issue = ready")
+    emit("            pc, addr, line, mpc, value, sh1 = ev_next()")
+    emit("            tset1 = l1_sets[line & l1_mask]")
+    emit("            cl = tset1.get(line)")
+    emit("            if cl is not None:")
+    emit("                # Inlined L1 hit leg (the scalar leanmem")
+    emit("                # kernel's); del+insert is the LRU touch.")
+    emit("                del tset1[line]")
+    emit("                tset1[line] = cl")
+    hit_stats_block("                ")
+    emit("                if ready < issue:")
+    emit("                    ready = issue")
+    emit("                complete = ready + l1_latency")
+    emit("                latency = complete - issue")
+    emit("                load_latency_total += latency")
+    hook_block("                ",
+               "issue, pc, mpc, addr, line, True, True, False, "
+               "latency, value, dst, first_use, cl[4]",
+               "first_use", "1")
+    emit("                reg_ready[dst] = complete")
+    emit("            else:")
+    demand_miss_block("                ", "False")
+    emit("                complete = fill_time")
+    emit("                latency = complete - issue")
+    emit("                load_latency_total += latency")
+    emit("                miss_pcs[pc] += 1")
+    emit("                miss_latency_by_pc[pc] += latency")
+    hook_block("                ",
+               "issue, pc, mpc, addr, line, True, False, True, "
+               "latency, value, dst, served, component",
+               "served", "level")
+    if of:
+        emit("                on_fill(line, 1)")
+    emit("                reg_ready[dst] = complete")
+    emit("        elif cls == 2:  # store")
+    emit("            issue = dispatch")
+    emit("            if s1 >= 0:")
+    emit("                ready = reg_ready[s1]")
+    emit("                if ready > issue:")
+    emit("                    issue = ready")
+    emit("            if s2 >= 0:")
+    emit("                ready = reg_ready[s2]")
+    emit("                if ready > issue:")
+    emit("                    issue = ready")
+    emit("            pc, addr, line, mpc, value, sh1 = ev_next()")
+    emit("            tset1 = l1_sets[line & l1_mask]")
+    emit("            cl = tset1.get(line)")
+    emit("            if cl is not None:")
+    emit("                del tset1[line]")
+    emit("                tset1[line] = cl")
+    emit("                cl[1] = True")
+    hit_stats_block("                ")
+    hook_block("                ",
+               "issue, pc, mpc, addr, line, False, True, False, "
+               "0, 0, -1, first_use, cl[4]",
+               "first_use", "1")
+    emit("            else:")
+    demand_miss_block("                ", "True")
+    hook_block("                ",
+               "issue, pc, mpc, addr, line, False, False, True, "
+               "0, 0, -1, served, component",
+               "served", "level")
+    if of:
+        emit("                on_fill(line, 1)")
+    emit("            complete = issue + 1")
+    emit("        else:  # cls == 3: statically mispredicted branch")
+    emit("            issue = dispatch")
+    emit("            if s1 >= 0:")
+    emit("                ready = reg_ready[s1]")
+    emit("                if ready > issue:")
+    emit("                    issue = ready")
+    emit("            if s2 >= 0:")
+    emit("                ready = reg_ready[s2]")
+    emit("                if ready > issue:")
+    emit("                    issue = ready")
+    emit("            complete = issue + 1")
+    emit("            fetch_cycle = complete + branch_penalty")
+    emit("            fetch_slot = 0")
+    emit("        if complete > last_commit:")
+    emit("            last_commit = complete")
+    emit("            commits_at_time = 1")
+    emit("        else:")
+    emit("            commits_at_time += 1")
+    emit("            if commits_at_time > width:")
+    emit("                last_commit += 1")
+    emit("                commits_at_time = 1")
+    emit("        commit_ring[rob_slot] = last_commit")
+    emit("")
+
+    # ------------------------------------------------------------------
+    # Finalization: write the virtualized story into the real objects.
+    # ------------------------------------------------------------------
+    emit("    core._index = n")
+    emit("    core._fetch_cycle = fetch_cycle")
+    emit("    core._fetch_slot = fetch_slot")
+    emit("    core._last_commit_time = last_commit")
+    emit("    core._commits_at_time = commits_at_time")
+    emit("    stats.instructions += n")
+    emit("    stats.cycles = last_commit")
+    emit("    stats.loads += plan.loads")
+    emit("    stats.stores += plan.stores")
+    emit("    stats.branches += plan.branches")
+    emit("    stats.mispredicts += plan.mispredicts")
+    emit("    stats.load_latency_total += load_latency_total")
+    emit("    l1_stats = l1.stats")
+    emit("    l1_stats.demand_accesses += plan.n_mem")
+    emit("    l1_stats.demand_hits += l1_hits")
+    emit("    l1_stats.demand_misses += l1_misses")
+    emit("    l1_stats.mshr_merges += l1_merges")
+    emit("    l1_stats.useful_prefetches += l1_useful")
+    emit("    l1_stats.late_prefetch_hits += l1_late")
+    emit("    l1_stats.evictions += l1_evic")
+    emit("    l1_stats.writebacks += l1_wb")
+    emit("    l1_stats.prefetch_fills += l1_pff")
+    emit("    l1_stats.prefetch_evicted_unused += l1_pfe")
+    emit("    l2_stats = l2.stats")
+    emit("    l2_stats.demand_accesses += l2_acc")
+    emit("    l2_stats.demand_hits += l2_hits")
+    emit("    l2_stats.demand_misses += l2_missc")
+    emit("    l2_stats.useful_prefetches += l2_useful")
+    emit("    l2_stats.late_prefetch_hits += l2_late")
+    emit("    l2_stats.evictions += l2_evic")
+    emit("    l2_stats.writebacks += l2_wb")
+    emit("    l2_stats.prefetch_fills += l2_pff")
+    emit("    l2_stats.prefetch_evicted_unused += l2_pfe")
+    emit("    l3_stats = l3.stats")
+    emit("    l3_stats.demand_accesses += l3_acc")
+    emit("    l3_stats.demand_hits += l3_hits")
+    emit("    l3_stats.demand_misses += l3_missc")
+    emit("    l3_stats.useful_prefetches += l3_useful")
+    emit("    l3_stats.evictions += l3_evic")
+    emit("    l3_stats.writebacks += l3_wb")
+    emit("    l3_stats.prefetch_fills += l3_pff")
+    emit("    l3_stats.prefetch_evicted_unused += l3_pfe")
+    emit("    dram_stats = dram.stats")
+    emit("    dram_stats.reads += d_reads")
+    emit("    dram_stats.writes += d_writes")
+    emit("    dram_stats.row_hits += row_hits")
+    emit("    dram_stats.row_empty += row_empty")
+    emit("    dram_stats.row_conflicts += row_conflicts")
+    emit("    dram_stats.dropped_prefetches += d_dropped")
+    emit("    dram_stats.demand_queue_stalls += d_stalls")
+    emit("    pf_stats = hierarchy.prefetch_stats")
+    emit("    pf_stats.issued += pf_issued")
+    emit("    pf_stats.issued_to_l1 += pf_to_l1")
+    emit("    pf_stats.issued_to_l2 += pf_to_l2")
+    emit("    pf_stats.filtered += pf_filtered")
+    emit("    pf_stats.dropped_mshr += pf_drop_mshr")
+    emit("    pf_stats.dropped_dram += pf_drop_dram")
+    emit("    hierarchy.pollution_misses_l1 += pollution_l1")
+    emit("    hierarchy.pollution_misses_l2 += pollution_l2")
+    emit("    return stats")
+    return "\n".join(lines) + "\n"

@@ -29,15 +29,32 @@ def pool_report(records: list) -> dict:
         wall = 0.0
 
     workers: dict[str, dict] = {}
+    serial_units = []
     for unit in units:
         lane = unit.get("worker", 0)
         if lane <= 0:
+            serial_units.append(unit)
             continue
         entry = workers.setdefault(str(lane), {"busy_seconds": 0.0,
                                                "units": 0, "cells": 0})
         entry["busy_seconds"] += unit.get("seconds", 0.0)
         entry["units"] += 1
         entry["cells"] += unit.get("cells", 1)
+    mode = "pool" if workers else "serial"
+    if not workers:
+        # Serial fallback (auto_serial or --jobs 1): attribute the whole
+        # sweep to one pseudo-lane so the busy/idle split still shows up
+        # instead of an empty ``workers`` table.  The serial path emits
+        # no unit spans, so fall back to its worker-0 cell spans.
+        source = serial_units or [c for c in cells
+                                  if c.get("worker", 0) <= 0]
+        if source:
+            entry = workers["serial"] = {"busy_seconds": 0.0,
+                                         "units": 0, "cells": 0}
+            for unit in source:
+                entry["busy_seconds"] += unit.get("seconds", 0.0)
+                entry["units"] += 1 if unit.get("kind") == "unit" else 0
+                entry["cells"] += unit.get("cells", 1)
     for entry in workers.values():
         busy = entry["busy_seconds"]
         entry["busy_seconds"] = round(busy, 6)
@@ -61,15 +78,19 @@ def pool_report(records: list) -> dict:
         }
 
     straggler = None
-    if workers:
+    if mode == "pool":
+        # A straggler only means something across competing lanes; the
+        # serial pseudo-lane is never one.
         straggler = max(workers, key=lambda k: workers[k]["busy_seconds"])
 
     return {
         "wall_seconds": round(wall, 6),
-        "mode": "pool" if workers else "serial",
+        "mode": mode,
         "cells": len(cells),
         "units": len(units),
-        "workers": dict(sorted(workers.items(), key=lambda kv: int(kv[0]))),
+        "workers": dict(sorted(
+            workers.items(),
+            key=lambda kv: int(kv[0]) if kv[0].isdigit() else -1)),
         "unit_imbalance": imbalance,
         "critical_cell": critical_cell,
         "straggler_worker": straggler,
@@ -89,7 +110,7 @@ def format_pool_report(report: dict) -> str:
     ]
     for lane, entry in report["workers"].items():
         rows.append((
-            f"worker {lane}",
+            "serial lane" if lane == "serial" else f"worker {lane}",
             f"busy {entry['busy_seconds']:.3f}s  "
             f"idle {entry['idle_seconds']:.3f}s  "
             f"({entry['idle_fraction'] * 100:.1f}% idle, "

@@ -214,6 +214,15 @@ class FabricObs:
                 self.metrics.gauge(f"kernel.{kernel}.instr_per_sec",
                                    round(instructions / seconds))
 
+        # Replay-kernel process counters (tier selections, plan
+        # builds vs memoized reuses) — ``kernel.plan_cache_hits`` in
+        # ``repro metrics`` is how a sweep shows its plans were reused
+        # rather than rebuilt per cell.
+        from repro.engine.kernel import kernel_counters
+
+        for name, value in sorted(kernel_counters().items()):
+            self.metrics.gauge(f"kernel.{name}", value)
+
         # Per-worker busy/idle seconds from the unit spans.
         busy: dict[int, float] = {}
         for span in self.spans:

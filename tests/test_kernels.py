@@ -9,7 +9,9 @@ fusion against its own escape hatch (``REPRO_FUSION=0``) at ``--jobs
 follow the kernel-variant attribution through results, manifests, and
 the fault journal.  The batch replay tier gets its own section: tier
 selection, scalar/generic escape hatches, degenerate segmentations, and
-identity under injected cache corruption.
+identity under injected cache corruption.  The segmented tier (hooked
+cells) mirrors it: hook islands at the trace boundaries, back-to-back
+islands, the all-event degrade to scalar, and chaos corrupt/resume.
 """
 
 from __future__ import annotations
@@ -19,7 +21,7 @@ import json
 import pytest
 
 from conftest import build_chain_trace, build_strided_trace
-from repro.engine.batch import BATCH_VARIANT
+from repro.engine.batch import BATCH_VARIANT, segment_max_coverage
 from repro.engine.config import EXPERIMENT_CONFIG
 from repro.engine.kernel import (GENERIC, KERNEL_ENV, SCALAR, kernel_flags,
                                  variant_name)
@@ -76,8 +78,9 @@ def test_specialized_matches_generic_registry_wide(name, strided, chain,
         monkeypatch.setenv(KERNEL_ENV, GENERIC)
         slow = simulate(trace, make_prefetcher(name))
         monkeypatch.delenv(KERNEL_ENV)
-        # Hook-free cells may climb one tier further, to the batch kernel.
-        assert fast.kernel.startswith(("fast", "batch")), name
+        # Hook-free cells may climb to the batch kernel; hooked
+        # leanmem cells to the segmented kernel.
+        assert fast.kernel.startswith(("fast", "batch", "segmented")), name
         assert slow.kernel == GENERIC
         assert _identity(fast) == _identity(slow), (name, trace.name)
 
@@ -198,7 +201,7 @@ def test_fusion_identity_at_jobs_4(monkeypatch):
     for cell, a, b in zip(matrix, fused, singleton):
         assert _identity(a) == _identity(b), cell
         assert a.kernel == b.kernel, cell
-        assert a.kernel.startswith(("fast", "batch")), cell
+        assert a.kernel.startswith(("fast", "batch", "segmented")), cell
 
 
 # ----------------------------------------------------------------------
@@ -315,6 +318,104 @@ def test_batch_identity_under_chaos_corrupt_and_resume(tmp_path):
         chaos.set_chaos(None)
     resumed = ExperimentRunner(cache_dir=cache, journal_dir=journal)
     second = resumed.run(app, "none")
+    assert _identity(first) == _identity(reference)
+    assert _identity(second) == _identity(reference)
+    assert resumed.counters["simulated"] == 1  # the bad entry was a miss
+    assert fault_counters()["cache_corrupt"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Segmented replay tier (hooked cells; docs/performance.md)
+# ----------------------------------------------------------------------
+def _event_first(asm):
+    asm.load("r2", "r1", 0)          # hook event at position 0
+    for _ in range(40):
+        asm.add("r3", "r3", "r2")
+
+
+def _event_burst(asm):
+    asm.movi("r1", 0x40000)
+    for _ in range(10):
+        asm.add("r3", "r3", "r1")
+    for i in range(8):               # back-to-back hook events
+        asm.load("r2", "r1", 8 * i)
+    for _ in range(30):
+        asm.add("r3", "r3", "r1")
+
+
+def _event_last(asm):
+    asm.movi("r1", 0x40000)
+    for _ in range(40):
+        asm.add("r3", "r3", "r1")
+    asm.load("r2", "r1", 0)          # hook event on the final load
+
+
+@pytest.mark.parametrize("spec", ["bop", "tpc"])
+@pytest.mark.parametrize("case,build", [
+    ("event-first", _event_first),   # island before any stretch
+    ("event-burst", _event_burst),   # empty stretches between islands
+    ("event-last", _event_last),     # island closes the trace
+])
+def test_segmented_hook_position_edge_cases(case, build, spec, monkeypatch):
+    """Hook islands at the trace boundaries and back-to-back replay
+    bit-identically against both escape hatches, with live hooks."""
+    trace = _compile_program(f"k-seghook-{case}", build)
+    events = trace.segment_events().tolist()
+    if case == "event-first":
+        assert events[0] == 0
+    elif case == "event-burst":
+        assert any(b - a == 1 for a, b in zip(events, events[1:]))
+    else:
+        assert events[-1] == len(trace) - 1
+    seg = simulate(trace, make_prefetcher(spec))
+    monkeypatch.setenv(KERNEL_ENV, SCALAR)
+    scalar = simulate(trace, make_prefetcher(spec))
+    monkeypatch.setenv(KERNEL_ENV, GENERIC)
+    generic = simulate(trace, make_prefetcher(spec))
+    monkeypatch.delenv(KERNEL_ENV)
+    assert seg.kernel.startswith("segmented+"), (case, spec)
+    assert scalar.kernel.startswith("fast+"), (case, spec)
+    assert _identity(seg) == _identity(scalar), (case, spec)
+    assert _identity(seg) == _identity(generic), (case, spec)
+
+
+def test_segmented_all_event_trace_degrades_to_scalar(monkeypatch):
+    """A trace whose every instruction is a hook event exceeds the
+    coverage ceiling: the cell must degrade to the scalar specialized
+    kernel (no segmented attempt), bit-identically."""
+    trace = _compile_program("k-seg-dense", _all_memory)
+    assert (len(trace.segment_events()) / len(trace)
+            > segment_max_coverage())
+    fast = simulate(trace, make_prefetcher("bop"))
+    monkeypatch.setenv(KERNEL_ENV, GENERIC)
+    generic = simulate(trace, make_prefetcher("bop"))
+    monkeypatch.delenv(KERNEL_ENV)
+    assert fast.kernel.startswith("fast+")
+    assert _identity(fast) == _identity(generic)
+
+
+def test_segmented_identity_under_chaos_corrupt_and_resume(tmp_path):
+    """A chaos-corrupted cache write under the segmented tier is a miss
+    on re-read; the resumed runner re-simulates once and reproduces the
+    reference figures exactly."""
+    from repro.experiments.runner import ExperimentRunner, simulate_spec
+    from repro.faults import chaos, fault_counters, reset_fault_counters
+
+    app = "spec.libquantum"
+    cache = str(tmp_path / "cache")
+    journal = str(tmp_path / "journal")
+    reference = simulate_spec(app, "bop", "", EXPERIMENT_CONFIG)
+    assert reference.kernel.startswith("segmented+")
+
+    reset_fault_counters()
+    chaos.set_chaos(chaos.parse_spec(f"corrupt=result:{app}/bop"))
+    try:
+        writer = ExperimentRunner(cache_dir=cache, journal_dir=journal)
+        first = writer.run(app, "bop")
+    finally:
+        chaos.set_chaos(None)
+    resumed = ExperimentRunner(cache_dir=cache, journal_dir=journal)
+    second = resumed.run(app, "bop")
     assert _identity(first) == _identity(reference)
     assert _identity(second) == _identity(reference)
     assert resumed.counters["simulated"] == 1  # the bad entry was a miss

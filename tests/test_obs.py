@@ -263,6 +263,13 @@ def test_pool_report_attributes_stragglers(sweeps):
 
     serial_report = pool_report(sweeps["serial_obs"].records())
     assert serial_report["mode"] == "serial"
+    # The serial fallback still gets one pseudo-lane (instead of an
+    # empty workers table) and never names a straggler.
+    assert list(serial_report["workers"]) == ["serial"]
+    assert serial_report["workers"]["serial"]["cells"] == len(MATRIX)
+    assert serial_report["workers"]["serial"]["busy_seconds"] > 0
+    assert serial_report["straggler_worker"] is None
+    assert "serial lane" in format_pool_report(serial_report)
 
 
 # ----------------------------------------------------------------------
@@ -282,6 +289,10 @@ def test_cli_trace_and_metrics_verbs(sweeps, tmp_path, capsys):
     cli.main(["metrics", str(out / "metrics.json")])
     shown = capsys.readouterr()
     assert "pool.workers" in shown.out
+    # Replay-kernel counters are mirrored into the registry, so a sweep
+    # can show its plans were memoized rather than rebuilt per cell.
+    assert "kernel.plan_builds" in shown.out
+    assert "kernel.plan_cache_hits" in shown.out
 
     # `events` reads the span stream unchanged (schema superset).
     cli.main(["events", str(out / "spans.jsonl"), "--kind", "cell"])
