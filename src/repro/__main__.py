@@ -11,6 +11,8 @@ Commands
 ``prefetchers`` list the registered prefetchers
 ``report``     regenerate every table/figure (see experiments.report_all)
 ``cache``      inspect or clear the on-disk result and trace caches
+``fuzz``       cross-tier identity property sweep (stress suite +
+               seeded adversarial traces); exit 1 on any violation
 ``bench``      wall-clock benchmark -> BENCH_simulator.json
 ``trace``      export a sweep's fabric spans as a Chrome trace (one lane
                per pool worker) plus a pool-utilization report
@@ -358,6 +360,48 @@ def _cmd_metrics(args) -> None:
     print(format_table(["metric", "value"], rows))
 
 
+def _cmd_fuzz(args) -> None:
+    import json
+
+    from repro.log import get_logger
+    from repro.workloads.fuzz import run_fuzz
+
+    log = get_logger("fuzz")
+    report = run_fuzz(
+        seeds=args.seeds,
+        stress=not args.no_stress,
+        prefetchers=args.prefetchers or None,
+        progress=log.info,
+    )
+    rows = [
+        ("workloads", report["workloads"]),
+        ("prefetchers", len(report["prefetchers"])),
+        ("cells", report["cells"]),
+        ("simulations", report["simulations"]),
+        ("seconds", report["seconds"]),
+        ("violations", len(report["violations"])),
+    ]
+    rows += [(f"kernel {name}", count)
+             for name, count in sorted(report["kernels"].items())]
+    print(format_table(["metric", "value"], rows))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"wrote fuzz report to {args.output}")
+    for violation in report["violations"]:
+        log.error(
+            "identity violation",
+            workload=violation["workload"],
+            prefetcher=violation["prefetcher"],
+            invariant=violation["invariant"],
+            kernel=violation["kernel"],
+            reference=violation["reference_kernel"],
+            fields=",".join(violation["fields"]),
+        )
+    if not report["ok"]:
+        sys.exit(1)
+
+
 def _cmd_bench(argv: list[str]) -> None:
     from repro import bench
 
@@ -532,6 +576,29 @@ def main(argv: list[str] | None = None) -> None:
         help="print the raw JSON snapshot instead of a table",
     )
     metrics_parser.set_defaults(func=_cmd_metrics)
+
+    fuzz_parser = commands.add_parser(
+        "fuzz",
+        help="cross-tier identity property sweep: stress suite + "
+             "seeded adversarial traces, exit 1 on any violation",
+    )
+    fuzz_parser.add_argument(
+        "--seeds", type=int, default=25, metavar="N",
+        help="fuzzed traces to generate and check (default 25)",
+    )
+    fuzz_parser.add_argument(
+        "--no-stress", action="store_true",
+        help="skip the stress suite, check only fuzzed seeds",
+    )
+    fuzz_parser.add_argument(
+        "--prefetchers", nargs="*", default=None, metavar="NAME",
+        help="prefetchers to sweep (default: the whole registry)",
+    )
+    fuzz_parser.add_argument(
+        "-o", "--output", default=None, metavar="OUT.json",
+        help="write the full JSON report (violation details included)",
+    )
+    fuzz_parser.set_defaults(func=_cmd_fuzz)
 
     commands.add_parser(
         "bench",

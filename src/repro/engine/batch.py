@@ -109,6 +109,7 @@ from __future__ import annotations
 import os
 from collections import Counter
 
+from repro.log import get_logger
 from repro.isa.trace import (
     DISP_ALU,
     DISP_BR_COND,
@@ -1047,14 +1048,36 @@ def segment_variant(flags: tuple) -> str:
     return SEGMENT_PREFIX + variant_name(flags)[4:]
 
 
+_COVERAGE_WARNED: set = set()
+"""Raw ``REPRO_SEGMENT_COVERAGE`` values already warned about.
+:func:`segment_max_coverage` runs once per cell, so a sweep with a bad
+value would otherwise repeat the same warning hundreds of times."""
+
+
 def segment_max_coverage() -> float:
     raw = os.environ.get(SEGMENT_COVERAGE_ENV)
-    if raw:
-        try:
-            return float(raw)
-        except ValueError:
-            pass
-    return SEGMENT_MAX_COVERAGE
+    if not raw:
+        return SEGMENT_MAX_COVERAGE
+    try:
+        value = float(raw)
+    except ValueError:
+        if raw not in _COVERAGE_WARNED:
+            _COVERAGE_WARNED.add(raw)
+            get_logger("engine").warn(
+                f"ignoring non-numeric {SEGMENT_COVERAGE_ENV}",
+                value=raw, using=SEGMENT_MAX_COVERAGE,
+            )
+        return SEGMENT_MAX_COVERAGE
+    clamped = min(max(value, 0.0), 1.0)
+    if clamped != value and raw not in _COVERAGE_WARNED:
+        # A typo like 9.5 would otherwise enable the segmented tier on
+        # every cell, island-dense ones included.
+        _COVERAGE_WARNED.add(raw)
+        get_logger("engine").warn(
+            f"clamping out-of-range {SEGMENT_COVERAGE_ENV}",
+            value=raw, using=clamped,
+        )
+    return clamped
 
 
 class SegmentPlan:

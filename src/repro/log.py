@@ -67,6 +67,12 @@ class Logger:
             return
         self._emit("info", message, fields)
 
+    def warn(self, message: str, **fields) -> None:
+        """Misconfiguration line; suppressed under ``REPRO_LOG=quiet``."""
+        if log_mode() == "quiet":
+            return
+        self._emit("warn", message, fields)
+
     def error(self, message: str, **fields) -> None:
         """Failure line; printed in every mode, ``quiet`` included."""
         self._emit("error", message, fields)

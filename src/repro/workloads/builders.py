@@ -327,8 +327,10 @@ def call_site_streams(asm: Assembler, alloc: Allocator, *, elements: int,
     """
     base_a = alloc.alloc(elements * strides[0])
     base_b = alloc.alloc(elements * strides[1])
-    accessor = asm.future_label("accessor")
-    start = asm.future_label("start")
+    # Auto-named labels: a program may compose this kernel repeatedly
+    # (the fuzzer does), so fixed names would collide.
+    accessor = asm.future_label()
+    start = asm.future_label()
     asm.jmp(start)
 
     # accessor: r14 <- M[r10]; r15 += r14; work; ret

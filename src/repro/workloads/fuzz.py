@@ -1,0 +1,483 @@
+"""Adversarial trace fuzzer + cross-tier identity property harness.
+
+The engine now has four replay tiers (generic step loop, specialized
+scalar kernels, vectorized batch, segmented batch) whose equivalence
+was pinned by a fixture set — a handful of hand-picked traces.  This
+module turns that guarantee into a *property*: any trace the fuzzer can
+generate, replayed under any registered prefetcher, must produce
+bit-identical figures across
+
+* **kernel vs generic** — the automatically selected tier against the
+  ``REPRO_KERNEL=generic`` escape hatch (the un-specialized step loop);
+* **fused vs singleton** — the cell executed inside a workload-affine
+  fused unit (:func:`repro.parallel._simulate_unit`, the exact worker
+  entry point, including the slim-payload pack/unpack round trip)
+  against the same cell simulated alone;
+* **warm vs cold** — the compiled trace read back through the on-disk
+  trace cache (``from_column_bytes`` with persisted derived columns)
+  against a ground-truth rebuild from the functional machine run.
+
+The generator is **deterministic per seed**: ``fuzz_workload(seed)``
+always builds the same program, so its trace compiles through the
+normal trace cache (keyed by name + builder-code digest) like any suite
+workload, and a violation report names a seed anyone can replay.
+Fragments are drawn from the adversarial access-pattern catalog
+(pointer-chase ladders, non-pow2 strides, region-boundary sweeps,
+dense/sparse mixes, mispredict storms, MSHR bursts) plus — every
+``DEGENERATE_EVERY``-th seed — the degenerate shapes (empty program,
+single load, single store, ALU-only) that only ever break edge-case
+handling, never throughput.
+
+``repro fuzz --seeds N`` runs the harness over the stress suite plus N
+fuzzed traces and exits nonzero on any violation; ``repro bench
+--fuzz`` embeds a small sweep as a report section and gate.  Harness
+counters mirror into the current fabric obs (``fuzz.*`` in ``repro
+metrics``) like every other subsystem's.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import asdict, dataclass
+
+from repro.isa.program import Assembler, Program
+from repro.isa.trace import compile_trace
+from repro.workloads import builders
+from repro.workloads.builders import Allocator
+from repro.workloads.registry import Workload, get_or_register
+
+FUZZ_SUITE = "fuzz"
+DEFAULT_SEEDS = 25
+
+DEGENERATE_EVERY = 13
+"""Every 13th seed builds a degenerate program (empty / single memory
+op / ALU-only) instead of a fragment mix — the shapes that exercise
+empty-column plan building and kernel-selection fallbacks."""
+
+SIMPOINTS = (1_500, 3_000, 6_000, 12_000)
+"""Per-seed dynamic-instruction budgets.  Pathology does not need
+length: a 3k-instruction trace replays in milliseconds per tier, which
+is what lets ``--seeds 200`` sweep every registered prefetcher."""
+
+ADVERSARIAL_STRIDES = (8, 24, 56, 64, 72, 136, 192, 320, 960, 1024,
+                       2048, 2112, 4096)
+"""Line-straddling, set-aliasing, row-crossing, and non-pow2 strides —
+the shapes the prefetcher-taxonomy literature singles out as the ones
+each prefetcher family must survive."""
+
+INVARIANTS = ("kernel-vs-generic", "fused-vs-singleton", "warm-vs-cold")
+
+
+# ---------------------------------------------------------------------------
+# Seeded program generator
+# ---------------------------------------------------------------------------
+def _frag_stride(asm, alloc, rng) -> None:
+    builders.strided_loop(
+        asm, alloc,
+        elements=rng.randrange(100, 1200),
+        stride=rng.choice(ADVERSARIAL_STRIDES),
+        work=rng.randrange(0, 4),
+        store_every=rng.choice((0, 0, 1, 3)),
+        passes=rng.randrange(1, 3),
+    )
+
+
+def _frag_streams(asm, alloc, rng) -> None:
+    builders.multi_stream(
+        asm, alloc,
+        elements=rng.randrange(100, 900),
+        streams=rng.randrange(2, 6),
+        stride=rng.choice((8, 16, 24, 56, 64)),
+        work=rng.randrange(0, 3),
+    )
+
+
+def _frag_chase(asm, alloc, rng) -> None:
+    builders.linked_list(
+        asm, alloc,
+        nodes=rng.randrange(50, 1200),
+        node_bytes=rng.choice((16, 40, 64, 96, 136, 256)),
+        layout=rng.choice(("sequential", "scattered", "clustered")),
+        payload_loads=rng.randrange(1, 3),
+        work=rng.randrange(0, 3),
+        seed=rng.randrange(1 << 30),
+    )
+
+
+def _frag_aop(asm, alloc, rng) -> None:
+    builders.array_of_pointers(
+        asm, alloc,
+        count=rng.randrange(80, 800),
+        object_bytes=rng.choice((48, 64, 136, 256, 384)),
+        fields=rng.randrange(1, 3),
+        work=rng.randrange(0, 3),
+        seed=rng.randrange(1 << 30),
+    )
+
+
+def _frag_region(asm, alloc, rng) -> None:
+    builders.region_sweep(
+        asm, alloc,
+        regions=rng.randrange(8, 64),
+        region_bytes=rng.choice((256, 768, 1024, 1536, 2048, 3072)),
+        step=rng.choice((64, 128, 192, 320)),
+        work=rng.randrange(0, 2),
+        seed=rng.randrange(1 << 30),
+    )
+
+
+def _frag_gather(asm, alloc, rng) -> None:
+    builders.random_gather(
+        asm, alloc,
+        lookups=rng.randrange(100, 900),
+        table_bytes=rng.choice((16, 64, 128, 512)) * 1024,
+        seed=rng.randrange(1 << 30),
+    )
+
+
+def _frag_index(asm, alloc, rng) -> None:
+    builders.index_gather(
+        asm, alloc,
+        elements=rng.randrange(100, 900),
+        table_elements=rng.randrange(256, 8192),
+        locality_window=rng.choice((0, 0, 8, 64)),
+        seed=rng.randrange(1 << 30),
+    )
+
+
+def _frag_callsites(asm, alloc, rng) -> None:
+    builders.call_site_streams(
+        asm, alloc,
+        elements=rng.randrange(100, 600),
+        strides=(rng.choice((8, 16, 24)), rng.choice((24, 56, 72))),
+        work=rng.randrange(0, 2),
+    )
+
+
+def _frag_branch_storm(asm, alloc, rng) -> None:
+    from repro.workloads import stress
+
+    stress.branch_storm(asm, alloc,
+                        decisions=rng.randrange(200, 1500),
+                        taken_rate=rng.uniform(0.1, 0.9),
+                        seed=rng.randrange(1 << 30))
+
+
+def _frag_mshr_burst(asm, alloc, rng) -> None:
+    from repro.workloads import stress
+
+    stress.mshr_burst(asm, alloc,
+                      bursts=rng.randrange(4, 16),
+                      burst_lines=rng.choice((8, 33, 48)),
+                      quiet_ops=rng.randrange(0, 60))
+
+
+def _frag_hook_storm(asm, alloc, rng) -> None:
+    from repro.workloads import stress
+
+    stress.hook_storm(asm, alloc, lines=8 * rng.randrange(4, 60),
+                      seed=rng.randrange(1 << 30))
+
+
+def _frag_alu(asm, alloc, rng) -> None:
+    # A long event-free stretch (and a vectorized-dispatch workout).
+    asm.movi("r9", rng.randrange(1, 100))
+    for _ in range(rng.randrange(20, 200)):
+        asm.add("r15", "r15", "r9")
+
+
+_FRAGMENTS = (
+    _frag_stride, _frag_streams, _frag_chase, _frag_aop, _frag_region,
+    _frag_gather, _frag_index, _frag_callsites, _frag_branch_storm,
+    _frag_mshr_burst, _frag_hook_storm, _frag_alu,
+)
+
+
+def _degenerate(asm: Assembler, rng: random.Random) -> str:
+    shape = rng.choice(("empty", "load", "store", "alu"))
+    if shape == "load":
+        asm.movi("r1", 0x40000)
+        asm.load("r2", "r1", 0)
+    elif shape == "store":
+        asm.movi("r1", 0x40000)
+        asm.store("r1", "r1", 0)
+    elif shape == "alu":
+        for _ in range(rng.randrange(1, 30)):
+            asm.add("r2", "r2", "r2")
+    return shape
+
+
+def fuzz_name(seed: int) -> str:
+    return f"{FUZZ_SUITE}.s{seed:05d}"
+
+
+def build_fuzz_program(seed: int) -> Program:
+    """The deterministic adversarial program for ``seed``."""
+    rng = random.Random(0xF02D ^ (seed * 0x9E3779B1))
+    asm = Assembler(name=fuzz_name(seed))
+    alloc = Allocator()
+    if seed and seed % DEGENERATE_EVERY == 0:
+        _degenerate(asm, rng)
+    else:
+        for _ in range(rng.randrange(1, 5)):
+            rng.choice(_FRAGMENTS)(asm, alloc, rng)
+    asm.halt()
+    return asm.assemble()
+
+
+def fuzz_simpoint(seed: int) -> int:
+    rng = random.Random(0x51A9 ^ (seed * 0x9E3779B1))
+    return rng.choice(SIMPOINTS)
+
+
+def fuzz_workload(seed: int) -> Workload:
+    """The registered workload for ``seed`` (idempotent per process).
+
+    Registration routes the fuzzed trace through the exact machinery
+    every suite workload uses — per-instance memo, on-disk trace cache,
+    and (for the fused-unit invariant) worker-side name resolution.
+    """
+    return get_or_register(
+        Workload(
+            name=fuzz_name(seed),
+            suite=FUZZ_SUITE,
+            build=lambda: build_fuzz_program(seed),
+            simpoint=fuzz_simpoint(seed),
+            description=f"seeded adversarial trace (seed {seed})",
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# Identity property harness
+# ---------------------------------------------------------------------------
+@dataclass
+class IdentityViolation:
+    """One bit-identity break, addressable enough to replay by hand."""
+
+    workload: str
+    prefetcher: str
+    invariant: str
+    kernel: str
+    reference_kernel: str
+    fields: list
+    """Names of the diverging result fields (e.g. ``core``, ``dram``)."""
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+_IDENTITY_FIELDS = (
+    "core", "l1d", "l2", "l3", "dram", "prefetch",
+    "miss_lines_l1", "miss_lines_l2", "attempted_prefetch_lines",
+    "attempted_by_component", "pollution_misses_l1", "pollution_misses_l2",
+)
+
+
+def identity_tuple(result) -> tuple:
+    """Everything a simulation reports, for exact comparison."""
+    return tuple(getattr(result, name) for name in _IDENTITY_FIELDS)
+
+
+def diff_fields(a, b) -> list:
+    """Names of the result fields where ``a`` and ``b`` differ."""
+    return [name for name in _IDENTITY_FIELDS
+            if getattr(a, name) != getattr(b, name)]
+
+
+def _count(event: str, n: int = 1) -> None:
+    """Mirror a harness counter into the current fabric obs (if any)."""
+    from repro.obs import current
+
+    obs = current()
+    if obs is not None:
+        obs.metrics.count(f"fuzz.{event}", n)
+
+
+def _simulate_tier(trace, prefetcher: str, config, tier: str | None):
+    """One simulation with ``REPRO_KERNEL`` pinned to ``tier`` (or the
+    automatic selection when ``None``), environment restored after."""
+    from repro.engine.kernel import KERNEL_ENV
+    from repro.engine.system import simulate
+    from repro.prefetcher_registry import make_prefetcher
+
+    previous = os.environ.get(KERNEL_ENV)
+    if tier is None:
+        os.environ.pop(KERNEL_ENV, None)
+    else:
+        os.environ[KERNEL_ENV] = tier
+    try:
+        return simulate(trace, make_prefetcher(prefetcher), config)
+    finally:
+        if previous is None:
+            os.environ.pop(KERNEL_ENV, None)
+        else:
+            os.environ[KERNEL_ENV] = previous
+
+
+def _warm_trace(workload: Workload):
+    """The workload's trace via a forced on-disk round trip.
+
+    ``workload.trace()`` builds (or memo-hits) and guarantees a cache
+    ``put``; re-reading through :class:`TraceCache` then deserializes
+    the columnar blobs exactly as a fresh process would.  The round-trip
+    copy replaces the instance memo so the fused-unit invariant replays
+    against the same bytes.  Falls back to the memoized trace when the
+    cache is unavailable (e.g. a read-only filesystem).
+    """
+    from repro.workloads.tracecache import TraceCache
+
+    memo = workload.trace()
+    cached = TraceCache().get(workload.name, workload.simpoint)
+    if cached is None:
+        return memo, False
+    workload._trace = cached
+    return cached, True
+
+
+def check_workload(workload: Workload, prefetchers, config=None, *,
+                   fused: bool = True, cold: bool = True,
+                   scalar: bool = False) -> dict:
+    """Run the three invariants for one workload over ``prefetchers``.
+
+    Returns a summary dict: ``violations`` (list of
+    :class:`IdentityViolation`), ``simulations``, ``kernels`` (variant
+    histogram), ``events``/``instructions`` for sizing.  ``scalar``
+    adds a fourth leg (``REPRO_KERNEL=scalar``, the specialized scalar
+    kernels with the batch/segmented tiers disabled) so all four tiers
+    are directly compared, not just transitively.
+    """
+    from repro.engine.config import EXPERIMENT_CONFIG
+    from repro.engine.kernel import GENERIC, SCALAR
+    from repro.parallel import _simulate_unit, _unpack_result
+
+    config = config or EXPERIMENT_CONFIG
+    violations: list[IdentityViolation] = []
+    kernels: dict[str, int] = {}
+    sims = 0
+
+    warm, round_tripped = _warm_trace(workload)
+    cold_trace = None
+    if cold:
+        cold_trace = compile_trace(workload.object_trace())
+
+    singles = {}
+    for name in prefetchers:
+        tiered = _simulate_tier(warm, name, config, None)
+        generic = _simulate_tier(warm, name, config, GENERIC)
+        sims += 2
+        singles[name] = tiered
+        kernels[tiered.kernel] = kernels.get(tiered.kernel, 0) + 1
+        if identity_tuple(tiered) != identity_tuple(generic):
+            violations.append(IdentityViolation(
+                workload.name, name, "kernel-vs-generic",
+                tiered.kernel, generic.kernel,
+                diff_fields(tiered, generic)))
+        if scalar:
+            scalar_result = _simulate_tier(warm, name, config, SCALAR)
+            sims += 1
+            if identity_tuple(tiered) != identity_tuple(scalar_result):
+                violations.append(IdentityViolation(
+                    workload.name, name, "kernel-vs-generic",
+                    tiered.kernel, scalar_result.kernel,
+                    diff_fields(tiered, scalar_result)))
+        if cold_trace is not None:
+            cold_result = _simulate_tier(cold_trace, name, config, None)
+            sims += 1
+            if identity_tuple(tiered) != identity_tuple(cold_result):
+                violations.append(IdentityViolation(
+                    workload.name, name, "warm-vs-cold",
+                    tiered.kernel, cold_result.kernel,
+                    diff_fields(tiered, cold_result)))
+
+    if fused:
+        # The exact pool-worker entry point, in-process: one fused unit
+        # of every prefetcher cell, slim-payload round trip included.
+        cells = [(workload.name, name, "") for name in prefetchers]
+        outcomes = _simulate_unit((cells, config, 0))
+        sims += len(cells)
+        for (name, outcome) in zip(prefetchers, outcomes):
+            if outcome[0] != "ok":
+                violations.append(IdentityViolation(
+                    workload.name, name, "fused-vs-singleton",
+                    "error", singles[name].kernel, [outcome[1]]))
+                continue
+            fused_result = _unpack_result(outcome[1])
+            if (identity_tuple(fused_result)
+                    != identity_tuple(singles[name])):
+                violations.append(IdentityViolation(
+                    workload.name, name, "fused-vs-singleton",
+                    fused_result.kernel, singles[name].kernel,
+                    diff_fields(fused_result, singles[name])))
+
+    _count("cells", len(prefetchers))
+    _count("simulations", sims)
+    if violations:
+        _count("violations", len(violations))
+    return {
+        "workload": workload.name,
+        "trace_instructions": len(warm),
+        "trace_events": len(warm.segment_events()),
+        "round_tripped": round_tripped,
+        "violations": violations,
+        "simulations": sims,
+        "kernels": kernels,
+    }
+
+
+def run_fuzz(seeds: int = DEFAULT_SEEDS, *, stress: bool = True,
+             prefetchers=None, config=None, scalar_stress: bool = True,
+             progress=None) -> dict:
+    """The full property sweep: stress suite + ``seeds`` fuzzed traces.
+
+    Every workload is checked under every prefetcher in ``prefetchers``
+    (default: the whole registry) for the three invariants; stress
+    workloads additionally get the explicit ``REPRO_KERNEL=scalar`` leg
+    (``scalar_stress``).  Returns a JSON-ready report whose
+    ``violations`` list is empty exactly when the property held.
+    """
+    from repro.prefetcher_registry import available_prefetchers
+    from repro.workloads import get_suite
+
+    prefetchers = list(prefetchers) if prefetchers else (
+        available_prefetchers())
+    workloads: list[tuple[Workload, bool]] = []
+    if stress:
+        workloads += [(w, scalar_stress) for w in get_suite("stress")]
+    workloads += [(fuzz_workload(s), False) for s in range(seeds)]
+
+    started = time.perf_counter()
+    violations: list[IdentityViolation] = []
+    kernels: dict[str, int] = {}
+    per_workload = []
+    sims = 0
+    for i, (workload, scalar) in enumerate(workloads):
+        summary = check_workload(workload, prefetchers, config,
+                                 scalar=scalar)
+        violations += summary["violations"]
+        sims += summary["simulations"]
+        for variant, count in summary["kernels"].items():
+            kernels[variant] = kernels.get(variant, 0) + count
+        per_workload.append({**summary,
+                             "violations": [v.to_dict() for v in
+                                            summary["violations"]]})
+        if progress is not None and (i + 1) % 10 == 0:
+            progress(f"fuzz: {i + 1}/{len(workloads)} workloads, "
+                     f"{sims} simulations, "
+                     f"{len(violations)} violations")
+    return {
+        "seeds": seeds,
+        "stress": stress,
+        "invariants": list(INVARIANTS),
+        "prefetchers": prefetchers,
+        "workloads": len(workloads),
+        "cells": len(workloads) * len(prefetchers),
+        "simulations": sims,
+        "kernels": kernels,
+        "seconds": round(time.perf_counter() - started, 3),
+        "violations": [v.to_dict() for v in violations],
+        "per_workload": per_workload,
+        "ok": not violations,
+    }

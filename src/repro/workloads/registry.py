@@ -87,13 +87,29 @@ def register(workload: Workload) -> Workload:
     return workload
 
 
+def get_or_register(workload: Workload) -> Workload:
+    """Register ``workload`` unless its name is already taken.
+
+    Returns the *registered* instance either way — the form dynamic
+    suites (the fuzzer's per-seed workloads) need: building the same
+    seed twice must yield one shared registry entry (and its trace
+    memo), not a duplicate-name error.
+    """
+    existing = _REGISTRY.get(workload.name)
+    if existing is not None:
+        return existing
+    return register(workload)
+
+
 def _load_suites() -> None:
     global _SUITES_LOADED
     if _SUITES_LOADED:
         return
     _SUITES_LOADED = True
     # Importing a suite module registers its workloads.
-    from repro.workloads import spec, crono, starbench, npb  # noqa: F401
+    from repro.workloads import (  # noqa: F401
+        spec, crono, starbench, npb, stress,
+    )
 
 
 def get_workload(name: str) -> Workload:

@@ -1,0 +1,269 @@
+"""Stress suite + adversarial fuzzer identity properties.
+
+The stress workloads (docs/workloads.md) each pin one engine mechanism;
+the fuzzer generates seeded adversarial traces through the same
+registry/trace-cache machinery.  The property under test is the same
+bit-identity contract ``tests/test_kernels.py`` pins on fixtures,
+promoted to generated inputs: every stressor and every fuzzed seed must
+produce identical figures across kernel tiers (kernel-vs-generic),
+execution modes (fused-vs-singleton), and trace temperatures
+(warm-vs-cold).  Degenerate shapes (empty program, single memory op,
+ALU-only) get explicit coverage, as do the fuzzer's determinism
+contract, the chaos corrupt/resume path through a stress cell, and the
+``REPRO_SEGMENT_COVERAGE`` warn-and-clamp fix.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import batch
+from repro.engine.batch import SEGMENT_COVERAGE_ENV, SEGMENT_MAX_COVERAGE
+from repro.engine.config import EXPERIMENT_CONFIG
+from repro.engine.kernel import GENERIC, KERNEL_ENV, SCALAR
+from repro.engine.system import simulate
+from repro.isa.trace import compile_trace
+from repro.prefetcher_registry import make_prefetcher
+from repro.workloads import get_suite, get_workload
+from repro.workloads.fuzz import (
+    DEGENERATE_EVERY,
+    build_fuzz_program,
+    check_workload,
+    fuzz_name,
+    fuzz_simpoint,
+    fuzz_workload,
+    identity_tuple,
+    run_fuzz,
+)
+
+STRESS_NAMES = (
+    "stress.branch_storm", "stress.store_chain", "stress.page_stride",
+    "stress.chase_ladder", "stress.shadow_mix", "stress.mshr_burst",
+    "stress.hook_storm", "stress.oddgeom",
+)
+
+# One hooked (segmented-tier) and one hook-free (batch-tier) prefetcher
+# cover both batch planners; "spp" adds a second hook shape.  The CI
+# fuzz-identity job sweeps the whole registry — tests keep the matrix
+# small enough for the tier-1 suite.
+TEST_PREFETCHERS = ("none", "tpc", "spp")
+
+
+# ----------------------------------------------------------------------
+# Stress suite registration and shape
+# ----------------------------------------------------------------------
+def test_stress_suite_registered():
+    suite = get_suite("stress")
+    assert sorted(w.name for w in suite) == sorted(STRESS_NAMES)
+    for workload in suite:
+        assert workload.suite == "stress"
+        assert workload.description  # each documents its mechanism
+
+
+@pytest.mark.parametrize("name", STRESS_NAMES)
+def test_stress_traces_nonempty_and_deterministic(name):
+    workload = get_workload(name)
+    trace = workload.trace()
+    assert len(trace) > 0
+    rebuilt = compile_trace(workload.object_trace())
+    assert len(rebuilt) == len(trace)
+
+
+def test_stress_hook_storm_is_island_dense():
+    """hook_storm must stay *under* the segmented-coverage ceiling (it
+    pins the island-dense segmented path, not the scalar degrade)."""
+    trace = get_workload("stress.hook_storm").trace()
+    coverage = len(trace.segment_events()) / len(trace)
+    assert 0.5 < coverage <= SEGMENT_MAX_COVERAGE
+
+
+# ----------------------------------------------------------------------
+# The three invariants, over the stress suite
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", STRESS_NAMES)
+def test_stress_identity_invariants(name):
+    summary = check_workload(get_workload(name), TEST_PREFETCHERS,
+                             scalar=True)
+    assert summary["violations"] == [], summary["violations"]
+    assert summary["round_tripped"]  # warm leg really used the disk cache
+
+
+# ----------------------------------------------------------------------
+# Fuzzer determinism contract
+# ----------------------------------------------------------------------
+def test_fuzz_program_deterministic_per_seed():
+    for seed in (0, 1, 7, DEGENERATE_EVERY, 42):
+        first = build_fuzz_program(seed)
+        second = build_fuzz_program(seed)
+        assert first.instructions == second.instructions
+        assert first.memory == second.memory
+        assert fuzz_simpoint(seed) == fuzz_simpoint(seed)
+
+
+def test_fuzz_seeds_differ():
+    programs = {tuple(build_fuzz_program(s).instructions)
+                for s in range(8)}
+    assert len(programs) > 1
+
+
+def test_fuzz_workload_idempotent_registration():
+    first = fuzz_workload(3)
+    second = fuzz_workload(3)
+    assert first is second
+    assert first.name == fuzz_name(3) == "fuzz.s00003"
+
+
+@pytest.mark.parametrize("seed", [0, 1, DEGENERATE_EVERY, 2 * DEGENERATE_EVERY])
+def test_fuzz_identity_invariants(seed):
+    summary = check_workload(fuzz_workload(seed), TEST_PREFETCHERS)
+    assert summary["violations"] == [], summary["violations"]
+
+
+def test_run_fuzz_report_shape():
+    report = run_fuzz(seeds=2, stress=False,
+                      prefetchers=("none", "tpc"))
+    assert report["ok"] is True
+    assert report["violations"] == []
+    assert report["workloads"] == 2
+    assert report["cells"] == 4
+    assert report["simulations"] > 0
+    assert set(report["invariants"]) == {
+        "kernel-vs-generic", "fused-vs-singleton", "warm-vs-cold"}
+    assert len(report["per_workload"]) == 2
+
+
+# ----------------------------------------------------------------------
+# Degenerate traces: every tier must survive empty/one-op columns
+# ----------------------------------------------------------------------
+def _degenerate_traces():
+    from repro.isa import Assembler, Machine
+
+    shapes = {}
+    for shape in ("empty", "load", "store", "alu"):
+        asm = Assembler(name=f"degen-{shape}")
+        if shape == "load":
+            asm.movi("r1", 0x40000)
+            asm.load("r2", "r1", 0)
+        elif shape == "store":
+            asm.movi("r1", 0x40000)
+            asm.store("r1", "r1", 0)
+        elif shape == "alu":
+            asm.add("r2", "r2", "r2")
+        asm.halt()
+        machine = Machine(max_instructions=1000, truncate=True)
+        shapes[shape] = compile_trace(machine.run(asm.assemble()))
+    return shapes
+
+
+@pytest.mark.parametrize("prefetcher", ["none", "tpc"])
+def test_degenerate_traces_identical_on_every_tier(prefetcher,
+                                                   monkeypatch):
+    for shape, trace in _degenerate_traces().items():
+        auto = simulate(trace, make_prefetcher(prefetcher))
+        monkeypatch.setenv(KERNEL_ENV, SCALAR)
+        scalar = simulate(trace, make_prefetcher(prefetcher))
+        monkeypatch.setenv(KERNEL_ENV, GENERIC)
+        generic = simulate(trace, make_prefetcher(prefetcher))
+        monkeypatch.delenv(KERNEL_ENV)
+        assert identity_tuple(auto) == identity_tuple(scalar), shape
+        assert identity_tuple(auto) == identity_tuple(generic), shape
+
+
+def test_degenerate_fuzz_seed_is_degenerate():
+    # The every-13th-seed contract: a tiny program, not a fragment mix.
+    program = build_fuzz_program(DEGENERATE_EVERY)
+    assert len(program.instructions) <= 32
+
+
+# ----------------------------------------------------------------------
+# Chaos-mode resume identity through a stress cell
+# ----------------------------------------------------------------------
+def test_stress_identity_under_chaos_corrupt_and_resume(tmp_path):
+    """A chaos-corrupted cache write under a stress cell is a miss on
+    re-read; the resumed runner re-simulates once and reproduces the
+    reference figures exactly (the satellite REPRO_CHAOS requirement)."""
+    from repro.experiments.runner import ExperimentRunner, simulate_spec
+    from repro.faults import chaos, fault_counters, reset_fault_counters
+
+    app = "stress.mshr_burst"
+    cache = str(tmp_path / "cache")
+    journal = str(tmp_path / "journal")
+    reference = simulate_spec(app, "tpc", "", EXPERIMENT_CONFIG)
+
+    reset_fault_counters()
+    chaos.set_chaos(chaos.parse_spec(f"corrupt=result:{app}/tpc"))
+    try:
+        writer = ExperimentRunner(cache_dir=cache, journal_dir=journal)
+        first = writer.run(app, "tpc")
+    finally:
+        chaos.set_chaos(None)
+    resumed = ExperimentRunner(cache_dir=cache, journal_dir=journal)
+    second = resumed.run(app, "tpc")
+    assert identity_tuple(first) == identity_tuple(reference)
+    assert identity_tuple(second) == identity_tuple(reference)
+    assert resumed.counters["simulated"] == 1
+    assert fault_counters()["cache_corrupt"] >= 1
+
+
+# ----------------------------------------------------------------------
+# REPRO_SEGMENT_COVERAGE validation (the satellite bugfix)
+# ----------------------------------------------------------------------
+def test_segment_coverage_default(monkeypatch):
+    monkeypatch.delenv(SEGMENT_COVERAGE_ENV, raising=False)
+    assert batch.segment_max_coverage() == SEGMENT_MAX_COVERAGE
+
+
+def test_segment_coverage_valid_value(monkeypatch):
+    monkeypatch.setenv(SEGMENT_COVERAGE_ENV, "0.5")
+    assert batch.segment_max_coverage() == 0.5
+
+
+def test_segment_coverage_rejects_garbage_with_warning(monkeypatch,
+                                                       capsys):
+    batch._COVERAGE_WARNED.clear()
+    monkeypatch.setenv(SEGMENT_COVERAGE_ENV, "ninety-five")
+    assert batch.segment_max_coverage() == SEGMENT_MAX_COVERAGE
+    assert SEGMENT_COVERAGE_ENV in capsys.readouterr().err
+    # Warned once, not once per cell.
+    assert batch.segment_max_coverage() == SEGMENT_MAX_COVERAGE
+    assert capsys.readouterr().err == ""
+
+
+@pytest.mark.parametrize("raw,expected", [("9.5", 1.0), ("-0.5", 0.0),
+                                          ("1.0", 1.0), ("0.0", 0.0)])
+def test_segment_coverage_clamps_out_of_range(raw, expected,
+                                              monkeypatch, capsys):
+    batch._COVERAGE_WARNED.clear()
+    monkeypatch.setenv(SEGMENT_COVERAGE_ENV, raw)
+    assert batch.segment_max_coverage() == expected
+    err = capsys.readouterr().err
+    if float(raw) != expected:
+        assert "clamping" in err
+    else:
+        assert err == ""  # in-range values pass through silently
+
+
+def test_segment_coverage_quiet_mode_suppresses_warning(monkeypatch,
+                                                        capsys):
+    batch._COVERAGE_WARNED.clear()
+    monkeypatch.setenv("REPRO_LOG", "quiet")
+    monkeypatch.setenv(SEGMENT_COVERAGE_ENV, "garbage")
+    assert batch.segment_max_coverage() == SEGMENT_MAX_COVERAGE
+    assert capsys.readouterr().err == ""
+
+
+# ----------------------------------------------------------------------
+# The 200-seed regression property (satellite: "prove 0 divergences")
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+def test_fuzz_200_seeds_zero_divergences():
+    """The acceptance-criteria sweep, rotated so each seed checks one
+    hooked + one hook-free prefetcher (full cross product is the CI
+    ``repro fuzz`` job's budget, not the tier-1 suite's)."""
+    hooked = ("tpc", "bop", "spp", "sms", "vldp")
+    violations = []
+    for seed in range(200):
+        prefetchers = ("none", hooked[seed % len(hooked)])
+        summary = check_workload(fuzz_workload(seed), prefetchers)
+        violations += summary["violations"]
+    assert violations == [], violations

@@ -156,7 +156,11 @@ class TestGraphs:
 class TestRegistry:
     def test_all_suites_present(self):
         suites = all_suites()
-        assert set(suites) == {"spec", "crono", "starbench", "npb"}
+        static = {"spec", "crono", "starbench", "npb", "stress"}
+        # The fuzz suite registers per-seed on demand, so it appears
+        # exactly when an earlier test (or a repro fuzz run in-process)
+        # has built a fuzzed workload.
+        assert static <= set(suites) <= static | {"fuzz"}
         assert len(suites["spec"]) >= 20
 
     def test_lookup_by_name(self):
@@ -189,8 +193,12 @@ class TestRegistry:
 
     def test_every_workload_has_memory_traffic(self):
         # Each registered workload must actually exercise the memory
-        # system (a prefetching study needs memory accesses).
+        # system (a prefetching study needs memory accesses).  The fuzz
+        # suite is exempt: its degenerate seeds (empty/single-op traces)
+        # exist precisely to stress the no-traffic edge cases.
         for suite, workloads in all_suites().items():
+            if suite == "fuzz":
+                continue
             for workload in workloads:
                 stats = workload.trace().stats()
                 assert stats.loads > 1000, workload.name
