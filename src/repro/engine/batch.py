@@ -107,6 +107,7 @@ tier.  Both tiers memoize their plans on ``CompiledTrace._plans``
 from __future__ import annotations
 
 import os
+import weakref
 from collections import Counter
 
 from repro.log import get_logger
@@ -172,6 +173,7 @@ class BatchPlan:
     """
 
     __slots__ = (
+        "__weakref__",
         "cls", "src1", "src2", "dst", "aux", "miss_pc",
         "m_path", "m_a", "m_l2fill", "m_wb2", "m_nw", "m_nc3",
         "r_access", "r_bank", "r_ch", "r_l3inst",
@@ -585,24 +587,44 @@ def _build_plan(trace: CompiledTrace, key: tuple) -> BatchPlan:
     return plan
 
 
+#: Process-wide plan pool keyed by (trace name, trace length, plan
+#: geometry key).  Trace content is deterministic per name within a
+#: builder-code version, so two *distinct* trace objects carrying the
+#: same workload — a fork-inherited memo and a later shared-memory
+#: attach, or a cache reload — share one plan instead of rebuilding it.
+#: Weak values: a plan lives only while some trace's ``_plans`` dict
+#: (a strong ref) still holds it.
+_PLAN_REGISTRY: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+
+
 def _get_plan(trace: CompiledTrace, key: tuple, builder, variant: str):
     """Plan memoizer shared by both tiers.
 
     Plans live on ``CompiledTrace._plans`` keyed by structural geometry,
     so every cell of a sweep replaying the same (warm, process-shared)
-    trace under the same geometry reuses one plan.  ``plan_builds`` /
-    ``plan_cache_hits`` count the split (kernel counters, mirrored into
-    the fabric metrics as ``kernel.plan_builds`` /
-    ``kernel.plan_cache_hits`` for ``repro metrics``).
+    trace under the same geometry reuses one plan, backed by the
+    process-wide :data:`_PLAN_REGISTRY` so a re-materialized trace of
+    the same workload (shared-memory attach, cache reload) does not
+    force a rebuild.  ``plan_builds`` / ``plan_cache_hits`` count the
+    split (kernel counters, mirrored into the fabric metrics as
+    ``kernel.plan_builds`` / ``kernel.plan_cache_hits`` for
+    ``repro metrics``).
     """
     from repro.engine.kernel import _count
 
     plan = trace._plans.get(key)
     if plan is None:
+        registry_key = (trace.name, len(trace), key)
+        plan = _PLAN_REGISTRY.get(registry_key)
+        if plan is not None:
+            _count("plan_cache_hits")
+            trace._plans[key] = plan
+            return plan
         _count(f"compiled.{variant}")
         _count("plan_builds")
         plan = builder(trace, key)
         trace._plans[key] = plan
+        _PLAN_REGISTRY[registry_key] = plan
     else:
         _count("plan_cache_hits")
     return plan
@@ -1097,6 +1119,7 @@ class SegmentPlan:
     """
 
     __slots__ = (
+        "__weakref__",
         "rows", "ev_rows",
         "n_mem", "loads", "stores", "branches", "mispredicts",
         "coverage",

@@ -206,6 +206,16 @@ TRACE_FIELD_TYPECODES = ("q", "b", "q", "q", "b", "b", "b", "b", "q", "q")
 64-bit, ``b`` = signed 8-bit; register operands fit in a byte, ``-1``
 included)."""
 
+NUMPY_TYPECODES = {"q": "int64", "b": "int8"}
+"""numpy dtype name per :mod:`array` typecode — the single translation
+table shared by the trace cache, :mod:`repro.isa.traceio`, and the
+shared-memory column layout (:mod:`repro.parallel.shm`)."""
+
+
+def numpy_dtype(code: str) -> str:
+    """The numpy dtype name of an :mod:`array` typecode (``q``/``b``)."""
+    return NUMPY_TYPECODES[code]
+
 # ----------------------------------------------------------------------
 # Derived columns: per-record facts the timing model would otherwise
 # recompute for every (workload x prefetcher) cell.  Computed once per
@@ -270,15 +280,17 @@ class CompiledTrace:
     carries (P1's chain FSM dereferences it).
     """
 
-    __slots__ = ("name", "memory", "pc", "opc", "addr", "value", "dst",
-                 "src1", "src2", "taken", "target_pc", "ras_top",
+    __slots__ = ("name", "_memory", "_memory_arrays", "pc", "opc",
+                 "addr", "value", "dst", "src1", "src2", "taken",
+                 "target_pc", "ras_top",
                  "_stats", "_records", "_derived", "_arrays",
                  "_derived_arrays", "_segments", "_plans")
 
     def __init__(self, name: str, columns: tuple | None,
                  memory: dict[int, int]):
         self.name = name
-        self.memory = memory
+        self._memory = memory
+        self._memory_arrays: tuple | None = None
         self._arrays: tuple | None = None
         self._derived_arrays: tuple | None = None
         self._segments = None
@@ -331,12 +343,49 @@ class CompiledTrace:
         trace._arrays = tuple(arrays)
         return trace
 
+    @classmethod
+    def from_shared(cls, name: str, arrays: tuple, derived: tuple,
+                    segments, memory_arrays: tuple) -> "CompiledTrace":
+        """Reconstruct a trace over attached shared-memory views.
+
+        Every argument is a numpy view into a
+        :mod:`repro.parallel.shm` segment — nothing is copied.  The
+        memory image arrives as aligned ``(addresses, values)`` arrays
+        and the dict is only materialized on the first ``.memory``
+        touch, so attaching stays O(1) regardless of footprint.
+        """
+        trace = cls(name, None, {})
+        trace._arrays = tuple(arrays)
+        trace._derived_arrays = tuple(derived)
+        trace._segments = segments
+        trace._memory = None
+        trace._memory_arrays = tuple(memory_arrays)
+        return trace
+
     def to_trace(self) -> Trace:
         """Materialize a classic object :class:`Trace` (shared memory dict)."""
         return Trace(name=self.name, records=list(self.records),
                      memory=self.memory)
 
     # ------------------------------------------------------------------
+    @property
+    def memory(self) -> dict[int, int]:
+        """The post-execution data image (P1's chain FSM reads it).
+
+        Shared-memory-attached traces rebuild the dict lazily from the
+        aligned address/value arrays; insertion order matches the
+        publishing parent's dict order, so the rebuilt image is equal
+        (and iterates identically) to the original.
+        """
+        if self._memory is None:
+            addresses, values = self._memory_arrays
+            self._memory = dict(zip(addresses.tolist(), values.tolist()))
+        return self._memory
+
+    @memory.setter
+    def memory(self, value: dict[int, int]) -> None:
+        self._memory = value
+
     @property
     def columns(self) -> tuple:
         """The ten columns in :data:`TRACE_FIELDS` order."""
@@ -371,7 +420,7 @@ class CompiledTrace:
                 if name == "taken":
                     cols.append(np.asarray(col, dtype=np.bool_))
                 else:
-                    dtype = np.int64 if code == "q" else np.int8
+                    dtype = np.dtype(numpy_dtype(code))
                     cols.append(np.asarray(col, dtype=dtype))
             self._arrays = tuple(cols)
         return self._arrays
@@ -534,7 +583,7 @@ class CompiledTrace:
             for name, code, col in zip(TRACE_FIELDS,
                                        TRACE_FIELD_TYPECODES,
                                        self._arrays):
-                dtype = np.int64 if code == "q" else np.int8
+                dtype = np.dtype(numpy_dtype(code))
                 blobs[name] = np.ascontiguousarray(
                     col, dtype=dtype).tobytes()
             return blobs
@@ -578,7 +627,7 @@ class CompiledTrace:
         np = _np()
         arrays = []
         for field_name, code in zip(TRACE_FIELDS, TRACE_FIELD_TYPECODES):
-            dtype = np.int64 if code == "q" else np.int8
+            dtype = np.dtype(numpy_dtype(code))
             col = np.frombuffer(blobs[field_name], dtype=dtype)
             if field_name == "taken":
                 col = col.astype(np.bool_)
@@ -588,7 +637,7 @@ class CompiledTrace:
             restored = []
             for field_name, code in zip(DERIVED_FIELDS,
                                         DERIVED_FIELD_TYPECODES):
-                dtype = np.int64 if code == "q" else np.int8
+                dtype = np.dtype(numpy_dtype(code))
                 restored.append(
                     np.frombuffer(derived[field_name], dtype=dtype)
                 )

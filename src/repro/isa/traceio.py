@@ -28,20 +28,27 @@ _FORMAT_VERSION = 1
 def _arrays_from_trace(trace: Trace | CompiledTrace):
     """The eight npz arrays, built columnar-fast when possible."""
     if isinstance(trace, CompiledTrace):
+        # Straight off the backing numpy columns (TRACE_FIELDS order:
+        # pc, opc, addr, value, dst, src1, src2, taken, target_pc,
+        # ras_top) — no tolist round-trip through Python objects, and
+        # shared-memory trace views export without materializing their
+        # lazy list columns.
         n = len(trace)
+        (pc, opc, addr, value, dst, src1, src2, taken, target_pc,
+         ras_top) = trace.array_columns()
         regs = np.empty((n, 3), dtype=np.int8)
-        regs[:, 0] = np.asarray(trace.dst, dtype=np.int8)
-        regs[:, 1] = np.asarray(trace.src1, dtype=np.int8)
-        regs[:, 2] = np.asarray(trace.src2, dtype=np.int8)
+        regs[:, 0] = dst
+        regs[:, 1] = src1
+        regs[:, 2] = src2
         return (
-            np.asarray(trace.pc, dtype=np.int64),
-            np.asarray([int(o) for o in trace.opc], dtype=np.int8),
-            np.asarray(trace.addr, dtype=np.int64),
-            np.asarray(trace.value, dtype=np.int64),
+            np.asarray(pc, dtype=np.int64),
+            np.asarray(opc, dtype=np.int8),
+            np.asarray(addr, dtype=np.int64),
+            np.asarray(value, dtype=np.int64),
             regs,
-            np.asarray(trace.taken, dtype=np.bool_),
-            np.asarray(trace.target_pc, dtype=np.int64),
-            np.asarray(trace.ras_top, dtype=np.int64),
+            np.asarray(taken, dtype=np.bool_),
+            np.asarray(target_pc, dtype=np.int64),
+            np.asarray(ras_top, dtype=np.int64),
         )
     n = len(trace.records)
     pc = np.empty(n, dtype=np.int64)

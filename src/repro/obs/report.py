@@ -4,9 +4,12 @@ Turns a sweep's span stream into the report that makes a
 ``parallel.speedup_vs_serial: 0.82`` diagnosable: per-worker busy/idle
 seconds and idle fraction, fused-unit imbalance (the max/mean unit
 duration ratio — a high value means one unit strangled the sweep while
-its lane-mates idled), and the critical-path cell (the single longest
-cell attempt, with its kernel variant).  Consumed by ``repro trace``,
-``repro bench``'s parallel section, and tests.
+its lane-mates idled), per-worker executed steals (units a lane took
+from another workload's queue — the work-stealing scheduler's
+rebalancing, see :mod:`repro.parallel.stealing`), and the critical-path
+cell (the single longest cell attempt, with its kernel variant).
+Consumed by ``repro trace``, ``repro bench``'s parallel section, and
+tests.
 """
 
 from __future__ import annotations
@@ -36,10 +39,13 @@ def pool_report(records: list) -> dict:
             serial_units.append(unit)
             continue
         entry = workers.setdefault(str(lane), {"busy_seconds": 0.0,
-                                               "units": 0, "cells": 0})
+                                               "units": 0, "cells": 0,
+                                               "steals": 0})
         entry["busy_seconds"] += unit.get("seconds", 0.0)
         entry["units"] += 1
         entry["cells"] += unit.get("cells", 1)
+        if unit.get("stolen"):
+            entry["steals"] += 1
     mode = "pool" if workers else "serial"
     if not workers:
         # Serial fallback (auto_serial or --jobs 1): attribute the whole
@@ -50,7 +56,8 @@ def pool_report(records: list) -> dict:
                                   if c.get("worker", 0) <= 0]
         if source:
             entry = workers["serial"] = {"busy_seconds": 0.0,
-                                         "units": 0, "cells": 0}
+                                         "units": 0, "cells": 0,
+                                         "steals": 0}
             for unit in source:
                 entry["busy_seconds"] += unit.get("seconds", 0.0)
                 entry["units"] += 1 if unit.get("kind") == "unit" else 0
@@ -88,6 +95,7 @@ def pool_report(records: list) -> dict:
         "mode": mode,
         "cells": len(cells),
         "units": len(units),
+        "steals": sum(entry["steals"] for entry in workers.values()),
         "workers": dict(sorted(
             workers.items(),
             key=lambda kv: int(kv[0]) if kv[0].isdigit() else -1)),
@@ -107,6 +115,7 @@ def format_pool_report(report: dict) -> str:
         ("cells", report["cells"]),
         ("fused units", report["units"]),
         ("unit imbalance (max/mean)", report["unit_imbalance"]),
+        ("steals (rebalanced units)", report.get("steals", 0)),
     ]
     for lane, entry in report["workers"].items():
         rows.append((
@@ -114,7 +123,8 @@ def format_pool_report(report: dict) -> str:
             f"busy {entry['busy_seconds']:.3f}s  "
             f"idle {entry['idle_seconds']:.3f}s  "
             f"({entry['idle_fraction'] * 100:.1f}% idle, "
-            f"{entry['units']} units / {entry['cells']} cells)",
+            f"{entry['units']} units / {entry['cells']} cells, "
+            f"{entry.get('steals', 0)} steals)",
         ))
     if report["straggler_worker"] is not None:
         rows.append(("straggler (busiest lane)",

@@ -49,6 +49,7 @@ SPAN_KINDS = (
     "unit",
     "cell",
     "merge",
+    "steal",
     "retry_wait",
     "pool_rebuild",
 )
@@ -223,11 +224,16 @@ class FabricObs:
         for name, value in sorted(kernel_counters().items()):
             self.metrics.gauge(f"kernel.{name}", value)
 
-        # Per-worker busy/idle seconds from the unit spans.
+        # Per-worker busy/idle seconds (and executed steals) from the
+        # unit spans — a stolen unit carries ``stolen=True`` so the
+        # rebalancing is attributed to the lane that ran it.
         busy: dict[int, float] = {}
+        stolen: dict[int, int] = {}
         for span in self.spans:
             if span.name == "unit" and span.worker > 0:
                 busy[span.worker] = busy.get(span.worker, 0.0) + span.dur
+                if span.attrs.get("stolen"):
+                    stolen[span.worker] = stolen.get(span.worker, 0) + 1
         if busy:
             self.metrics.gauge("pool.workers", len(busy))
             for lane, seconds in sorted(busy.items()):
@@ -235,6 +241,9 @@ class FabricObs:
                                    round(seconds, 6))
                 self.metrics.gauge(f"pool.worker.{lane}.idle_seconds",
                                    round(max(wall - seconds, 0.0), 6))
+                if stolen.get(lane):
+                    self.metrics.gauge(f"pool.worker.{lane}.steals",
+                                       stolen[lane])
 
         from repro import obs as _obs
 

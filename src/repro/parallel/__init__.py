@@ -7,26 +7,38 @@ module dispatches those cells over a **persistent** process pool and
 merges the results **in submission order**, so the merged outcome is
 bit-identical to running the same jobs serially.
 
-Performance properties (PR 2-3):
+Performance properties (PR 2-3, reworked by the shared-memory PR):
 
 * **Persistent pool** — the executor is created once per process and
   reused across every ``run_jobs`` call.  ``shutdown_pool()`` runs at
-  interpreter exit, or sooner if the worker count changes.
-* **No per-worker trace rebuilds** — the parent warms the compiled
-  columnar traces (:mod:`repro.workloads.tracecache`) before
-  dispatching; fork-based workers share the parent's already-loaded
-  columns copy-on-write, and workers forked earlier read the on-disk
-  trace cache instead of re-running the functional machine.
+  interpreter exit, or sooner if the worker count or the start method
+  (``REPRO_MP_CONTEXT``: ``fork`` default, ``spawn``, ``forkserver``)
+  changes.
+* **Zero-copy trace sharing** — the parent publishes each warmed
+  compiled trace's numpy columns (primary, derived, segment events,
+  memory image) into named ``multiprocessing.shared_memory`` segments
+  once (:mod:`repro.parallel.shm`); workers attach and rebuild the
+  trace as ``frombuffer`` views — no re-deserialization, no reliance
+  on fork-COW timing, identical under ``fork`` and ``spawn``.  The
+  manifest entries ride the unit payloads; segments are unlinked at
+  ``atexit``, on ``KeyboardInterrupt``, or via
+  :func:`repro.parallel.shm.release_all`.  ``REPRO_SHM=0`` restores
+  the legacy disk-cache path.
 * **Slim result payloads** — workers pack the per-line footprint
   Counters and attempted-line sets into flat ``array('q')`` blobs
   (:func:`_pack_result`); the parent restores equal objects.  Each
   result also carries the replay-kernel variant that produced it
   (``SimulationResult.kernel``) for attribution.
-* **Workload-affine cell fusion** — pool-eligible cells are grouped by
-  workload into fused units (:func:`_fusion_units`), so a worker
-  deserializes/memoizes a compiled trace once and replays all K
-  prefetcher configs against it back-to-back instead of paying trace
-  load per cell.  ``REPRO_FUSION=0`` restores singleton dispatch.
+* **Work-stealing dispatch** — pool-eligible cells are grouped by
+  workload into fine-grained fused units (:func:`_fusion_units`) and
+  scheduled by :class:`~repro.parallel.stealing.StealScheduler`: each
+  in-flight slot is a lane with a home workload; a freed lane takes
+  the head of its home queue (trace/plan affinity) and an idle lane
+  steals from the tail of the deepest other queue, so one straggling
+  workload can no longer strand its lane-mates idle.  Steals surface
+  as ``steal`` spans, ``pool.steals`` metrics, and the straggler
+  report's "steals" column.  ``REPRO_STEAL=0`` restores the legacy
+  coarse FIFO chunks; ``REPRO_FUSION=0`` restores singleton dispatch.
 
 Fault-tolerance properties (this layer; see docs/robustness.md):
 
@@ -82,16 +94,19 @@ import pickle
 import time
 import traceback
 from array import array
-from collections import Counter, deque
+from collections import Counter
 from typing import Sequence
 
 from repro.engine.config import SystemConfig
 from repro.obs.spans import cell_span_id
+from repro.parallel import shm
+from repro.parallel.stealing import StealScheduler, stealing_enabled
 
 SimJob = tuple  # (workload, spec, tag) — see ``normalize_job``
 
 _EXECUTOR = None
 _EXECUTOR_WORKERS = 0
+_EXECUTOR_CONTEXT = ""
 _SHUTDOWN_REGISTERED = False
 
 
@@ -209,25 +224,30 @@ def _worker_init() -> None:
 
 
 def _get_executor(workers: int):
-    """The persistent pool, (re)created only when the size changes."""
-    global _EXECUTOR, _EXECUTOR_WORKERS, _SHUTDOWN_REGISTERED
-    if _EXECUTOR is not None and _EXECUTOR_WORKERS != workers:
+    """The persistent pool, (re)created when size or context changes."""
+    global _EXECUTOR, _EXECUTOR_WORKERS, _EXECUTOR_CONTEXT, \
+        _SHUTDOWN_REGISTERED
+    wanted = shm.mp_context_name()
+    if _EXECUTOR is not None and (_EXECUTOR_WORKERS != workers
+                                  or _EXECUTOR_CONTEXT != wanted):
         shutdown_pool()
     if _EXECUTOR is None:
         from concurrent.futures import ProcessPoolExecutor
 
-        # Fork (where available) inherits the parent's warmed compiled
-        # traces copy-on-write; spawn-based platforms re-import
-        # everything and read the disk trace cache, which is merely
-        # slower.
+        # REPRO_MP_CONTEXT selects the start method (default fork).
+        # With shared-memory trace columns the choice is a startup-cost
+        # knob, not a correctness one: spawn workers attach the same
+        # segments fork workers inherit, and figures are bit-identical
+        # either way (pinned by tests/test_shm_parallel.py).
         try:
-            context = multiprocessing.get_context("fork")
+            context = multiprocessing.get_context(wanted)
         except ValueError:  # pragma: no cover - non-POSIX platforms
             context = multiprocessing.get_context()
         _EXECUTOR = ProcessPoolExecutor(max_workers=workers,
                                         mp_context=context,
                                         initializer=_worker_init)
         _EXECUTOR_WORKERS = workers
+        _EXECUTOR_CONTEXT = wanted
         if not _SHUTDOWN_REGISTERED:
             atexit.register(shutdown_pool)
             _SHUTDOWN_REGISTERED = True
@@ -335,16 +355,27 @@ def _simulate_unit(payload):
     parent) additionally times each cell and returns ``(outcomes,
     meta)`` where ``meta`` carries the worker pid and one span dict per
     cell (wall start, duration, kernel variant, instruction count) for
-    the parent to merge.
+    the parent to merge.  A 5-tuple payload appends the shared-memory
+    manifest entries for the unit's workload
+    (:class:`repro.parallel.shm.SharedTrace`); :func:`shm.install`
+    adopts them as zero-copy trace views before the first cell runs (a
+    fork-inherited memo wins, so attach cost is paid at most once per
+    worker per workload).
     """
     from repro.experiments.runner import simulate_spec
     from repro.faults import chaos
 
-    if len(payload) == 4:
+    if len(payload) == 5:
+        cells, config, attempt, collect_spans, shared = payload
+    elif len(payload) == 4:
         cells, config, attempt, collect_spans = payload
+        shared = None
     else:
         cells, config, attempt = payload
         collect_spans = False
+        shared = None
+    if shared:
+        shm.install(shared)
     outcomes = []
     spans = []
     for workload, spec, tag in cells:
@@ -386,19 +417,26 @@ def _fusion_units(remote, normalized, workers) -> list[tuple]:
     """Group pool-eligible cells into workload-affine units.
 
     Cells sharing a workload land in the same unit (in submission
-    order) so a worker loads/memoizes the compiled trace once and
-    replays all its prefetcher configs back-to-back.  Units are capped
-    at ``ceil(len(remote) / (workers * 2))`` cells so every worker
-    stays busy and a retried unit re-runs a bounded amount of work.
-    ``REPRO_FUSION=0`` disables grouping (singleton units) — the
-    escape hatch the fusion identity test pins against.
+    order) so a worker pays trace adoption once per workload and
+    replays all its prefetcher configs back-to-back.  With work
+    stealing (the default) units are fine-grained —
+    ``ceil(len(remote) / (workers * 4))`` cells, at most 8 — because
+    shared-memory trace columns removed the per-unit trace-load cost,
+    and small units are what give the stealing scheduler room to
+    rebalance a straggling workload.  ``REPRO_STEAL=0`` restores the
+    legacy coarse chunks (``ceil(len(remote) / (workers * 2))``);
+    ``REPRO_FUSION=0`` disables grouping entirely (singleton units) —
+    the escape hatch the fusion identity test pins against.
     """
     if os.environ.get(FUSION_ENV) == "0":
         return [(i,) for i in remote]
     groups: dict[str, list[int]] = {}
     for i in remote:
         groups.setdefault(normalized[i][0], []).append(i)
-    chunk = max(1, -(-len(remote) // (workers * 2)))
+    if stealing_enabled():
+        chunk = max(1, min(-(-len(remote) // (workers * 4)), 8))
+    else:
+        chunk = max(1, -(-len(remote) // (workers * 2)))
     units = []
     for indices in groups.values():
         for start in range(0, len(indices), chunk):
@@ -426,6 +464,32 @@ def warm_traces(workloads, obs=None) -> float:
             with obs.span("trace_warm", workload=workload):
                 get_workload(workload).trace()
     return time.perf_counter() - started
+
+
+def _publish_traces(workloads, obs=None) -> dict:
+    """Publish warmed traces as shared-memory segments (manifest entries).
+
+    Returns ``{workload: SharedTrace}`` for everything published —
+    empty when ``REPRO_SHM=0`` or nothing qualified (a memory image
+    outside signed 64-bit range stays on the legacy path, exactly like
+    the on-disk trace cache).  The traces are warm, so publication is
+    one memcpy per column; segments persist across ``run_jobs`` calls
+    and publishing the same workload again reuses the live segment.
+    """
+    if not shm.enabled():
+        return {}
+    from repro.workloads import get_workload
+
+    entries = {}
+    for workload in workloads:
+        entry = shm.publish(workload, get_workload(workload).trace())
+        if entry is not None:
+            entries[workload] = entry
+    if obs is not None and entries:
+        obs.metrics.gauge("shm.segments", len(shm.manifest_names()))
+        obs.metrics.gauge("shm.bytes",
+                          sum(e.nbytes for e in entries.values()))
+    return entries
 
 
 # ----------------------------------------------------------------------
@@ -489,9 +553,20 @@ def run_jobs(jobs: Sequence[SimJob], config: SystemConfig,
             return results
         warm_seconds = warm_traces((normalized[i][0] for i in remote), obs)
         workers = min(n_jobs, len(remote))
+        shared = _publish_traces(
+            dict.fromkeys(normalized[i][0] for i in remote), obs)
         merge_seconds = _run_pool(remote, local, normalized, config,
-                                  results, workers, policy, obs)
+                                  results, workers, policy, obs, shared)
         return results
+    except BaseException as exc:
+        if not isinstance(exc, Exception):
+            # A KeyboardInterrupt/SystemExit unwinding the sweep must
+            # not leak /dev/shm segments or a stuck pool: tear both
+            # down before propagating (the lifecycle test asserts the
+            # manifest comes back empty).
+            kill_pool()
+            shm.release_all()
+        raise
     finally:
         if timings is not None:
             if fallback_reason is not None:
@@ -601,18 +676,30 @@ def _run_serial(indices, normalized, config, results, policy,
 
 
 def _run_pool(remote, local, normalized, config, results, workers,
-              policy, obs=None) -> float:
+              policy, obs=None, shared=None) -> float:
     """Dispatch ``remote`` cells over the pool; returns merge seconds.
 
-    Cells are fused into workload-affine units (:func:`_fusion_units`)
-    so each worker pays trace deserialization once per workload, not
-    once per cell.  The scheduler keeps at most ``window`` units in
-    flight (== the worker count when a timeout is set, so the per-unit
-    wall clock is honest; a bit more otherwise to hide submission
-    latency), retries faulted cells with backoff — always as singleton
-    units, so a retry never re-runs its innocent unit-mates — replaces
-    the pool when a worker dies or hangs, and runs the non-picklable
-    ``local`` stragglers in the parent while the first wave churns.
+    Cells are fused into fine-grained workload-affine units
+    (:func:`_fusion_units`) and dispatched by the work-stealing
+    discipline of :class:`~repro.parallel.stealing.StealScheduler`:
+    each in-flight slot is a virtual lane with a home workload; a freed
+    lane takes the head of its home queue (the trace its worker has
+    adopted, the plans it has memoized) and an idle lane steals from
+    the tail of the deepest other queue.  Each steal is recorded as a
+    ``steal`` span plus ``pool.steals`` / ``pool.steal_wait_seconds``
+    metrics, and marks the eventual unit span ``stolen`` so the
+    straggler report attributes rebalancing per worker.  ``shared``
+    (workload -> :class:`repro.parallel.shm.SharedTrace`) rides each
+    payload so workers attach zero-copy trace columns instead of
+    re-deserializing the disk cache.
+
+    The scheduler keeps at most ``window`` units in flight (== the
+    worker count when a timeout is set, so the per-unit wall clock is
+    honest; a bit more otherwise to hide submission latency), retries
+    faulted cells with backoff — always as singleton units, so a retry
+    never re-runs its innocent unit-mates — replaces the pool when a
+    worker dies or hangs, and runs the non-picklable ``local``
+    stragglers in the parent while the first wave churns.
 
     A unit's timeout budget scales with its size
     (``policy.timeout_seconds * len(unit)``): the per-cell contract is
@@ -624,15 +711,19 @@ def _run_pool(remote, local, normalized, config, results, workers,
     from repro.faults import faultlog
 
     window = workers if policy.timeout_seconds else workers * 2
-    # (unit, attempt, ready_at, enqueued) — unit is a tuple of cell
-    # indices, ready_at a monotonic instant the unit's backoff expires
-    # at, enqueued when it entered the queue (queue-wait attribution).
+    # Scheduler entries are (unit, attempt, ready_at, enqueued) — unit
+    # a tuple of cell indices, ready_at a monotonic instant the unit's
+    # backoff expires at, enqueued when it entered its home queue
+    # (queue-wait and steal-latency attribution).
     start = time.monotonic()
-    pending: deque = deque(
-        (unit, 0, 0.0, start) for unit in _fusion_units(remote, normalized,
-                                                        workers))
-    # future -> (unit, attempt, dispatched_at, wall_t0, queue_wait)
+    scheduler = StealScheduler(fifo=not stealing_enabled())
+    for unit in _fusion_units(remote, normalized, workers):
+        scheduler.push(normalized[unit[0]][0], unit, 0, 0.0, start)
+    # future -> (unit, attempt, dispatched_at, wall_t0, queue_wait,
+    #            slot, steal_wait | None)
     inflight: dict = {}
+    lane_home: dict[int, "str | None"] = {
+        slot: None for slot in range(window)}
     merge_seconds = 0.0
     executor = _get_executor(workers)
 
@@ -674,7 +765,8 @@ def _run_pool(remote, local, normalized, config, results, workers,
                     workload=workload, spec=key, tag=tag,
                     attempt=next_attempt,
                 )
-            pending.append(((i,), next_attempt, now + delay, now))
+            scheduler.push(normalized[i][0], (i,), next_attempt,
+                           now + delay, now)
             return
         if kind == "worker-lost":
             # Last resort for a cell that keeps losing its worker: one
@@ -700,20 +792,45 @@ def _run_pool(remote, local, normalized, config, results, workers,
                                                  attempt))
             reschedule(i, attempt, "worker-lost", None, now)
 
+    def unit_payload(unit, attempt):
+        cells = tuple(normalized[i] for i in unit)
+        entries = None
+        if shared:
+            entries = {workload: shared[workload]
+                       for workload in dict.fromkeys(
+                           normalized[i][0] for i in unit)
+                       if workload in shared} or None
+        if entries is not None:
+            return (cells, config, attempt, obs is not None, entries)
+        if obs is not None:
+            return (cells, config, attempt, True)
+        return (cells, config, attempt)
+
     def launch(now: float) -> None:
-        not_ready = []
-        while pending and len(inflight) < window:
-            unit, attempt, ready_at, enqueued = pending.popleft()
-            if ready_at > now:
-                not_ready.append((unit, attempt, ready_at, enqueued))
+        busy = {entry[5] for entry in inflight.values()}
+        for slot in range(window):
+            if slot in busy or not len(scheduler):
                 continue
-            cells = tuple(normalized[i] for i in unit)
-            if obs is None:
-                payload = (cells, config, attempt)
-            else:
-                payload = (cells, config, attempt, True)
-                obs.metrics.observe("pool.queue_wait_seconds",
-                                    max(now - enqueued, 0.0))
+            popped = scheduler.pop(slot, lane_home[slot], now)
+            if popped is None:
+                break  # nothing is ready anywhere (backoffs pending)
+            (unit, attempt, _ready_at, enqueued), workload, steal_wait = \
+                popped
+            lane_home[slot] = workload
+            queue_wait = max(now - enqueued, 0.0)
+            payload = unit_payload(unit, attempt)
+            if obs is not None:
+                obs.metrics.observe("pool.queue_wait_seconds", queue_wait)
+                if steal_wait is not None:
+                    obs.metrics.count("pool.steals")
+                    obs.metrics.observe("pool.steal_wait_seconds",
+                                        steal_wait)
+                    obs.record(
+                        "steal", t0=time.time(), dur=steal_wait,
+                        sid=f"steal:{scheduler.steals}:{workload}",
+                        workload=workload, attempt=attempt,
+                        cells=len(unit), slot=slot,
+                    )
             try:
                 future = executor.submit(_simulate_unit, payload)
             except Exception:
@@ -723,21 +840,22 @@ def _run_pool(remote, local, normalized, config, results, workers,
                 replace_pool("pool broken at submit")
                 future = executor.submit(_simulate_unit, payload)
             inflight[future] = (unit, attempt, now, time.time(),
-                                max(now - enqueued, 0.0))
-        pending.extend(not_ready)
+                                queue_wait, slot, steal_wait)
 
     launch(time.monotonic())
     # Overlap the non-picklable stragglers with the first wave.
     _run_serial(local, normalized, config, results, policy, obs)
 
-    while pending or inflight:
+    while len(scheduler) or inflight:
         now = time.monotonic()
         launch(now)
-        waits = [ready_at - now for _, _, ready_at, _ in pending
-                 if ready_at > now]
+        waits = []
+        next_ready = scheduler.next_ready_at(now)
+        if next_ready is not None:
+            waits.append(next_ready - now)
         if policy.timeout_seconds:
-            waits += [dispatched + budget(unit) - now
-                      for unit, _, dispatched, _, _ in inflight.values()]
+            waits += [entry[2] + budget(entry[0]) - now
+                      for entry in inflight.values()]
         wait_for = max(0.005, min(waits)) if waits else None
         if not inflight:
             time.sleep(wait_for if wait_for is not None else 0.005)
@@ -749,8 +867,8 @@ def _run_pool(remote, local, normalized, config, results, workers,
         broken = False
         merged: list = []
         for future in done:
-            unit, attempt, dispatched, wall_t0, queue_wait = \
-                inflight.pop(future)
+            (unit, attempt, dispatched, wall_t0, queue_wait, _slot,
+             steal_wait) = inflight.pop(future)
             try:
                 outcomes = future.result()
             except BrokenProcessPool:
@@ -764,12 +882,20 @@ def _run_pool(remote, local, normalized, config, results, workers,
             if obs is not None:
                 outcomes, meta = outcomes
                 lane = obs.lane_for(meta["pid"])
+                unit_attrs = {"cells": len(unit),
+                              "queue_seconds": round(queue_wait, 6)}
+                if steal_wait is not None:
+                    # The lane that executed the steal is only known
+                    # now (worker pids surface with the result), so the
+                    # stolen flag rides the unit span — pool_report and
+                    # FabricObs.finish read it back per worker.
+                    unit_attrs["stolen"] = True
+                    unit_attrs["steal_wait_seconds"] = round(steal_wait, 6)
                 obs.record(
                     "unit", t0=wall_t0, dur=now - dispatched,
                     sid=f"unit:{'-'.join(map(str, unit))}@{attempt}",
                     worker=lane, workload=normalized[unit[0]][0],
-                    attempt=attempt, cells=len(unit),
-                    queue_seconds=round(queue_wait, 6),
+                    attempt=attempt, **unit_attrs,
                 )
                 for span in meta["spans"]:
                     obs.record(
@@ -823,7 +949,8 @@ def _run_pool(remote, local, normalized, config, results, workers,
                         )
                         reschedule(i, attempt, "timeout", None, now)
                 for unit, attempt, *_rest in survivors:
-                    pending.append((unit, attempt, now, now))
+                    scheduler.push(normalized[unit[0]][0], unit, attempt,
+                                   now, now)
                 replace_pool("hung worker replaced")
 
         # Submit replacements before paying the unpack cost, so workers

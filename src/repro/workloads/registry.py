@@ -101,6 +101,52 @@ def get_or_register(workload: Workload) -> Workload:
     return register(workload)
 
 
+def has_trace_memo(name: str) -> bool:
+    """Whether ``name`` is registered with a compiled-trace memo.
+
+    The shared-memory installer (:func:`repro.parallel.shm.install`)
+    probes this before attaching: a fork-inherited memo already carries
+    the parent's trace *and* its memoized replay plans, so adopting a
+    fresh view over it would only discard work.
+    """
+    workload = _REGISTRY.get(name)
+    return workload is not None and workload._trace is not None
+
+
+def _stub_builder(name: str) -> Callable[[], Program]:
+    def build() -> Program:
+        raise RuntimeError(
+            f"workload {name!r} was adopted from a shared-memory "
+            f"segment; its program builder is not available in this "
+            f"process"
+        )
+    return build
+
+
+def adopt_compiled_trace(name: str, trace: CompiledTrace) -> bool:
+    """Install an externally-materialized compiled trace as ``name``'s memo.
+
+    Pool workers call this (via :mod:`repro.parallel.shm`) to adopt
+    zero-copy trace views.  A workload that already holds a memo keeps
+    it (returns ``False``); a name the registry has never heard of —
+    a dynamic fuzz workload inside a ``spawn`` worker that never ran
+    the seed's builder — is registered as a stub whose builder refuses
+    to run, which is fine: the memo is the only thing ``trace()`` will
+    ever need here.
+    """
+    _load_suites()
+    workload = _REGISTRY.get(name)
+    if workload is None:
+        workload = register(Workload(
+            name=name, suite="shared", build=_stub_builder(name),
+            description="trace adopted from a shared-memory segment",
+        ))
+    if workload._trace is not None:
+        return False
+    workload._trace = trace
+    return True
+
+
 def _load_suites() -> None:
     global _SUITES_LOADED
     if _SUITES_LOADED:

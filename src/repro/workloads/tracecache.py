@@ -64,7 +64,11 @@ _SIGNED_64_MAX = (1 << 63) - 1
 _trace_code_version_cache: str | None = None
 
 _counters = {"builds": 0, "disk_hits": 0, "memory_hits": 0,
-             "cache_stale_format": 0}
+             "cache_stale_format": 0,
+             # Shared-memory column sharing (repro.parallel.shm):
+             # segments published by this process (parent side) and
+             # zero-copy attaches performed (worker side).
+             "shm_publishes": 0, "shm_attaches": 0}
 
 
 def trace_counters() -> dict:

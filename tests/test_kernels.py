@@ -35,6 +35,7 @@ from repro.isa.trace import (
     derived_counters,
 )
 from repro.parallel import FUSION_ENV, _fusion_units, run_jobs, shutdown_pool
+from repro.parallel.stealing import STEAL_ENV
 from repro.prefetcher_registry import available_prefetchers, make_prefetcher
 from repro.telemetry import Telemetry
 
@@ -180,8 +181,14 @@ def test_derived_columns_round_trip(chain):
 def test_fusion_units_group_by_workload(monkeypatch):
     normalized = [("a", "s1", ""), ("b", "s1", ""), ("a", "s2", ""),
                   ("b", "s2", "")]
+    # Default (stealing): fine-grained workload-affine units —
+    # ceil(4 / (1 * 4)) = 1 cell each, grouped by workload.
     units = _fusion_units([0, 1, 2, 3], normalized, 1)
-    assert units == [(0, 2), (1, 3)]
+    assert units == [(0,), (2,), (1,), (3,)]
+    # Legacy static discipline: coarse ceil(4 / (1 * 2)) = 2 chunks.
+    monkeypatch.setenv(STEAL_ENV, "0")
+    assert _fusion_units([0, 1, 2, 3], normalized, 1) == [(0, 2), (1, 3)]
+    monkeypatch.delenv(STEAL_ENV)
     monkeypatch.setenv(FUSION_ENV, "0")
     assert _fusion_units([0, 1, 2, 3], normalized, 1) == [
         (0,), (1,), (2,), (3,)]
